@@ -1,0 +1,95 @@
+// Figure 6: noisy-data detection. Client i receives Gaussian noise on
+// 5*i % of its samples (so the true quality ranking is 9, 8, ..., 0 from
+// noisiest to cleanest). The Spearman rank correlation between the true
+// noise ranking and the valuation ranking is reported for the ground
+// truth (ComFedSV on the full matrix), FedSV, and ComFedSV.
+#include "bench_common.h"
+
+namespace comfedsv {
+
+int Fig6Main(int argc, char** argv) {
+  const bool full = bench::FullScale(argc, argv);
+  bench::PrintHeader(
+      "Figure 6",
+      "Noisy-data detection: Spearman correlation between the true\n"
+      "noise ranking and each metric's ranking (higher is better).",
+      full);
+
+  const int num_clients = 10;
+  const int rounds = 10;
+  const int repeats = full ? 5 : 2;
+
+  Table table({"dataset", "model", "ground-truth", "FedSV", "ComFedSV"});
+  for (bench::PaperDataset which : bench::AllPaperDatasets()) {
+    double sum_gt = 0.0, sum_fedsv = 0.0, sum_comfedsv = 0.0;
+    std::string model_name;
+    for (int rep = 0; rep < repeats; ++rep) {
+      bench::WorkloadOptions opt;
+      opt.num_clients = num_clients;
+      opt.samples_per_client = full ? 120 : 80;
+      opt.test_samples = full ? 200 : 120;
+      opt.noniid = false;  // paper: start from the IID partitioning
+      opt.seed = 600 + 17 * rep + static_cast<uint64_t>(which);
+      bench::Workload w = bench::MakeWorkload(which, opt);
+      model_name = w.model_name;
+
+      // Client i gets noise on 5*i% of its samples. Noise = feature
+      // replacement by column-matched Gaussian noise (the Ghorbani & Zou
+      // corruption); see DESIGN.md for why plain additive noise does not
+      // degrade quality on scale-heterogeneous features.
+      Rng noise_rng(opt.seed ^ 0xF16ULL);
+      for (int i = 0; i < num_clients; ++i) {
+        ReplaceFeaturesWithNoise(&w.clients[i], 0.05 * i, &noise_rng);
+      }
+
+      FedAvgConfig fcfg;
+      fcfg.num_rounds = rounds;
+      fcfg.clients_per_round = 3;
+      fcfg.select_all_first_round = true;
+      fcfg.lr = LearningRateSchedule::Constant(0.3);
+      fcfg.seed = opt.seed + 3;
+
+      ValuationRequest req;
+      req.compute_fedsv = true;
+      req.fedsv.mode = FedSvConfig::Mode::kExact;
+      req.compute_comfedsv = true;
+      req.comfedsv.mode = ComFedSvConfig::Mode::kFull;
+      req.comfedsv.completion.rank = 3;
+      req.comfedsv.completion.lambda = 1e-4;
+      req.comfedsv.completion.temporal_smoothing = 0.1;
+      req.comfedsv.completion.max_iters = 150;
+      req.compute_ground_truth = true;
+
+      Result<ValuationOutcome> outcome = RunValuation(
+          *w.model, w.clients, w.test, fcfg, req);
+      COMFEDSV_CHECK_OK(outcome.status());
+
+      // True quality scores: client i's quality decreases with i, so the
+      // target ranking vector is -i.
+      std::vector<double> truth(num_clients);
+      for (int i = 0; i < num_clients; ++i) truth[i] = -i;
+      auto spearman_vs_truth = [&](const Vector& values) {
+        std::vector<double> v(values.begin(), values.end());
+        Result<double> rho = SpearmanCorrelation(truth, v);
+        COMFEDSV_CHECK_OK(rho.status());
+        return rho.value();
+      };
+      sum_gt += spearman_vs_truth(*outcome.value().ground_truth_values);
+      sum_fedsv += spearman_vs_truth(*outcome.value().fedsv_values);
+      sum_comfedsv += spearman_vs_truth(outcome.value().comfedsv->values);
+    }
+    table.AddRow({bench::DatasetName(which), model_name,
+                  Table::Num(sum_gt / repeats, 3),
+                  Table::Num(sum_fedsv / repeats, 3),
+                  Table::Num(sum_comfedsv / repeats, 3)});
+  }
+  std::printf("%s\n", table.ToText().c_str());
+  std::printf(
+      "Shape check vs paper: ComFedSV >= FedSV on (almost) every dataset\n"
+      "and tracks the ground truth closely (Fig. 6).\n");
+  return 0;
+}
+
+}  // namespace comfedsv
+
+int main(int argc, char** argv) { return comfedsv::Fig6Main(argc, argv); }

@@ -1,0 +1,200 @@
+// Google-benchmark microbenchmarks for the kernels the experiments
+// stress: dense linear algebra, model gradients, coalition utilities,
+// Shapley enumeration, and completion sweeps.
+#include <benchmark/benchmark.h>
+
+#include "core/comfedsv_api.h"
+
+namespace comfedsv {
+namespace {
+
+Matrix RandomMatrix(size_t rows, size_t cols, uint64_t seed) {
+  Rng rng(seed);
+  Matrix m(rows, cols);
+  for (size_t i = 0; i < rows; ++i) {
+    for (size_t j = 0; j < cols; ++j) m(i, j) = rng.NextGaussian();
+  }
+  return m;
+}
+
+Dataset RandomData(int samples, int dim, int classes, uint64_t seed) {
+  Rng rng(seed);
+  Matrix feats(samples, dim);
+  std::vector<int> labels(samples);
+  for (int i = 0; i < samples; ++i) {
+    for (int j = 0; j < dim; ++j) feats(i, j) = rng.NextGaussian();
+    labels[i] = static_cast<int>(rng.NextUint64(classes));
+  }
+  return Dataset(std::move(feats), std::move(labels), classes);
+}
+
+void BM_MatrixMultiply(benchmark::State& state) {
+  const size_t n = state.range(0);
+  Matrix a = RandomMatrix(n, n, 1);
+  Matrix b = RandomMatrix(n, n, 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Matrix::Multiply(a, b));
+  }
+  state.SetComplexityN(n);
+}
+BENCHMARK(BM_MatrixMultiply)->Arg(32)->Arg(64)->Arg(128)->Complexity();
+
+void BM_GramRows(benchmark::State& state) {
+  Matrix a = RandomMatrix(state.range(0), 1024, 3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a.GramRows());
+  }
+}
+BENCHMARK(BM_GramRows)->Arg(20)->Arg(50)->Arg(100);
+
+void BM_SingularValues(benchmark::State& state) {
+  Matrix a = RandomMatrix(state.range(0), 1024, 4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(SingularValues(a));
+  }
+}
+BENCHMARK(BM_SingularValues)->Arg(20)->Arg(50)->Arg(100);
+
+void BM_LogisticGradient(benchmark::State& state) {
+  const int dim = 64;
+  LogisticRegression model(dim, 10, 1e-3);
+  Dataset data = RandomData(state.range(0), dim, 10, 5);
+  Rng rng(6);
+  Vector params;
+  model.InitializeParams(&params, &rng);
+  Vector grad;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.LossAndGradient(params, data, &grad));
+  }
+}
+BENCHMARK(BM_LogisticGradient)->Arg(100)->Arg(400);
+
+void BM_MlpGradient(benchmark::State& state) {
+  Mlp model({64, 32, 10});
+  Dataset data = RandomData(state.range(0), 64, 10, 7);
+  Rng rng(8);
+  Vector params;
+  model.InitializeParams(&params, &rng);
+  Vector grad;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.LossAndGradient(params, data, &grad));
+  }
+}
+BENCHMARK(BM_MlpGradient)->Arg(100)->Arg(400);
+
+void BM_CnnGradient(benchmark::State& state) {
+  CnnConfig cfg;
+  cfg.image_side = 8;
+  cfg.channels = 3;
+  cfg.num_filters = 6;
+  Cnn model(cfg);
+  Dataset data = RandomData(state.range(0), 192, 10, 9);
+  Rng rng(10);
+  Vector params;
+  model.InitializeParams(&params, &rng);
+  Vector grad;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.LossAndGradient(params, data, &grad));
+  }
+}
+BENCHMARK(BM_CnnGradient)->Arg(50)->Arg(200);
+
+void BM_ExactShapley(benchmark::State& state) {
+  const int m = state.range(0);
+  std::vector<int> players(m);
+  for (int i = 0; i < m; ++i) players[i] = i;
+  UtilityFn game = [](const Coalition& c) {
+    return static_cast<double>(c.Count() * c.Count());
+  };
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ExactShapley(m, players, game));
+  }
+}
+BENCHMARK(BM_ExactShapley)->Arg(5)->Arg(10)->Arg(15);
+
+void BM_MonteCarloShapley(benchmark::State& state) {
+  const int n = state.range(0);
+  std::vector<int> players(n);
+  for (int i = 0; i < n; ++i) players[i] = i;
+  UtilityFn game = [](const Coalition& c) {
+    return static_cast<double>(c.Count());
+  };
+  Rng rng(11);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        MonteCarloShapley(n, players, game, 50, &rng));
+  }
+}
+BENCHMARK(BM_MonteCarloShapley)->Arg(20)->Arg(100);
+
+void BM_CompletionAls(benchmark::State& state) {
+  // 40 x 512 rank-3 matrix, 20% observed.
+  Rng rng(12);
+  Matrix a = RandomMatrix(40, 3, 13);
+  Matrix b = RandomMatrix(3, 512, 14);
+  Matrix truth = Matrix::Multiply(a, b);
+  ObservationSet obs(40, 512);
+  for (size_t i = 0; i < truth.rows(); ++i) {
+    for (size_t j = 0; j < truth.cols(); ++j) {
+      if (rng.NextBernoulli(0.2)) {
+        obs.Add(static_cast<int>(i), static_cast<int>(j), truth(i, j));
+      }
+    }
+  }
+  CompletionConfig cfg;
+  cfg.rank = 3;
+  cfg.lambda = 1e-2;
+  cfg.max_iters = state.range(0);
+  cfg.tolerance = 0.0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(CompleteMatrix(obs, cfg));
+  }
+}
+BENCHMARK(BM_CompletionAls)->Arg(10)->Arg(50);
+
+void BM_CoalitionHashing(benchmark::State& state) {
+  const int n = state.range(0);
+  Rng rng(15);
+  std::vector<Coalition> coalitions;
+  for (int i = 0; i < 1000; ++i) {
+    Coalition c(n);
+    for (int j = 0; j < n; ++j) {
+      if (rng.NextBernoulli(0.3)) c.Add(j);
+    }
+    coalitions.push_back(c);
+  }
+  for (auto _ : state) {
+    size_t acc = 0;
+    for (const Coalition& c : coalitions) acc ^= c.Hash();
+    benchmark::DoNotOptimize(acc);
+  }
+}
+BENCHMARK(BM_CoalitionHashing)->Arg(10)->Arg(100);
+
+void BM_FedAvgRound(benchmark::State& state) {
+  const int n = state.range(0);
+  SimulatedImageConfig icfg;
+  icfg.num_samples = 40 * n;
+  icfg.seed = 16;
+  Dataset pool = GenerateSimulatedImages(icfg);
+  Rng rng(17);
+  auto clients = PartitionIid(pool, n, &rng);
+  icfg.num_samples = 100;
+  icfg.seed = 18;
+  Dataset test = GenerateSimulatedImages(icfg);
+  LogisticRegression model(pool.dim(), 10, 1e-3);
+  FedAvgConfig cfg;
+  cfg.num_rounds = 1;
+  cfg.clients_per_round = std::max(2, n / 3);
+  cfg.seed = 19;
+  for (auto _ : state) {
+    FedAvgTrainer trainer(&model, clients, test, cfg);
+    benchmark::DoNotOptimize(trainer.Train());
+  }
+}
+BENCHMARK(BM_FedAvgRound)->Arg(10)->Arg(50);
+
+}  // namespace
+}  // namespace comfedsv
+
+BENCHMARK_MAIN();

@@ -1,0 +1,77 @@
+// Data-quality audit: a federation operator suspects some clients upload
+// low-quality (mislabeled) data. This example corrupts two of eight
+// clients, runs ComFedSV, and flags the lowest-valued clients — the
+// Fig. 6/7 use case as a downstream application.
+//
+// Build & run:  ./build/examples/noisy_client_audit
+#include <cstdio>
+
+#include "core/comfedsv_api.h"
+
+int main() {
+  using namespace comfedsv;
+  const int kNumClients = 8;
+  const std::vector<int> kCorrupted = {2, 5};
+
+  // Non-IID federation over FashionMNIST-like data.
+  SimulatedImageConfig data_cfg;
+  data_cfg.family = ImageFamily::kFashionMnist;
+  data_cfg.num_samples = 640;
+  data_cfg.seed = 11;
+  Dataset pool = GenerateSimulatedImages(data_cfg);
+  data_cfg.num_samples = 150;
+  data_cfg.seed = 12;
+  Dataset test = GenerateSimulatedImages(data_cfg);
+  Rng rng(13);
+  std::vector<Dataset> clients = PartitionIid(pool, kNumClients, &rng);
+
+  // Clients 2 and 5 have 40% of their labels flipped.
+  for (int bad : kCorrupted) {
+    int flipped = FlipLabels(&clients[bad], 0.4, &rng);
+    std::printf("injected %d flipped labels into client %d\n", flipped,
+                bad);
+  }
+
+  Mlp model({pool.dim(), 24, 10}, 1e-4);
+
+  FedAvgConfig fed;
+  fed.num_rounds = 12;
+  fed.clients_per_round = 3;
+  fed.select_all_first_round = true;
+  fed.lr = LearningRateSchedule::Constant(0.3);
+  fed.seed = 14;
+
+  ValuationRequest request;
+  request.compute_fedsv = false;
+  request.compute_comfedsv = true;
+  request.comfedsv.completion.rank = 3;
+  request.comfedsv.completion.lambda = 1e-4;
+  request.comfedsv.completion.temporal_smoothing = 0.1;
+
+  Result<ValuationOutcome> outcome =
+      RunValuation(model, clients, test, fed, request);
+  if (!outcome.ok()) {
+    std::fprintf(stderr, "valuation failed: %s\n",
+                 outcome.status().ToString().c_str());
+    return 1;
+  }
+  const Vector& values = outcome.value().comfedsv->values;
+
+  Table table({"client", "ComFedSV", "status"});
+  std::vector<int> flagged =
+      BottomKIndices(values, static_cast<int>(kCorrupted.size()));
+  for (int i = 0; i < kNumClients; ++i) {
+    const bool is_flagged =
+        std::find(flagged.begin(), flagged.end(), i) != flagged.end();
+    table.AddRow({std::to_string(i), Table::Num(values[i], 4),
+                  is_flagged ? "FLAGGED (lowest values)" : ""});
+  }
+  std::printf("%s", table.ToText().c_str());
+
+  const double jaccard = JaccardIndex(flagged, kCorrupted);
+  std::printf(
+      "audit quality: Jaccard(flagged, truly corrupted) = %.2f\n"
+      "(1.0 means the audit flagged exactly the corrupted clients)\n",
+      jaccard);
+  return 0;
+}

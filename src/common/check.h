@@ -1,0 +1,69 @@
+// Fatal invariant checks (Google style CHECK). Use for programmer errors
+// and internal invariants only; recoverable conditions use Status.
+#ifndef COMFEDSV_COMMON_CHECK_H_
+#define COMFEDSV_COMMON_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace comfedsv {
+namespace internal {
+
+[[noreturn]] inline void CheckFailed(const char* file, int line,
+                                     const char* condition,
+                                     const std::string& message) {
+  std::fprintf(stderr, "CHECK failed at %s:%d: %s%s%s\n", file, line,
+               condition, message.empty() ? "" : " — ", message.c_str());
+  std::fflush(stderr);
+  std::abort();
+}
+
+// Stream sink that materializes a message only on failure paths.
+class CheckMessageBuilder {
+ public:
+  template <typename T>
+  CheckMessageBuilder& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+  std::string str() const { return stream_.str(); }
+
+ private:
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace comfedsv
+
+#define COMFEDSV_CHECK(cond)                                               \
+  do {                                                                     \
+    if (!(cond)) {                                                         \
+      ::comfedsv::internal::CheckFailed(__FILE__, __LINE__, #cond, "");    \
+    }                                                                      \
+  } while (0)
+
+#define COMFEDSV_CHECK_MSG(cond, msg_expr)                                 \
+  do {                                                                     \
+    if (!(cond)) {                                                         \
+      ::comfedsv::internal::CheckMessageBuilder _cmb;                      \
+      _cmb << msg_expr;                                                    \
+      ::comfedsv::internal::CheckFailed(__FILE__, __LINE__, #cond,         \
+                                        _cmb.str());                       \
+    }                                                                      \
+  } while (0)
+
+#define COMFEDSV_CHECK_EQ(a, b) COMFEDSV_CHECK_MSG((a) == (b), (a) << " vs " << (b))
+#define COMFEDSV_CHECK_NE(a, b) COMFEDSV_CHECK_MSG((a) != (b), (a) << " vs " << (b))
+#define COMFEDSV_CHECK_LT(a, b) COMFEDSV_CHECK_MSG((a) < (b), (a) << " vs " << (b))
+#define COMFEDSV_CHECK_LE(a, b) COMFEDSV_CHECK_MSG((a) <= (b), (a) << " vs " << (b))
+#define COMFEDSV_CHECK_GT(a, b) COMFEDSV_CHECK_MSG((a) > (b), (a) << " vs " << (b))
+#define COMFEDSV_CHECK_GE(a, b) COMFEDSV_CHECK_MSG((a) >= (b), (a) << " vs " << (b))
+#define COMFEDSV_CHECK_OK(status_expr)                                     \
+  do {                                                                     \
+    ::comfedsv::Status _st = (status_expr);                                \
+    COMFEDSV_CHECK_MSG(_st.ok(), _st.ToString());                          \
+  } while (0)
+
+#endif  // COMFEDSV_COMMON_CHECK_H_

@@ -1,0 +1,79 @@
+#include "common/combinatorics.h"
+
+#include <cmath>
+#include <limits>
+
+#include "common/check.h"
+
+namespace comfedsv {
+
+double LogFactorial(int n) {
+  COMFEDSV_CHECK_GE(n, 0);
+  return std::lgamma(static_cast<double>(n) + 1.0);
+}
+
+double LogBinomial(int n, int k) {
+  if (k < 0 || k > n) return -std::numeric_limits<double>::infinity();
+  return LogFactorial(n) - LogFactorial(k) - LogFactorial(n - k);
+}
+
+double Binomial(int n, int k) {
+  if (k < 0 || k > n) return 0.0;
+  return std::round(std::exp(LogBinomial(n, k)));
+}
+
+double LogMultinomial(int n, const std::vector<int>& parts) {
+  int total = 0;
+  double log_denominator = 0.0;
+  for (int k : parts) {
+    COMFEDSV_CHECK_GE(k, 0);
+    total += k;
+    log_denominator += LogFactorial(k);
+  }
+  COMFEDSV_CHECK_EQ(total, n);
+  return LogFactorial(n) - log_denominator;
+}
+
+double Observation1TailProbability(int num_rounds, double p, int s,
+                                   bool paper_literal_form) {
+  COMFEDSV_CHECK_GE(num_rounds, 1);
+  COMFEDSV_CHECK_GE(s, 0);
+  COMFEDSV_CHECK_GE(p, 0.0);
+  COMFEDSV_CHECK_LE(p, 0.5);
+  const int T = num_rounds;
+  if (s == 0) return 1.0;
+
+  // P(sum >= s) where each of the T rounds contributes +1 w.p. p, -1 w.p. p,
+  // 0 w.p. (1-2p). With a = net sum and b = number of -1 steps, the number
+  // of +1 steps is a+b and of 0 steps is T-a-2b.
+  const double log_p = (p > 0.0) ? std::log(p)
+                                 : -std::numeric_limits<double>::infinity();
+  const double zero_prob = paper_literal_form ? (1.0 - p) : (1.0 - 2.0 * p);
+  const double log_zero =
+      (zero_prob > 0.0) ? std::log(zero_prob)
+                        : -std::numeric_limits<double>::infinity();
+
+  double upper_tail = 0.0;
+  for (int a = s; a <= T; ++a) {
+    for (int b = 0; 2 * b + a <= T; ++b) {
+      const int zeros = T - a - 2 * b;
+      double log_term = LogMultinomial(T, {b, zeros, b + a}) +
+                        (2 * b + a) * log_p + zeros * log_zero;
+      if (std::isfinite(log_term)) upper_tail += std::exp(log_term);
+    }
+  }
+  // |sum| >= s is twice the upper tail by symmetry (for s >= 1 the events
+  // sum >= s and sum <= -s are disjoint).
+  return std::min(1.0, 2.0 * upper_tail);
+}
+
+double SelectionSplitProbability(int num_clients, int num_selected) {
+  COMFEDSV_CHECK_GE(num_clients, 2);
+  COMFEDSV_CHECK_GE(num_selected, 0);
+  COMFEDSV_CHECK_LE(num_selected, num_clients);
+  const double n = num_clients;
+  const double m = num_selected;
+  return m * (n - m) / (n * (n - 1.0));
+}
+
+}  // namespace comfedsv

@@ -1,0 +1,45 @@
+// Combinatorial primitives shared by the Shapley machinery and the
+// Observation-1 probability bound (Fig. 1): log-factorials, (log-)binomial
+// and multinomial coefficients, and the exact P_s series.
+#ifndef COMFEDSV_COMMON_COMBINATORICS_H_
+#define COMFEDSV_COMMON_COMBINATORICS_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace comfedsv {
+
+/// log(n!) computed via lgamma; exact enough for n up to millions.
+double LogFactorial(int n);
+
+/// log C(n, k); returns -inf if k < 0 or k > n.
+double LogBinomial(int n, int k);
+
+/// C(n, k) as a double (may round for very large n); 0 outside the range.
+double Binomial(int n, int k);
+
+/// log of the multinomial coefficient n! / (k_1! ... k_m!).
+/// Requires all k_i >= 0 and sum k_i == n.
+double LogMultinomial(int n, const std::vector<int>& parts);
+
+/// Exact P(|s_i - s_j| >= s·δ) from Observation 1 of the paper.
+///
+/// Over T rounds, each round independently increments the gap by +1 with
+/// probability p (client i selected, j not), by -1 with probability p
+/// (j selected, i not), else 0. Returns P(|gap| >= s).
+///
+/// The paper's printed series uses (1-p)^{T-a-2b} for the zero-step factor;
+/// the exact multinomial derivation requires (1-2p). Pass
+/// `paper_literal_form = true` to evaluate the formula exactly as printed
+/// (used for comparison in the Fig. 1 bench).
+double Observation1TailProbability(int num_rounds, double p, int s,
+                                   bool paper_literal_form = false);
+
+/// Selection-collision probability p = m(N-m) / (N(N-1)) from Observation 1:
+/// the probability that a uniformly random size-m subset of N clients
+/// contains client i but not client j.
+double SelectionSplitProbability(int num_clients, int num_selected);
+
+}  // namespace comfedsv
+
+#endif  // COMFEDSV_COMMON_COMBINATORICS_H_

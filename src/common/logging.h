@@ -1,0 +1,43 @@
+// Minimal leveled logging to stderr. Benches and examples use the table
+// printer (common/table.h) for structured output; logging is for progress
+// and diagnostics only.
+#ifndef COMFEDSV_COMMON_LOGGING_H_
+#define COMFEDSV_COMMON_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace comfedsv {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Sets the global minimum level; messages below it are dropped.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal {
+
+void EmitLog(LogLevel level, const std::string& message);
+
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  ~LogLine() { EmitLog(level_, stream_.str()); }
+  template <typename T>
+  LogLine& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace comfedsv
+
+#define COMFEDSV_LOG(level) \
+  ::comfedsv::internal::LogLine(::comfedsv::LogLevel::level)
+
+#endif  // COMFEDSV_COMMON_LOGGING_H_

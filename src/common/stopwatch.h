@@ -1,0 +1,32 @@
+// Wall-clock stopwatch used by the time-comparison experiment (Fig. 8).
+#ifndef COMFEDSV_COMMON_STOPWATCH_H_
+#define COMFEDSV_COMMON_STOPWATCH_H_
+
+#include <chrono>
+
+namespace comfedsv {
+
+/// Measures elapsed wall-clock time. Starts running on construction.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  /// Restarts the stopwatch.
+  void Reset() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction or the last Reset().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Milliseconds elapsed since construction or the last Reset().
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace comfedsv
+
+#endif  // COMFEDSV_COMMON_STOPWATCH_H_

@@ -1,0 +1,38 @@
+// Aligned-text table and CSV emitters used by the per-figure bench binaries
+// to print the same rows/series the paper plots.
+#ifndef COMFEDSV_COMMON_TABLE_H_
+#define COMFEDSV_COMMON_TABLE_H_
+
+#include <string>
+#include <vector>
+
+namespace comfedsv {
+
+/// Collects rows of string cells and renders them as an aligned text table
+/// or as CSV. The first added row is treated as the header.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Adds a data row; must have the same arity as the header.
+  void AddRow(std::vector<std::string> cells);
+
+  /// Convenience: formats doubles with `precision` significant digits.
+  static std::string Num(double v, int precision = 6);
+
+  /// Renders an aligned, pipe-separated text table.
+  std::string ToText() const;
+
+  /// Renders RFC-4180-ish CSV (cells containing commas/quotes are quoted).
+  std::string ToCsv() const;
+
+  size_t num_rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace comfedsv
+
+#endif  // COMFEDSV_COMMON_TABLE_H_

@@ -1,0 +1,57 @@
+// Fixed-size worker pool used to parallelise per-client local updates,
+// coalition utility evaluation, and ALS row solves.
+//
+// A pool of size 0 or 1 executes tasks inline on the calling thread, which
+// keeps unit tests deterministic.
+#ifndef COMFEDSV_COMMON_THREAD_POOL_H_
+#define COMFEDSV_COMMON_THREAD_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace comfedsv {
+
+/// A minimal fixed-size thread pool with a blocking Wait() barrier.
+class ThreadPool {
+ public:
+  /// Creates a pool with `num_threads` workers. 0 or 1 means inline
+  /// execution (no worker threads are spawned).
+  explicit ThreadPool(int num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task. Tasks must not throw.
+  void Submit(std::function<void()> task);
+
+  /// Blocks until all submitted tasks have completed.
+  void Wait();
+
+  /// Number of worker threads (0 for inline pools).
+  int num_threads() const { return static_cast<int>(workers_.size()); }
+
+  /// Runs `fn(i)` for i in [0, n), distributing across the pool, and waits.
+  /// With an inline pool this is a plain loop.
+  void ParallelFor(int n, const std::function<void(int)>& fn);
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mu_;
+  std::condition_variable work_available_;
+  std::condition_variable all_done_;
+  int in_flight_ = 0;  // queued + running tasks
+  bool shutting_down_ = false;
+};
+
+}  // namespace comfedsv
+
+#endif  // COMFEDSV_COMMON_THREAD_POOL_H_

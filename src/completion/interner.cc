@@ -1,0 +1,25 @@
+#include "completion/interner.h"
+
+#include "common/check.h"
+
+namespace comfedsv {
+
+int CoalitionInterner::Intern(const Coalition& c) {
+  auto [it, inserted] =
+      ids_.emplace(c, static_cast<int>(coalitions_.size()));
+  if (inserted) coalitions_.push_back(c);
+  return it->second;
+}
+
+int CoalitionInterner::Find(const Coalition& c) const {
+  auto it = ids_.find(c);
+  return it == ids_.end() ? -1 : it->second;
+}
+
+const Coalition& CoalitionInterner::Get(int col) const {
+  COMFEDSV_CHECK_GE(col, 0);
+  COMFEDSV_CHECK_LT(static_cast<size_t>(col), coalitions_.size());
+  return coalitions_[col];
+}
+
+}  // namespace comfedsv

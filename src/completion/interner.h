@@ -1,0 +1,39 @@
+// CoalitionInterner: assigns stable, dense column ids to coalitions so the
+// (possibly sampled) utility matrix can be stored as a standard sparse
+// rows x cols problem. Both the full Def. 4 path (columns = all 2^N
+// subsets) and Algorithm 1 (columns = permutation prefixes, which the
+// interner automatically dedupes) go through this mapping.
+#ifndef COMFEDSV_COMPLETION_INTERNER_H_
+#define COMFEDSV_COMPLETION_INTERNER_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "shapley/coalition.h"
+
+namespace comfedsv {
+
+/// Bijection between interned coalitions and dense column ids.
+class CoalitionInterner {
+ public:
+  CoalitionInterner() = default;
+
+  /// Returns the column id for `c`, interning it if new.
+  int Intern(const Coalition& c);
+
+  /// Column id of `c`, or -1 if never interned.
+  int Find(const Coalition& c) const;
+
+  /// The coalition with column id `col`.
+  const Coalition& Get(int col) const;
+
+  int size() const { return static_cast<int>(coalitions_.size()); }
+
+ private:
+  std::unordered_map<Coalition, int, CoalitionHash> ids_;
+  std::vector<Coalition> coalitions_;
+};
+
+}  // namespace comfedsv
+
+#endif  // COMFEDSV_COMPLETION_INTERNER_H_

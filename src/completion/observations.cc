@@ -1,0 +1,50 @@
+#include "completion/observations.h"
+
+namespace comfedsv {
+
+ObservationSet::ObservationSet(int num_rows, int num_cols)
+    : num_rows_(num_rows), num_cols_(num_cols) {
+  COMFEDSV_CHECK_GT(num_rows, 0);
+  COMFEDSV_CHECK_GT(num_cols, 0);
+}
+
+void ObservationSet::Add(int row, int col, double value) {
+  COMFEDSV_CHECK_GE(row, 0);
+  COMFEDSV_CHECK_LT(row, num_rows_);
+  COMFEDSV_CHECK_GE(col, 0);
+  COMFEDSV_CHECK_LT(col, num_cols_);
+  entries_.push_back({row, col, value});
+  index_built_ = false;
+}
+
+void ObservationSet::BuildIndexIfNeeded() const {
+  if (index_built_) return;
+  by_row_.assign(num_rows_, {});
+  by_col_.assign(num_cols_, {});
+  for (size_t i = 0; i < entries_.size(); ++i) {
+    by_row_[entries_[i].row].push_back(static_cast<int>(i));
+    by_col_[entries_[i].col].push_back(static_cast<int>(i));
+  }
+  index_built_ = true;
+}
+
+const std::vector<int>& ObservationSet::RowEntries(int r) const {
+  COMFEDSV_CHECK_GE(r, 0);
+  COMFEDSV_CHECK_LT(r, num_rows_);
+  BuildIndexIfNeeded();
+  return by_row_[r];
+}
+
+const std::vector<int>& ObservationSet::ColEntries(int c) const {
+  COMFEDSV_CHECK_GE(c, 0);
+  COMFEDSV_CHECK_LT(c, num_cols_);
+  BuildIndexIfNeeded();
+  return by_col_[c];
+}
+
+double ObservationSet::Density() const {
+  return static_cast<double>(entries_.size()) /
+         (static_cast<double>(num_rows_) * static_cast<double>(num_cols_));
+}
+
+}  // namespace comfedsv

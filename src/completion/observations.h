@@ -1,0 +1,61 @@
+// Sparse observation set for matrix completion: the observed entries
+// (t, S) -> U_t(S) of the utility matrix, indexed both by row (round) and
+// by column (coalition id) so the alternating solvers can sweep either
+// side.
+#ifndef COMFEDSV_COMPLETION_OBSERVATIONS_H_
+#define COMFEDSV_COMPLETION_OBSERVATIONS_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/check.h"
+
+namespace comfedsv {
+
+/// One observed matrix entry.
+struct Observation {
+  int row = 0;
+  int col = 0;
+  double value = 0.0;
+};
+
+/// An append-only set of observed entries of a rows x cols matrix, with
+/// per-row and per-column adjacency built lazily on first use.
+class ObservationSet {
+ public:
+  ObservationSet(int num_rows, int num_cols);
+
+  void Add(int row, int col, double value);
+
+  int num_rows() const { return num_rows_; }
+  int num_cols() const { return num_cols_; }
+  size_t size() const { return entries_.size(); }
+  bool empty() const { return entries_.empty(); }
+
+  const std::vector<Observation>& entries() const { return entries_; }
+
+  /// Indices (into entries()) of the observations in row `r`.
+  const std::vector<int>& RowEntries(int r) const;
+
+  /// Indices (into entries()) of the observations in column `c`.
+  const std::vector<int>& ColEntries(int c) const;
+
+  /// Fraction of the full matrix that is observed.
+  double Density() const;
+
+ private:
+  void BuildIndexIfNeeded() const;
+
+  int num_rows_;
+  int num_cols_;
+  std::vector<Observation> entries_;
+  // Lazily built adjacency. Mutable: building the index does not change
+  // the logical state.
+  mutable bool index_built_ = false;
+  mutable std::vector<std::vector<int>> by_row_;
+  mutable std::vector<std::vector<int>> by_col_;
+};
+
+}  // namespace comfedsv
+
+#endif  // COMFEDSV_COMPLETION_OBSERVATIONS_H_

@@ -1,0 +1,82 @@
+// Factorization-based low-rank matrix completion (problem (9)/(13) of the
+// paper):
+//
+//   minimize_{W, H}  sum_observed (U_{t,S} - w_t^T h_S)^2
+//                    + lambda (||W||_F^2 + ||H||_F^2)
+//
+// Three solvers are provided:
+//   * kAls:  alternating least squares — each factor row has a closed-form
+//            ridge solution; robust default.
+//   * kCcd:  CCD++-style coordinate descent with residual maintenance —
+//            the algorithm inside LIBPMF, the solver the paper used.
+//   * kSgd:  stochastic gradient over observed entries — cheapest per
+//            pass, used for very large sampled problems.
+// The ablation bench (bench/ablation_completion_solver) compares them.
+#ifndef COMFEDSV_COMPLETION_SOLVER_H_
+#define COMFEDSV_COMPLETION_SOLVER_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+#include "completion/observations.h"
+#include "linalg/matrix.h"
+
+namespace comfedsv {
+
+/// Which optimizer solves the completion problem.
+enum class CompletionSolver { kAls, kCcd, kSgd };
+
+/// Human-readable solver name.
+std::string CompletionSolverName(CompletionSolver solver);
+
+/// Hyper-parameters of the completion problem and its solver.
+struct CompletionConfig {
+  /// Rank parameter r of the factorization. Propositions 1/2 bound the
+  /// eps-rank of the utility matrix by O(log T / eps); Example 3 probes
+  /// the sensitivity empirically.
+  int rank = 5;
+  /// Regularization weight lambda.
+  double lambda = 1e-3;
+  /// Maximum alternating sweeps / epochs.
+  int max_iters = 100;
+  /// Stop when the relative decrease of the objective falls below this.
+  double tolerance = 1e-8;
+  CompletionSolver solver = CompletionSolver::kAls;
+  /// SGD-only: step size.
+  double sgd_learning_rate = 0.02;
+  /// Standard deviation of the random factor initialization; 0 = auto
+  /// (a small fraction of the data scale, which empirically steers ALS
+  /// to good basins — see the init-scale ablation bench).
+  double init_scale = 0.0;
+  /// Temporal-smoothness weight mu: adds mu * sum_t ||w_t - w_{t+1}||^2
+  /// to the objective, exploiting the paper's Proposition 1 (utilities of
+  /// the same coalition change slowly across successive rounds). Rows of
+  /// W index training rounds, so coupling adjacent rows stabilizes the
+  /// row factors of sparsely observed rounds. 0 disables (the literal
+  /// problem (9)); ALS only.
+  double temporal_smoothing = 0.0;
+  uint64_t seed = 0;
+};
+
+/// Result of a completion solve.
+struct CompletionResult {
+  Matrix w;  ///< num_rows x rank
+  Matrix h;  ///< num_cols x rank
+  int iterations = 0;
+  /// Root-mean-square error over the observed entries at termination.
+  double observed_rmse = 0.0;
+  /// Final value of the regularized objective.
+  double objective = 0.0;
+
+  /// Predicted value of entry (row, col): w_row . h_col.
+  double Predict(int row, int col) const;
+};
+
+/// Solves the completion problem over `observations`.
+Result<CompletionResult> CompleteMatrix(const ObservationSet& observations,
+                                        const CompletionConfig& config);
+
+}  // namespace comfedsv
+
+#endif  // COMFEDSV_COMPLETION_SOLVER_H_

@@ -1,0 +1,148 @@
+#include "core/comfedsv_values.h"
+
+#include <bit>
+
+#include "common/check.h"
+#include "common/combinatorics.h"
+
+namespace comfedsv {
+namespace {
+
+constexpr int kMaxExactClients = 16;
+
+// Shared implementation of the exact Def. 4 / Eq. (14) sum. For each
+// coalition S (bitmask `mask` not containing client i):
+//   s_i += (1/N) * [1 / C(N-1, |S|)] * (value(S + i) - value(S)),
+// where value(.) is either sum_t w_t . h_S (factors) or sum_t U_t(S)
+// (ground truth) — both provided as a per-column scalar `column_value`.
+Vector ExactSumOverCoalitions(const std::vector<double>& column_value,
+                              int num_clients) {
+  const uint32_t num_cols = 1u << num_clients;
+  COMFEDSV_CHECK_EQ(column_value.size(), num_cols);
+  // Precompute the Shapley weights 1 / C(N-1, s).
+  std::vector<double> weight(num_clients);
+  for (int s = 0; s < num_clients; ++s) {
+    weight[s] = 1.0 / Binomial(num_clients - 1, s);
+  }
+  Vector values(num_clients);
+  for (int i = 0; i < num_clients; ++i) {
+    const uint32_t bit = 1u << i;
+    double acc = 0.0;
+    for (uint32_t mask = 0; mask < num_cols; ++mask) {
+      if (mask & bit) continue;
+      const int s = std::popcount(mask);
+      acc += weight[s] * (column_value[mask | bit] - column_value[mask]);
+    }
+    values[i] = acc / static_cast<double>(num_clients);
+  }
+  return values;
+}
+
+}  // namespace
+
+Result<Vector> ComFedSvFromFactors(const Matrix& w, const Matrix& h,
+                                   const CoalitionInterner& interner,
+                                   int num_clients) {
+  if (num_clients <= 0 || num_clients > kMaxExactClients) {
+    return Status::InvalidArgument(
+        "exact ComFedSV requires 1 <= num_clients <= 16");
+  }
+  if (w.cols() != h.cols()) {
+    return Status::InvalidArgument("factor ranks do not match");
+  }
+  const uint32_t num_cols = 1u << num_clients;
+
+  // sum_t w_t . h_S factors into wsum . h_S.
+  Vector wsum(w.cols());
+  for (size_t t = 0; t < w.rows(); ++t) {
+    const double* row = w.RowPtr(t);
+    for (size_t k = 0; k < w.cols(); ++k) wsum[k] += row[k];
+  }
+
+  std::vector<double> column_value(num_cols);
+  for (uint32_t mask = 0; mask < num_cols; ++mask) {
+    Coalition c(num_clients);
+    for (int i = 0; i < num_clients; ++i) {
+      if (mask & (1u << i)) c.Add(i);
+    }
+    const int col = interner.Find(c);
+    if (col < 0) {
+      return Status::FailedPrecondition(
+          "coalition missing from the interner; was Assumption 1 "
+          "(select_all_first_round) enabled?");
+    }
+    const double* hrow = h.RowPtr(col);
+    double dot = 0.0;
+    for (size_t k = 0; k < h.cols(); ++k) dot += wsum[k] * hrow[k];
+    column_value[mask] = dot;
+  }
+  return ExactSumOverCoalitions(column_value, num_clients);
+}
+
+Result<Vector> ComFedSvFromFullMatrix(const Matrix& utility_matrix,
+                                      int num_clients) {
+  if (num_clients <= 0 || num_clients > kMaxExactClients) {
+    return Status::InvalidArgument(
+        "exact ComFedSV requires 1 <= num_clients <= 16");
+  }
+  const uint32_t num_cols = 1u << num_clients;
+  if (utility_matrix.cols() != num_cols) {
+    return Status::InvalidArgument(
+        "utility matrix must have 2^num_clients columns");
+  }
+  std::vector<double> column_value(num_cols, 0.0);
+  for (size_t t = 0; t < utility_matrix.rows(); ++t) {
+    const double* row = utility_matrix.RowPtr(t);
+    for (uint32_t c = 0; c < num_cols; ++c) column_value[c] += row[c];
+  }
+  return ExactSumOverCoalitions(column_value, num_clients);
+}
+
+Result<Vector> ComFedSvSampled(
+    const Matrix& w, const Matrix& h,
+    const std::vector<std::vector<int>>& permutations,
+    const std::vector<std::vector<int>>& prefix_columns, int num_clients) {
+  if (permutations.empty()) {
+    return Status::InvalidArgument("no permutations");
+  }
+  if (permutations.size() != prefix_columns.size()) {
+    return Status::InvalidArgument(
+        "permutations and prefix_columns disagree");
+  }
+  if (w.cols() != h.cols()) {
+    return Status::InvalidArgument("factor ranks do not match");
+  }
+
+  Vector wsum(w.cols());
+  for (size_t t = 0; t < w.rows(); ++t) {
+    const double* row = w.RowPtr(t);
+    for (size_t k = 0; k < w.cols(); ++k) wsum[k] += row[k];
+  }
+  // Predicted total value of column c: wsum . h_c.
+  auto column_value = [&](int col) {
+    COMFEDSV_CHECK_GE(col, 0);
+    COMFEDSV_CHECK_LT(static_cast<size_t>(col), h.rows());
+    const double* hrow = h.RowPtr(col);
+    double dot = 0.0;
+    for (size_t k = 0; k < h.cols(); ++k) dot += wsum[k] * hrow[k];
+    return dot;
+  };
+
+  Vector values(num_clients);
+  for (size_t m = 0; m < permutations.size(); ++m) {
+    const std::vector<int>& perm = permutations[m];
+    const std::vector<int>& cols = prefix_columns[m];
+    COMFEDSV_CHECK_EQ(perm.size(), static_cast<size_t>(num_clients));
+    COMFEDSV_CHECK_EQ(cols.size(), perm.size() + 1);
+    double prev = column_value(cols[0]);
+    for (int l = 0; l < num_clients; ++l) {
+      const double cur = column_value(cols[l + 1]);
+      values[perm[l]] += cur - prev;
+      prev = cur;
+    }
+  }
+  values.Scale(1.0 / static_cast<double>(permutations.size()));
+  return values;
+}
+
+}  // namespace comfedsv

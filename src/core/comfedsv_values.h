@@ -1,0 +1,46 @@
+// The ComFedSV formulas:
+//   * Definition 4 — exact sum over all coalitions, from completion
+//     factors (W, H);
+//   * Eq. (14)     — the same sum computed from the true (fully observed)
+//     utility matrix: the paper's "ground truth" metric;
+//   * Eq. (12)     — the Monte-Carlo estimator over sampled permutations
+//     used by Algorithm 1.
+#ifndef COMFEDSV_CORE_COMFEDSV_VALUES_H_
+#define COMFEDSV_CORE_COMFEDSV_VALUES_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "completion/interner.h"
+#include "linalg/matrix.h"
+#include "linalg/vector.h"
+
+namespace comfedsv {
+
+/// Exact ComFedSV (Def. 4) from completion factors. `w` is T x r, `h` is
+/// C x r with columns indexed by `interner`; every one of the 2^N
+/// coalitions must be interned (guaranteed under Assumption 1 with the
+/// ObservedUtilityRecorder). Exponential in num_clients; guarded to
+/// num_clients <= 16.
+Result<Vector> ComFedSvFromFactors(const Matrix& w, const Matrix& h,
+                                   const CoalitionInterner& interner,
+                                   int num_clients);
+
+/// Ground-truth ComFedSV (Eq. 14) from the dense full utility matrix
+/// (column c = coalition with membership bitmask c, as produced by
+/// FullUtilityRecorder).
+Result<Vector> ComFedSvFromFullMatrix(const Matrix& utility_matrix,
+                                      int num_clients);
+
+/// Monte-Carlo ComFedSV (Eq. 12): averages factor-predicted marginal
+/// contributions along the sampled permutations. `prefix_columns[m][l]`
+/// is the column id of the length-l prefix of permutation m, as kept by
+/// SampledUtilityRecorder.
+Result<Vector> ComFedSvSampled(
+    const Matrix& w, const Matrix& h,
+    const std::vector<std::vector<int>>& permutations,
+    const std::vector<std::vector<int>>& prefix_columns, int num_clients);
+
+}  // namespace comfedsv
+
+#endif  // COMFEDSV_CORE_COMFEDSV_VALUES_H_

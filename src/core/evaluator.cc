@@ -1,0 +1,95 @@
+#include "core/evaluator.h"
+
+#include "common/check.h"
+#include "common/stopwatch.h"
+#include "core/comfedsv_values.h"
+#include "shapley/shapley.h"
+
+namespace comfedsv {
+
+ComFedSvEvaluator::ComFedSvEvaluator(const Model* model,
+                                     const Dataset* test_data,
+                                     int num_clients, ComFedSvConfig config)
+    : model_(model),
+      test_data_(test_data),
+      num_clients_(num_clients),
+      config_(config) {
+  COMFEDSV_CHECK(model_ != nullptr);
+  COMFEDSV_CHECK(test_data_ != nullptr);
+  COMFEDSV_CHECK_GT(num_clients_, 0);
+  if (config_.mode == ComFedSvConfig::Mode::kFull) {
+    full_recorder_ = std::make_unique<ObservedUtilityRecorder>(
+        model_, test_data_, num_clients_);
+  } else {
+    const int budget = config_.num_permutations > 0
+                           ? config_.num_permutations
+                           : DefaultPermutationBudget(num_clients_);
+    sampled_recorder_ = std::make_unique<SampledUtilityRecorder>(
+        model_, test_data_, num_clients_, budget, config_.seed);
+  }
+}
+
+void ComFedSvEvaluator::OnRound(const RoundRecord& record) {
+  if (full_recorder_ != nullptr) {
+    full_recorder_->OnRound(record);
+  } else {
+    sampled_recorder_->OnRound(record);
+  }
+}
+
+Result<ComFedSvOutput> ComFedSvEvaluator::Finalize() const {
+  Stopwatch timer;
+  ComFedSvOutput out;
+  if (full_recorder_ != nullptr) {
+    if (full_recorder_->rounds_recorded() == 0) {
+      return Status::FailedPrecondition("no rounds recorded");
+    }
+    ObservationSet obs = full_recorder_->BuildObservations();
+    out.observed_density = obs.Density();
+    out.num_columns = obs.num_cols();
+    Result<CompletionResult> completion =
+        CompleteMatrix(obs, config_.completion);
+    if (!completion.ok()) return completion.status();
+    Result<Vector> values =
+        ComFedSvFromFactors(completion.value().w, completion.value().h,
+                            full_recorder_->interner(), num_clients_);
+    if (!values.ok()) return values.status();
+    out.values = std::move(values).value();
+    out.completion = std::move(completion).value();
+    out.loss_calls = full_recorder_->loss_calls();
+    out.seconds = full_recorder_->seconds() + timer.ElapsedSeconds();
+    return out;
+  }
+
+  if (sampled_recorder_->rounds_recorded() == 0) {
+    return Status::FailedPrecondition("no rounds recorded");
+  }
+  ObservationSet obs = sampled_recorder_->BuildObservations();
+  out.observed_density = obs.Density();
+  out.num_columns = obs.num_cols();
+  Result<CompletionResult> completion =
+      CompleteMatrix(obs, config_.completion);
+  if (!completion.ok()) return completion.status();
+  Result<Vector> values = ComFedSvSampled(
+      completion.value().w, completion.value().h,
+      sampled_recorder_->permutations(),
+      sampled_recorder_->prefix_columns(), num_clients_);
+  if (!values.ok()) return values.status();
+  out.values = std::move(values).value();
+  out.completion = std::move(completion).value();
+  out.loss_calls = sampled_recorder_->loss_calls();
+  out.seconds = sampled_recorder_->seconds() + timer.ElapsedSeconds();
+  return out;
+}
+
+GroundTruthEvaluator::GroundTruthEvaluator(const Model* model,
+                                           const Dataset* test_data,
+                                           int num_clients)
+    : num_clients_(num_clients),
+      recorder_(model, test_data, num_clients) {}
+
+Result<Vector> GroundTruthEvaluator::Finalize() const {
+  return ComFedSvFromFullMatrix(recorder_.ToMatrix(), num_clients_);
+}
+
+}  // namespace comfedsv

@@ -1,0 +1,101 @@
+// High-level valuation evaluators. Each plugs into FedAvgTrainer::Train
+// as a RoundObserver and is finalized after training:
+//
+//   * ComFedSvEvaluator   — the paper's contribution. Records observable
+//     utilities (full Def. 4 columns or Algorithm 1 sampled prefixes),
+//     completes the utility matrix, and evaluates the ComFedSV formula.
+//   * GroundTruthEvaluator — ComFedSV computed from the *fully observed*
+//     utility matrix (Eq. 14), the reference the paper compares against.
+//
+// FedSvEvaluator (the baseline) lives in shapley/fedsv.h.
+#ifndef COMFEDSV_CORE_EVALUATOR_H_
+#define COMFEDSV_CORE_EVALUATOR_H_
+
+#include <memory>
+#include <optional>
+
+#include "completion/solver.h"
+#include "core/recorders.h"
+#include "fl/round_record.h"
+
+namespace comfedsv {
+
+/// Configuration of the ComFedSV pipeline.
+struct ComFedSvConfig {
+  enum class Mode {
+    /// Exact Def. 4: columns for all 2^N coalitions. Needs N <= 16 and
+    /// Assumption 1. The setting of the paper's 10-client experiments.
+    kFull,
+    /// Algorithm 1: Monte-Carlo permutation sampling; scales to 100+
+    /// clients (Figs. 7, 8).
+    kSampled,
+  };
+  Mode mode = Mode::kFull;
+  CompletionConfig completion;
+  /// Permutation count M for kSampled; 0 = DefaultPermutationBudget(N),
+  /// the O(N log N) budget from Sec. VI-E.
+  int num_permutations = 0;
+  uint64_t seed = 0;
+};
+
+/// Output of a finalized ComFedSV evaluation.
+struct ComFedSvOutput {
+  Vector values;                ///< per-client ComFedSV
+  CompletionResult completion;  ///< the fitted factors and diagnostics
+  double observed_density = 0.0;  ///< fraction of matrix entries observed
+  int num_columns = 0;            ///< columns in the completion problem
+  int64_t loss_calls = 0;         ///< test-loss evaluations spent
+  double seconds = 0.0;           ///< recording + completion + formula time
+};
+
+/// Observer-plus-finalizer implementing ComFedSV end to end.
+class ComFedSvEvaluator : public RoundObserver {
+ public:
+  ComFedSvEvaluator(const Model* model, const Dataset* test_data,
+                    int num_clients, ComFedSvConfig config);
+
+  void OnRound(const RoundRecord& record) override;
+
+  /// Completes the utility matrix and evaluates ComFedSV. Call once,
+  /// after training.
+  Result<ComFedSvOutput> Finalize() const;
+
+  int num_clients() const { return num_clients_; }
+
+ private:
+  const Model* model_;
+  const Dataset* test_data_;
+  int num_clients_;
+  ComFedSvConfig config_;
+  // Exactly one of these is active, per config_.mode.
+  std::unique_ptr<ObservedUtilityRecorder> full_recorder_;
+  std::unique_ptr<SampledUtilityRecorder> sampled_recorder_;
+};
+
+/// Ground-truth ComFedSV (Eq. 14) via exhaustive utility recording.
+class GroundTruthEvaluator : public RoundObserver {
+ public:
+  GroundTruthEvaluator(const Model* model, const Dataset* test_data,
+                       int num_clients);
+
+  void OnRound(const RoundRecord& record) override {
+    recorder_.OnRound(record);
+  }
+
+  /// Per-client ground-truth values. Call after training.
+  Result<Vector> Finalize() const;
+
+  /// The full T x 2^N utility matrix (Figs. 2 and 3 analyse it directly).
+  Matrix UtilityMatrix() const { return recorder_.ToMatrix(); }
+
+  int64_t loss_calls() const { return recorder_.loss_calls(); }
+  double seconds() const { return recorder_.seconds(); }
+
+ private:
+  int num_clients_;
+  FullUtilityRecorder recorder_;
+};
+
+}  // namespace comfedsv
+
+#endif  // COMFEDSV_CORE_EVALUATOR_H_

@@ -1,0 +1,88 @@
+#include "core/pipeline.h"
+
+#include <memory>
+
+#include "common/stopwatch.h"
+
+namespace comfedsv {
+
+Result<ValuationOutcome> RunValuation(const Model& model,
+                                      std::vector<Dataset> client_data,
+                                      Dataset test_data,
+                                      const FedAvgConfig& fed_config,
+                                      const ValuationRequest& request) {
+  const int n = static_cast<int>(client_data.size());
+  if (n == 0) return Status::InvalidArgument("no clients");
+
+  const bool needs_assumption1 =
+      request.compute_ground_truth ||
+      (request.compute_comfedsv &&
+       request.comfedsv.mode == ComFedSvConfig::Mode::kFull);
+  if (needs_assumption1 && !fed_config.select_all_first_round) {
+    return Status::FailedPrecondition(
+        "full ComFedSV / ground truth require select_all_first_round "
+        "(Assumption 1)");
+  }
+
+  FedAvgTrainer trainer(&model, std::move(client_data),
+                        std::move(test_data), fed_config);
+
+  std::unique_ptr<FedSvEvaluator> fedsv;
+  std::unique_ptr<ComFedSvEvaluator> comfedsv;
+  std::unique_ptr<GroundTruthEvaluator> ground_truth;
+  FanoutObserver fanout;
+
+  // Wall-time per observer, accumulated with a timing shim.
+  struct TimedObserver : RoundObserver {
+    RoundObserver* inner = nullptr;
+    double seconds = 0.0;
+    void OnRound(const RoundRecord& record) override {
+      Stopwatch timer;
+      inner->OnRound(record);
+      seconds += timer.ElapsedSeconds();
+    }
+  };
+  TimedObserver fedsv_timed;
+
+  if (request.compute_fedsv) {
+    fedsv = std::make_unique<FedSvEvaluator>(
+        &model, &trainer.test_data(), n, request.fedsv);
+    fedsv_timed.inner = fedsv.get();
+    fanout.Register(&fedsv_timed);
+  }
+  if (request.compute_comfedsv) {
+    comfedsv = std::make_unique<ComFedSvEvaluator>(
+        &model, &trainer.test_data(), n, request.comfedsv);
+    fanout.Register(comfedsv.get());
+  }
+  if (request.compute_ground_truth) {
+    ground_truth = std::make_unique<GroundTruthEvaluator>(
+        &model, &trainer.test_data(), n);
+    fanout.Register(ground_truth.get());
+  }
+
+  Result<TrainingResult> training = trainer.Train(&fanout);
+  if (!training.ok()) return training.status();
+
+  ValuationOutcome outcome;
+  outcome.training = std::move(training).value();
+  if (fedsv != nullptr) {
+    outcome.fedsv_values = fedsv->values();
+    outcome.fedsv_loss_calls = fedsv->loss_calls();
+    outcome.fedsv_seconds = fedsv_timed.seconds;
+  }
+  if (comfedsv != nullptr) {
+    Result<ComFedSvOutput> finalized = comfedsv->Finalize();
+    if (!finalized.ok()) return finalized.status();
+    outcome.comfedsv = std::move(finalized).value();
+  }
+  if (ground_truth != nullptr) {
+    Result<Vector> values = ground_truth->Finalize();
+    if (!values.ok()) return values.status();
+    outcome.ground_truth_values = std::move(values).value();
+    outcome.ground_truth_loss_calls = ground_truth->loss_calls();
+  }
+  return outcome;
+}
+
+}  // namespace comfedsv

@@ -1,0 +1,55 @@
+// One-call valuation pipeline (Fig. 4 of the paper): run FedAvg once and
+// compute any combination of FedSV, ComFedSV, and the ground truth on the
+// *same* training trajectory — exactly the paper's comparison protocol
+// ("the global models will be the same for all three metrics").
+#ifndef COMFEDSV_CORE_PIPELINE_H_
+#define COMFEDSV_CORE_PIPELINE_H_
+
+#include <optional>
+#include <vector>
+
+#include "core/evaluator.h"
+#include "fl/fedavg.h"
+#include "shapley/fedsv.h"
+
+namespace comfedsv {
+
+/// Which valuation metrics to compute during the run.
+struct ValuationRequest {
+  bool compute_fedsv = true;
+  FedSvConfig fedsv;
+
+  bool compute_comfedsv = true;
+  ComFedSvConfig comfedsv;
+
+  /// Ground truth needs num_clients <= 16 (full 2^N recording).
+  bool compute_ground_truth = false;
+};
+
+/// Everything a valuation run produces.
+struct ValuationOutcome {
+  TrainingResult training;
+
+  std::optional<Vector> fedsv_values;
+  int64_t fedsv_loss_calls = 0;
+  double fedsv_seconds = 0.0;
+
+  std::optional<ComFedSvOutput> comfedsv;
+
+  std::optional<Vector> ground_truth_values;
+  int64_t ground_truth_loss_calls = 0;
+};
+
+/// Runs FedAvg over `client_data` and evaluates the requested metrics.
+/// `model` must outlive the call. When the request includes ComFedSV in
+/// kFull mode or the ground truth, `fed_config.select_all_first_round`
+/// must be true (Assumption 1).
+Result<ValuationOutcome> RunValuation(const Model& model,
+                                      std::vector<Dataset> client_data,
+                                      Dataset test_data,
+                                      const FedAvgConfig& fed_config,
+                                      const ValuationRequest& request);
+
+}  // namespace comfedsv
+
+#endif  // COMFEDSV_CORE_PIPELINE_H_

@@ -1,0 +1,158 @@
+#include "core/recorders.h"
+
+#include <unordered_map>
+
+#include "common/check.h"
+#include "common/stopwatch.h"
+#include "shapley/utility.h"
+
+namespace comfedsv {
+namespace {
+constexpr int kMaxFullClients = 16;
+}  // namespace
+
+FullUtilityRecorder::FullUtilityRecorder(const Model* model,
+                                         const Dataset* test_data,
+                                         int num_clients)
+    : model_(model), test_data_(test_data), num_clients_(num_clients) {
+  COMFEDSV_CHECK(model_ != nullptr);
+  COMFEDSV_CHECK(test_data_ != nullptr);
+  COMFEDSV_CHECK_GT(num_clients_, 0);
+  COMFEDSV_CHECK_LE(num_clients_, kMaxFullClients);
+}
+
+void FullUtilityRecorder::OnRound(const RoundRecord& record) {
+  Stopwatch timer;
+  RoundUtility utility(model_, test_data_, &record, &loss_calls_);
+  const uint32_t num_cols = 1u << num_clients_;
+  std::vector<double> row(num_cols, 0.0);
+  for (uint32_t mask = 1; mask < num_cols; ++mask) {
+    Coalition c(num_clients_);
+    for (int i = 0; i < num_clients_; ++i) {
+      if (mask & (1u << i)) c.Add(i);
+    }
+    row[mask] = utility.Utility(c);
+  }
+  rows_.push_back(std::move(row));
+  seconds_ += timer.ElapsedSeconds();
+}
+
+Matrix FullUtilityRecorder::ToMatrix() const {
+  COMFEDSV_CHECK(!rows_.empty());
+  const size_t cols = rows_[0].size();
+  Matrix out(rows_.size(), cols);
+  for (size_t t = 0; t < rows_.size(); ++t) {
+    double* dst = out.RowPtr(t);
+    for (size_t c = 0; c < cols; ++c) dst[c] = rows_[t][c];
+  }
+  return out;
+}
+
+ObservedUtilityRecorder::ObservedUtilityRecorder(const Model* model,
+                                                 const Dataset* test_data,
+                                                 int num_clients)
+    : model_(model), test_data_(test_data), num_clients_(num_clients) {
+  COMFEDSV_CHECK(model_ != nullptr);
+  COMFEDSV_CHECK(test_data_ != nullptr);
+  COMFEDSV_CHECK_GT(num_clients_, 0);
+  // Anchor the empty coalition as column 0.
+  interner_.Intern(Coalition(num_clients_));
+}
+
+void ObservedUtilityRecorder::OnRound(const RoundRecord& record) {
+  Stopwatch timer;
+  const int t = rounds_recorded_;
+  const int m = static_cast<int>(record.selected.size());
+  COMFEDSV_CHECK_LE(m, 20);  // 2^m utility evaluations below
+  RoundUtility utility(model_, test_data_, &record, &loss_calls_);
+
+  // The empty coalition is observed at 0 every round (u_t(w^t) = 0).
+  triplets_.push_back({t, 0, 0.0});
+  for (uint32_t mask = 1; mask < (1u << m); ++mask) {
+    Coalition c(num_clients_);
+    for (int p = 0; p < m; ++p) {
+      if (mask & (1u << p)) c.Add(record.selected[p]);
+    }
+    const int col = interner_.Intern(c);
+    triplets_.push_back({t, col, utility.Utility(c)});
+  }
+  ++rounds_recorded_;
+  seconds_ += timer.ElapsedSeconds();
+}
+
+ObservationSet ObservedUtilityRecorder::BuildObservations() const {
+  COMFEDSV_CHECK_GT(rounds_recorded_, 0);
+  ObservationSet obs(rounds_recorded_, interner_.size());
+  for (const Observation& o : triplets_) obs.Add(o.row, o.col, o.value);
+  return obs;
+}
+
+SampledUtilityRecorder::SampledUtilityRecorder(const Model* model,
+                                               const Dataset* test_data,
+                                               int num_clients,
+                                               int num_permutations,
+                                               uint64_t seed)
+    : model_(model), test_data_(test_data), num_clients_(num_clients) {
+  COMFEDSV_CHECK(model_ != nullptr);
+  COMFEDSV_CHECK(test_data_ != nullptr);
+  COMFEDSV_CHECK_GT(num_clients_, 0);
+  COMFEDSV_CHECK_GT(num_permutations, 0);
+
+  Rng rng(seed ^ 0x414C4731ULL);  // "ALG1"
+  permutations_.reserve(num_permutations);
+  prefix_columns_.reserve(num_permutations);
+  for (int p = 0; p < num_permutations; ++p) {
+    permutations_.push_back(rng.Permutation(num_clients_));
+  }
+  // Intern every prefix of every permutation; identical prefixes across
+  // permutations (e.g. the empty prefix) share a column.
+  for (const std::vector<int>& perm : permutations_) {
+    std::vector<int> cols;
+    cols.reserve(num_clients_ + 1);
+    Coalition prefix(num_clients_);
+    cols.push_back(interner_.Intern(prefix));
+    for (int member : perm) {
+      prefix.Add(member);
+      cols.push_back(interner_.Intern(prefix));
+    }
+    prefix_columns_.push_back(std::move(cols));
+  }
+}
+
+void SampledUtilityRecorder::OnRound(const RoundRecord& record) {
+  Stopwatch timer;
+  const int t = rounds_recorded_;
+  RoundUtility utility(model_, test_data_, &record, &loss_calls_);
+  const Coalition selected =
+      Coalition::FromMembers(num_clients_, record.selected);
+
+  // Per-round dedup: several permutations share short prefixes.
+  std::unordered_map<int, double> recorded;
+  recorded.emplace(prefix_columns_[0][0], 0.0);  // empty prefix
+
+  for (size_t m = 0; m < permutations_.size(); ++m) {
+    Coalition prefix(num_clients_);
+    for (int l = 0; l < num_clients_; ++l) {
+      const int member = permutations_[m][l];
+      if (!selected.Contains(member)) break;  // longer prefixes fail too
+      prefix.Add(member);
+      const int col = prefix_columns_[m][l + 1];
+      if (recorded.count(col)) continue;
+      recorded.emplace(col, utility.Utility(prefix));
+    }
+  }
+  for (const auto& [col, value] : recorded) {
+    triplets_.push_back({t, col, value});
+  }
+  ++rounds_recorded_;
+  seconds_ += timer.ElapsedSeconds();
+}
+
+ObservationSet SampledUtilityRecorder::BuildObservations() const {
+  COMFEDSV_CHECK_GT(rounds_recorded_, 0);
+  ObservationSet obs(rounds_recorded_, interner_.size());
+  for (const Observation& o : triplets_) obs.Add(o.row, o.col, o.value);
+  return obs;
+}
+
+}  // namespace comfedsv

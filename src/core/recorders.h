@@ -1,0 +1,131 @@
+// Round observers that materialize (parts of) the utility matrix
+// U ∈ R^{T x 2^N} during training:
+//
+//   * FullUtilityRecorder     — every entry of every round (the paper's
+//                               "ground truth" methodology; Figs. 2, 3, 6);
+//   * ObservedUtilityRecorder — only the entries the server can actually
+//                               observe, {(t, S) : S ⊆ I_t} (the input to
+//                               the Def. 4 completion problem);
+//   * SampledUtilityRecorder  — Algorithm 1: the observable entries whose
+//                               columns are prefixes of M sampled
+//                               permutations (problem (13)).
+#ifndef COMFEDSV_CORE_RECORDERS_H_
+#define COMFEDSV_CORE_RECORDERS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "completion/interner.h"
+#include "completion/observations.h"
+#include "data/dataset.h"
+#include "fl/round_record.h"
+#include "linalg/matrix.h"
+#include "models/model.h"
+#include "shapley/coalition.h"
+
+namespace comfedsv {
+
+/// Records the complete utility matrix: every coalition of the full client
+/// set, every round. Exponential in N — guarded to N <= 16; intended for
+/// the N = 10 analyses of the paper.
+///
+/// Column c corresponds to the coalition whose membership bitmask is c
+/// (bit i set <=> client i in S); column 0 is the empty coalition.
+class FullUtilityRecorder : public RoundObserver {
+ public:
+  FullUtilityRecorder(const Model* model, const Dataset* test_data,
+                      int num_clients);
+
+  void OnRound(const RoundRecord& record) override;
+
+  /// The T x 2^N matrix recorded so far (row t = round t).
+  Matrix ToMatrix() const;
+
+  int num_clients() const { return num_clients_; }
+  int64_t loss_calls() const { return loss_calls_; }
+  double seconds() const { return seconds_; }
+
+ private:
+  const Model* model_;
+  const Dataset* test_data_;
+  int num_clients_;
+  std::vector<std::vector<double>> rows_;
+  int64_t loss_calls_ = 0;
+  double seconds_ = 0.0;
+};
+
+/// Records only server-observable utilities: all subsets of the selected
+/// set I_t each round (plus the empty coalition at value 0, which anchors
+/// h_empty). Columns are interned lazily; under Assumption 1 the first
+/// round interns all 2^N coalitions.
+class ObservedUtilityRecorder : public RoundObserver {
+ public:
+  ObservedUtilityRecorder(const Model* model, const Dataset* test_data,
+                          int num_clients);
+
+  void OnRound(const RoundRecord& record) override;
+
+  /// Assembles the sparse completion input. Call after training.
+  ObservationSet BuildObservations() const;
+
+  const CoalitionInterner& interner() const { return interner_; }
+  int rounds_recorded() const { return rounds_recorded_; }
+  int64_t loss_calls() const { return loss_calls_; }
+  double seconds() const { return seconds_; }
+
+ private:
+  const Model* model_;
+  const Dataset* test_data_;
+  int num_clients_;
+  CoalitionInterner interner_;
+  std::vector<Observation> triplets_;
+  int rounds_recorded_ = 0;
+  int64_t loss_calls_ = 0;
+  double seconds_ = 0.0;
+};
+
+/// Algorithm 1's recorder: M permutations of the client set are sampled
+/// up front; the needed matrix columns are exactly the permutation
+/// prefixes (deduped by the interner). Each round records the utilities
+/// of the prefixes contained in I_t.
+class SampledUtilityRecorder : public RoundObserver {
+ public:
+  SampledUtilityRecorder(const Model* model, const Dataset* test_data,
+                         int num_clients, int num_permutations,
+                         uint64_t seed);
+
+  void OnRound(const RoundRecord& record) override;
+
+  ObservationSet BuildObservations() const;
+
+  const CoalitionInterner& interner() const { return interner_; }
+  const std::vector<std::vector<int>>& permutations() const {
+    return permutations_;
+  }
+  /// prefix_columns()[m][l]: column id of the length-l prefix of
+  /// permutation m.
+  const std::vector<std::vector<int>>& prefix_columns() const {
+    return prefix_columns_;
+  }
+  int rounds_recorded() const { return rounds_recorded_; }
+  int64_t loss_calls() const { return loss_calls_; }
+  double seconds() const { return seconds_; }
+
+ private:
+  const Model* model_;
+  const Dataset* test_data_;
+  int num_clients_;
+  std::vector<std::vector<int>> permutations_;
+  /// prefix_columns_[m][l] is the column id of the length-l prefix of
+  /// permutation m (l in [0, N]).
+  std::vector<std::vector<int>> prefix_columns_;
+  CoalitionInterner interner_;
+  std::vector<Observation> triplets_;
+  int rounds_recorded_ = 0;
+  int64_t loss_calls_ = 0;
+  double seconds_ = 0.0;
+};
+
+}  // namespace comfedsv
+
+#endif  // COMFEDSV_CORE_RECORDERS_H_

@@ -1,0 +1,82 @@
+#include "data/dataset.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/check.h"
+
+namespace comfedsv {
+
+Dataset::Dataset(Matrix features, std::vector<int> labels, int num_classes)
+    : features_(std::move(features)),
+      labels_(std::move(labels)),
+      num_classes_(num_classes) {
+  COMFEDSV_CHECK_EQ(features_.rows(), labels_.size());
+  COMFEDSV_CHECK_GT(num_classes_, 0);
+  for (int y : labels_) {
+    COMFEDSV_CHECK_GE(y, 0);
+    COMFEDSV_CHECK_LT(y, num_classes_);
+  }
+}
+
+Dataset Dataset::Subset(const std::vector<size_t>& indices) const {
+  Matrix feats(indices.size(), dim());
+  std::vector<int> labels(indices.size());
+  for (size_t r = 0; r < indices.size(); ++r) {
+    const size_t src = indices[r];
+    COMFEDSV_CHECK_LT(src, num_samples());
+    const double* src_row = features_.RowPtr(src);
+    double* dst_row = feats.RowPtr(r);
+    std::copy(src_row, src_row + dim(), dst_row);
+    labels[r] = labels_[src];
+  }
+  return Dataset(std::move(feats), std::move(labels), num_classes_);
+}
+
+std::pair<Dataset, Dataset> Dataset::RandomSplit(double fraction,
+                                                 Rng* rng) const {
+  COMFEDSV_CHECK_GE(fraction, 0.0);
+  COMFEDSV_CHECK_LE(fraction, 1.0);
+  COMFEDSV_CHECK(rng != nullptr);
+  std::vector<size_t> order(num_samples());
+  std::iota(order.begin(), order.end(), 0);
+  rng->Shuffle(&order);
+  const size_t second_count =
+      static_cast<size_t>(fraction * static_cast<double>(num_samples()));
+  std::vector<size_t> first(order.begin() + second_count, order.end());
+  std::vector<size_t> second(order.begin(), order.begin() + second_count);
+  return {Subset(first), Subset(second)};
+}
+
+Dataset Dataset::Concat(const std::vector<const Dataset*>& parts) {
+  COMFEDSV_CHECK(!parts.empty());
+  const size_t dim = parts[0]->dim();
+  const int num_classes = parts[0]->num_classes();
+  size_t total = 0;
+  for (const Dataset* p : parts) {
+    COMFEDSV_CHECK(p != nullptr);
+    COMFEDSV_CHECK_EQ(p->dim(), dim);
+    COMFEDSV_CHECK_EQ(p->num_classes(), num_classes);
+    total += p->num_samples();
+  }
+  Matrix feats(total, dim);
+  std::vector<int> labels;
+  labels.reserve(total);
+  size_t row = 0;
+  for (const Dataset* p : parts) {
+    for (size_t i = 0; i < p->num_samples(); ++i, ++row) {
+      const double* src = p->sample(i);
+      std::copy(src, src + dim, feats.RowPtr(row));
+      labels.push_back(p->label(i));
+    }
+  }
+  return Dataset(std::move(feats), std::move(labels), num_classes);
+}
+
+std::vector<int> Dataset::ClassHistogram() const {
+  std::vector<int> hist(num_classes_, 0);
+  for (int y : labels_) ++hist[y];
+  return hist;
+}
+
+}  // namespace comfedsv

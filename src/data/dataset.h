@@ -1,0 +1,60 @@
+// In-memory supervised dataset: a dense feature matrix plus integer class
+// labels. All experiment workloads (synthetic and simulated-image) produce
+// Datasets; the FL simulator and models consume them.
+#ifndef COMFEDSV_DATA_DATASET_H_
+#define COMFEDSV_DATA_DATASET_H_
+
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "linalg/matrix.h"
+
+namespace comfedsv {
+
+/// A labelled classification dataset. Rows of `features` are samples.
+class Dataset {
+ public:
+  Dataset() : num_classes_(0) {}
+
+  /// Takes ownership of features/labels. `labels.size()` must equal
+  /// `features.rows()` and every label must lie in [0, num_classes).
+  Dataset(Matrix features, std::vector<int> labels, int num_classes);
+
+  size_t num_samples() const { return labels_.size(); }
+  size_t dim() const { return features_.cols(); }
+  int num_classes() const { return num_classes_; }
+  bool empty() const { return labels_.empty(); }
+
+  const Matrix& features() const { return features_; }
+  Matrix& mutable_features() { return features_; }
+  const std::vector<int>& labels() const { return labels_; }
+  std::vector<int>& mutable_labels() { return labels_; }
+
+  /// Feature row of sample `i`.
+  const double* sample(size_t i) const { return features_.RowPtr(i); }
+  int label(size_t i) const { return labels_[i]; }
+
+  /// The sub-dataset given by `indices` (row indices, may repeat).
+  Dataset Subset(const std::vector<size_t>& indices) const;
+
+  /// Splits off a uniformly random fraction into a second dataset
+  /// (e.g. a held-out test split). `fraction` in [0, 1] is the share that
+  /// goes to the *second* returned dataset.
+  std::pair<Dataset, Dataset> RandomSplit(double fraction, Rng* rng) const;
+
+  /// Concatenates datasets with identical dim/num_classes.
+  static Dataset Concat(const std::vector<const Dataset*>& parts);
+
+  /// Per-class sample counts (length num_classes).
+  std::vector<int> ClassHistogram() const;
+
+ private:
+  Matrix features_;
+  std::vector<int> labels_;
+  int num_classes_;
+};
+
+}  // namespace comfedsv
+
+#endif  // COMFEDSV_DATA_DATASET_H_

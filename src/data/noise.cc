@@ -1,0 +1,125 @@
+#include "data/noise.h"
+
+#include <cmath>
+#include <vector>
+
+#include "common/check.h"
+
+namespace comfedsv {
+namespace {
+
+std::vector<int> ChooseFraction(size_t n, double fraction, Rng* rng) {
+  COMFEDSV_CHECK_GE(fraction, 0.0);
+  COMFEDSV_CHECK_LE(fraction, 1.0);
+  const int count = static_cast<int>(fraction * static_cast<double>(n));
+  return rng->SampleWithoutReplacement(static_cast<int>(n), count);
+}
+
+}  // namespace
+
+int AddGaussianFeatureNoise(Dataset* data, double fraction, double stddev,
+                            Rng* rng) {
+  COMFEDSV_CHECK(data != nullptr);
+  COMFEDSV_CHECK(rng != nullptr);
+  COMFEDSV_CHECK_GE(stddev, 0.0);
+  const std::vector<int> victims =
+      ChooseFraction(data->num_samples(), fraction, rng);
+  Matrix& feats = data->mutable_features();
+  for (int row : victims) {
+    double* p = feats.RowPtr(row);
+    for (size_t j = 0; j < data->dim(); ++j) {
+      p[j] += rng->NextGaussian(0.0, stddev);
+    }
+  }
+  return static_cast<int>(victims.size());
+}
+
+int AddRelativeGaussianFeatureNoise(Dataset* data, double fraction,
+                                    double relative_stddev, Rng* rng) {
+  COMFEDSV_CHECK(data != nullptr);
+  COMFEDSV_CHECK(rng != nullptr);
+  COMFEDSV_CHECK_GE(relative_stddev, 0.0);
+  if (data->empty()) return 0;
+  // Per-column empirical standard deviation.
+  const size_t dim = data->dim();
+  const size_t n = data->num_samples();
+  std::vector<double> mean(dim, 0.0), var(dim, 0.0);
+  for (size_t i = 0; i < n; ++i) {
+    const double* row = data->sample(i);
+    for (size_t j = 0; j < dim; ++j) mean[j] += row[j];
+  }
+  for (size_t j = 0; j < dim; ++j) mean[j] /= static_cast<double>(n);
+  for (size_t i = 0; i < n; ++i) {
+    const double* row = data->sample(i);
+    for (size_t j = 0; j < dim; ++j) {
+      const double d = row[j] - mean[j];
+      var[j] += d * d;
+    }
+  }
+  std::vector<double> stddev(dim);
+  for (size_t j = 0; j < dim; ++j) {
+    stddev[j] = relative_stddev * std::sqrt(var[j] / static_cast<double>(n));
+  }
+
+  const std::vector<int> victims =
+      ChooseFraction(n, fraction, rng);
+  Matrix& feats = data->mutable_features();
+  for (int row : victims) {
+    double* p = feats.RowPtr(row);
+    for (size_t j = 0; j < dim; ++j) {
+      p[j] += rng->NextGaussian(0.0, stddev[j]);
+    }
+  }
+  return static_cast<int>(victims.size());
+}
+
+int ReplaceFeaturesWithNoise(Dataset* data, double fraction, Rng* rng) {
+  COMFEDSV_CHECK(data != nullptr);
+  COMFEDSV_CHECK(rng != nullptr);
+  if (data->empty()) return 0;
+  const size_t dim = data->dim();
+  const size_t n = data->num_samples();
+  std::vector<double> mean(dim, 0.0), stddev(dim, 0.0);
+  for (size_t i = 0; i < n; ++i) {
+    const double* row = data->sample(i);
+    for (size_t j = 0; j < dim; ++j) mean[j] += row[j];
+  }
+  for (size_t j = 0; j < dim; ++j) mean[j] /= static_cast<double>(n);
+  for (size_t i = 0; i < n; ++i) {
+    const double* row = data->sample(i);
+    for (size_t j = 0; j < dim; ++j) {
+      const double d = row[j] - mean[j];
+      stddev[j] += d * d;
+    }
+  }
+  for (size_t j = 0; j < dim; ++j) {
+    stddev[j] = std::sqrt(stddev[j] / static_cast<double>(n));
+  }
+
+  const std::vector<int> victims = ChooseFraction(n, fraction, rng);
+  Matrix& feats = data->mutable_features();
+  for (int row : victims) {
+    double* p = feats.RowPtr(row);
+    for (size_t j = 0; j < dim; ++j) {
+      p[j] = mean[j] + stddev[j] * rng->NextGaussian();
+    }
+  }
+  return static_cast<int>(victims.size());
+}
+
+int FlipLabels(Dataset* data, double fraction, Rng* rng) {
+  COMFEDSV_CHECK(data != nullptr);
+  COMFEDSV_CHECK(rng != nullptr);
+  COMFEDSV_CHECK_GT(data->num_classes(), 1);
+  const std::vector<int> victims =
+      ChooseFraction(data->num_samples(), fraction, rng);
+  std::vector<int>& labels = data->mutable_labels();
+  for (int row : victims) {
+    // Draw from the other classes uniformly.
+    int offset = rng->NextInt(1, data->num_classes() - 1);
+    labels[row] = (labels[row] + offset) % data->num_classes();
+  }
+  return static_cast<int>(victims.size());
+}
+
+}  // namespace comfedsv

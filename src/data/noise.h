@@ -1,0 +1,42 @@
+// Data-quality degradation used by the detection experiments (Figs. 6, 7):
+// Gaussian feature noise on a fraction of samples, and uniform random
+// label flipping.
+#ifndef COMFEDSV_DATA_NOISE_H_
+#define COMFEDSV_DATA_NOISE_H_
+
+#include "common/rng.h"
+#include "data/dataset.h"
+
+namespace comfedsv {
+
+/// Adds N(0, stddev^2) noise to every feature of a uniformly chosen
+/// `fraction` of samples (Fig. 6: client i gets fraction 0.05 * i).
+/// Returns the number of corrupted samples.
+int AddGaussianFeatureNoise(Dataset* data, double fraction, double stddev,
+                            Rng* rng);
+
+/// Like AddGaussianFeatureNoise, but the noise on feature j has standard
+/// deviation `relative_stddev` times the empirical standard deviation of
+/// column j. Use for data whose features have very different scales
+/// (e.g. the FedProx synthetic features, Sigma_jj = j^-1.2): uniform
+/// noise would swamp small-scale features and *inflate* gradient norms
+/// instead of degrading quality. Returns the number of corrupted samples.
+int AddRelativeGaussianFeatureNoise(Dataset* data, double fraction,
+                                    double relative_stddev, Rng* rng);
+
+/// Replaces the features of a uniformly chosen `fraction` of samples with
+/// pure Gaussian noise matched to each column's mean and standard
+/// deviation (labels kept). This is the "noisy data" corruption of the
+/// data-valuation literature (Ghorbani & Zou 2019): the sample carries no
+/// usable signal but is distributionally inconspicuous. Returns the
+/// number of corrupted samples.
+int ReplaceFeaturesWithNoise(Dataset* data, double fraction, Rng* rng);
+
+/// Reassigns the label of a uniformly chosen `fraction` of samples to a
+/// different class drawn uniformly (Fig. 7: 30% flips). Returns the number
+/// of flipped labels.
+int FlipLabels(Dataset* data, double fraction, Rng* rng);
+
+}  // namespace comfedsv
+
+#endif  // COMFEDSV_DATA_NOISE_H_

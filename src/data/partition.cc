@@ -1,0 +1,75 @@
+#include "data/partition.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/check.h"
+
+namespace comfedsv {
+
+std::vector<Dataset> PartitionIid(const Dataset& data, int num_clients,
+                                  Rng* rng) {
+  COMFEDSV_CHECK_GT(num_clients, 0);
+  COMFEDSV_CHECK(rng != nullptr);
+  COMFEDSV_CHECK_GE(data.num_samples(), static_cast<size_t>(num_clients));
+  std::vector<size_t> order(data.num_samples());
+  std::iota(order.begin(), order.end(), 0);
+  rng->Shuffle(&order);
+
+  std::vector<Dataset> out;
+  out.reserve(num_clients);
+  const size_t base = data.num_samples() / num_clients;
+  const size_t remainder = data.num_samples() % num_clients;
+  size_t cursor = 0;
+  for (int k = 0; k < num_clients; ++k) {
+    const size_t take = base + (static_cast<size_t>(k) < remainder ? 1 : 0);
+    std::vector<size_t> idx(order.begin() + cursor,
+                            order.begin() + cursor + take);
+    cursor += take;
+    out.push_back(data.Subset(idx));
+  }
+  return out;
+}
+
+std::vector<Dataset> PartitionByLabelShards(const Dataset& data,
+                                            int num_clients,
+                                            int shards_per_client,
+                                            Rng* rng) {
+  COMFEDSV_CHECK_GT(num_clients, 0);
+  COMFEDSV_CHECK_GT(shards_per_client, 0);
+  COMFEDSV_CHECK(rng != nullptr);
+  const int num_shards = num_clients * shards_per_client;
+  COMFEDSV_CHECK_GE(data.num_samples(), static_cast<size_t>(num_shards));
+
+  // Sort sample indices by label (stable on original order).
+  std::vector<size_t> order(data.num_samples());
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return data.label(a) < data.label(b);
+  });
+
+  // Slice into contiguous shards and deal shards to clients at random.
+  std::vector<int> shard_ids(num_shards);
+  std::iota(shard_ids.begin(), shard_ids.end(), 0);
+  rng->Shuffle(&shard_ids);
+
+  const size_t shard_size = data.num_samples() / num_shards;
+  std::vector<Dataset> out;
+  out.reserve(num_clients);
+  for (int k = 0; k < num_clients; ++k) {
+    std::vector<size_t> idx;
+    idx.reserve(shard_size * shards_per_client);
+    for (int s = 0; s < shards_per_client; ++s) {
+      const int shard = shard_ids[k * shards_per_client + s];
+      const size_t begin = shard * shard_size;
+      // Give the final shard any leftover samples.
+      const size_t end = (shard == num_shards - 1) ? data.num_samples()
+                                                   : begin + shard_size;
+      for (size_t i = begin; i < end; ++i) idx.push_back(order[i]);
+    }
+    out.push_back(data.Subset(idx));
+  }
+  return out;
+}
+
+}  // namespace comfedsv

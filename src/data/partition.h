@@ -1,0 +1,29 @@
+// Partitioning a pooled dataset across federated clients: IID (uniform
+// random) and the FedAvg-paper non-IID scheme where each client receives
+// shards containing only a couple of classes.
+#ifndef COMFEDSV_DATA_PARTITION_H_
+#define COMFEDSV_DATA_PARTITION_H_
+
+#include <vector>
+
+#include "common/rng.h"
+#include "data/dataset.h"
+
+namespace comfedsv {
+
+/// Uniformly random partition into `num_clients` near-equal datasets.
+std::vector<Dataset> PartitionIid(const Dataset& data, int num_clients,
+                                  Rng* rng);
+
+/// Non-IID label-shard partition (McMahan et al. 2017, the setting the
+/// paper reuses): sort samples by label, slice into
+/// `num_clients * shards_per_client` contiguous shards, deal each client
+/// `shards_per_client` shards at random. With shards_per_client = 2 most
+/// clients see samples from only ~2 classes.
+std::vector<Dataset> PartitionByLabelShards(const Dataset& data,
+                                            int num_clients,
+                                            int shards_per_client, Rng* rng);
+
+}  // namespace comfedsv
+
+#endif  // COMFEDSV_DATA_PARTITION_H_

@@ -1,0 +1,108 @@
+#include "data/synthetic.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "common/rng.h"
+
+namespace comfedsv {
+namespace {
+
+// Samples a (dim x classes) weight matrix and a classes-length bias with
+// entries ~ N(mean, 1).
+void SampleLinearModel(int dim, int classes, double mean, Rng* rng,
+                       Matrix* weights, Vector* bias) {
+  *weights = Matrix(dim, classes);
+  *bias = Vector(classes);
+  for (int i = 0; i < dim; ++i) {
+    for (int j = 0; j < classes; ++j) {
+      (*weights)(i, j) = rng->NextGaussian(mean, 1.0);
+    }
+  }
+  for (int j = 0; j < classes; ++j) (*bias)[j] = rng->NextGaussian(mean, 1.0);
+}
+
+int ArgmaxLogit(const Matrix& weights, const Vector& bias, const Vector& x) {
+  int best = 0;
+  double best_score = -1e300;
+  for (size_t j = 0; j < bias.size(); ++j) {
+    double score = bias[j];
+    for (size_t i = 0; i < x.size(); ++i) score += weights(i, j) * x[i];
+    if (score > best_score) {
+      best_score = score;
+      best = static_cast<int>(j);
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+std::vector<Dataset> GenerateSyntheticFederated(
+    const SyntheticConfig& config) {
+  COMFEDSV_CHECK_GT(config.num_clients, 0);
+  COMFEDSV_CHECK_GT(config.samples_per_client, 0);
+  COMFEDSV_CHECK_GT(config.dim, 0);
+  COMFEDSV_CHECK_GT(config.num_classes, 1);
+  COMFEDSV_CHECK_GE(config.alpha, 0.0);
+  COMFEDSV_CHECK_GE(config.beta, 0.0);
+
+  Rng root(config.seed);
+  // Diagonal feature covariance Sigma_jj = (j+1)^{-1.2}.
+  Vector sigma(config.dim);
+  for (int j = 0; j < config.dim; ++j) {
+    sigma[j] = std::pow(static_cast<double>(j + 1), -1.2);
+  }
+
+  // Shared model/feature centre used in the IID setting.
+  Matrix shared_weights;
+  Vector shared_bias;
+  Vector shared_v(config.dim);
+  if (config.iid) {
+    Rng shared_rng = root.Split(0xC0FFEE);
+    SampleLinearModel(config.dim, config.num_classes, /*mean=*/0.0,
+                      &shared_rng, &shared_weights, &shared_bias);
+    for (int j = 0; j < config.dim; ++j) {
+      shared_v[j] = shared_rng.NextGaussian();
+    }
+  }
+
+  std::vector<Dataset> out;
+  out.reserve(config.num_clients);
+  for (int k = 0; k < config.num_clients; ++k) {
+    Rng rng = root.Split(static_cast<uint64_t>(k) + 1);
+    Matrix weights;
+    Vector bias;
+    Vector centre(config.dim);
+    if (config.iid) {
+      weights = shared_weights;
+      bias = shared_bias;
+      centre = shared_v;
+    } else {
+      const double u_k = rng.NextGaussian(0.0, std::sqrt(config.alpha));
+      const double b_k = rng.NextGaussian(0.0, std::sqrt(config.beta));
+      SampleLinearModel(config.dim, config.num_classes, u_k, &rng, &weights,
+                        &bias);
+      for (int j = 0; j < config.dim; ++j) {
+        centre[j] = rng.NextGaussian(b_k, 1.0);
+      }
+    }
+
+    Matrix feats(config.samples_per_client, config.dim);
+    std::vector<int> labels(config.samples_per_client);
+    Vector x(config.dim);
+    for (int s = 0; s < config.samples_per_client; ++s) {
+      for (int j = 0; j < config.dim; ++j) {
+        x[j] = rng.NextGaussian(centre[j], std::sqrt(sigma[j]));
+        feats(s, j) = x[j];
+      }
+      labels[s] = ArgmaxLogit(weights, bias, x);
+    }
+    out.emplace_back(std::move(feats), std::move(labels),
+                     config.num_classes);
+  }
+  return out;
+}
+
+}  // namespace comfedsv

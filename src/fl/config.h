@@ -1,0 +1,75 @@
+// Configuration types for the federated-averaging simulator.
+#ifndef COMFEDSV_FL_CONFIG_H_
+#define COMFEDSV_FL_CONFIG_H_
+
+#include <cstdint>
+
+#include "common/check.h"
+
+namespace comfedsv {
+
+/// Learning-rate schedule for local SGD steps.
+struct LearningRateSchedule {
+  enum class Kind {
+    kConstant,       ///< eta_t = base
+    kInverseDecay,   ///< eta_t = 2 / (mu * (gamma + t)) — the Prop. 2 rate
+  };
+
+  Kind kind = Kind::kConstant;
+  double base = 0.1;   ///< used by kConstant
+  double mu = 1.0;     ///< strong-convexity constant, used by kInverseDecay
+  double gamma = 1.0;  ///< offset, used by kInverseDecay
+
+  /// Learning rate for round t (0-based).
+  double At(int t) const {
+    COMFEDSV_CHECK_GE(t, 0);
+    switch (kind) {
+      case Kind::kConstant:
+        return base;
+      case Kind::kInverseDecay:
+        return 2.0 / (mu * (gamma + static_cast<double>(t) + 1.0));
+    }
+    return base;
+  }
+
+  static LearningRateSchedule Constant(double base) {
+    LearningRateSchedule s;
+    s.kind = Kind::kConstant;
+    s.base = base;
+    return s;
+  }
+
+  /// The schedule from Proposition 2: eta_t = 2 / (mu (gamma + t)) with
+  /// gamma = max(8 L2 / mu, 1). (The paper's print shows 8 mu / L2; the
+  /// convergence theorem it cites, Li et al. 2019, uses gamma = 8 L / mu.)
+  static LearningRateSchedule InverseDecay(double mu, double smoothness) {
+    LearningRateSchedule s;
+    s.kind = Kind::kInverseDecay;
+    s.mu = mu;
+    s.gamma = (8.0 * smoothness / mu > 1.0) ? 8.0 * smoothness / mu : 1.0;
+    return s;
+  }
+};
+
+/// Configuration of a FedAvg run.
+struct FedAvgConfig {
+  int num_rounds = 10;
+  /// K: clients selected (aggregated) per round.
+  int clients_per_round = 3;
+  /// Local SGD steps per client per round (paper's theory uses 1).
+  int local_steps = 1;
+  /// Mini-batch size for local steps; 0 = full local batch (deterministic
+  /// given the seed; the paper's theory assumes deterministic updates).
+  int batch_size = 0;
+  LearningRateSchedule lr = LearningRateSchedule::Constant(0.1);
+  /// Assumption 1 ("Everyone Being Heard"): select every client in the
+  /// first round. Required by the ComFedSV completion path.
+  bool select_all_first_round = true;
+  /// Worker threads for per-client updates (<= 1 means single-threaded).
+  int num_threads = 0;
+  uint64_t seed = 0;
+};
+
+}  // namespace comfedsv
+
+#endif  // COMFEDSV_FL_CONFIG_H_

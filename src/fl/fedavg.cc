@@ -1,0 +1,129 @@
+#include "fl/fedavg.h"
+
+#include <memory>
+#include <numeric>
+
+#include "common/check.h"
+#include "common/thread_pool.h"
+
+namespace comfedsv {
+
+FedAvgTrainer::FedAvgTrainer(const Model* model,
+                             std::vector<Dataset> client_data,
+                             Dataset test_data, FedAvgConfig config)
+    : model_(model),
+      client_data_(std::move(client_data)),
+      test_data_(std::move(test_data)),
+      config_(config) {
+  COMFEDSV_CHECK(model_ != nullptr);
+  COMFEDSV_CHECK(!client_data_.empty());
+  for (const Dataset& d : client_data_) {
+    COMFEDSV_CHECK_EQ(d.dim(), model_->input_dim());
+    COMFEDSV_CHECK(!d.empty());
+  }
+  COMFEDSV_CHECK_EQ(test_data_.dim(), model_->input_dim());
+}
+
+Vector FedAvgTrainer::LocalUpdate(int client, const Vector& start, double lr,
+                                  Rng* client_rng) const {
+  const Dataset& data = client_data_[client];
+  Vector params = start;
+  Vector grad;
+  for (int step = 0; step < config_.local_steps; ++step) {
+    if (config_.batch_size > 0 &&
+        static_cast<size_t>(config_.batch_size) < data.num_samples()) {
+      const std::vector<int> picks = client_rng->SampleWithoutReplacement(
+          static_cast<int>(data.num_samples()), config_.batch_size);
+      std::vector<size_t> idx(picks.begin(), picks.end());
+      Dataset batch = data.Subset(idx);
+      model_->LossAndGradient(params, batch, &grad);
+    } else {
+      model_->LossAndGradient(params, data, &grad);
+    }
+    params.Axpy(-lr, grad);
+  }
+  return params;
+}
+
+Result<TrainingResult> FedAvgTrainer::Train(RoundObserver* observer,
+                                            ClientSelector* selector) {
+  if (config_.num_rounds <= 0) {
+    return Status::InvalidArgument("num_rounds must be positive");
+  }
+  if (config_.clients_per_round <= 0 ||
+      config_.clients_per_round > num_clients()) {
+    return Status::InvalidArgument(
+        "clients_per_round must be in [1, num_clients]");
+  }
+
+  std::unique_ptr<ClientSelector> default_selector;
+  if (selector == nullptr) {
+    auto uniform = std::make_unique<UniformSelector>(
+        config_.clients_per_round);
+    if (config_.select_all_first_round) {
+      default_selector =
+          std::make_unique<EveryoneHeardSelector>(std::move(uniform));
+    } else {
+      default_selector = std::move(uniform);
+    }
+    selector = default_selector.get();
+  }
+
+  Rng root(config_.seed);
+  Rng init_rng = root.Split(0x494E4954);  // "INIT"
+  Rng select_rng = root.Split(0x53454C43);  // "SELC"
+
+  Vector params;
+  model_->InitializeParams(&params, &init_rng);
+
+  ThreadPool pool(config_.num_threads);
+  const int n = num_clients();
+
+  TrainingResult result;
+  result.test_loss_history.reserve(config_.num_rounds + 1);
+
+  RoundRecord record;
+  record.local_models.resize(n);
+  for (int t = 0; t < config_.num_rounds; ++t) {
+    const double lr = config_.lr.At(t);
+    record.round = t;
+    record.global_before = params;
+    record.test_loss_before = model_->Loss(params, test_data_);
+    result.test_loss_history.push_back(record.test_loss_before);
+
+    // Per-client RNG streams are split from (seed, round, client) so runs
+    // are reproducible regardless of thread scheduling.
+    Rng round_rng = root.Split(0x524F554E).Split(static_cast<uint64_t>(t));
+    std::vector<Rng> client_rngs;
+    client_rngs.reserve(n);
+    for (int i = 0; i < n; ++i) {
+      client_rngs.push_back(round_rng.Split(static_cast<uint64_t>(i)));
+    }
+    pool.ParallelFor(n, [&](int i) {
+      record.local_models[i] = LocalUpdate(i, params, lr, &client_rngs[i]);
+    });
+
+    record.selected = selector->Select(t, n, &select_rng);
+    COMFEDSV_CHECK(!record.selected.empty());
+
+    if (observer != nullptr) observer->OnRound(record);
+
+    // Aggregate the selected local models into the next global model.
+    Vector next(params.size());
+    for (int i : record.selected) {
+      COMFEDSV_CHECK_GE(i, 0);
+      COMFEDSV_CHECK_LT(i, n);
+      next.Axpy(1.0, record.local_models[i]);
+    }
+    next.Scale(1.0 / static_cast<double>(record.selected.size()));
+    params = std::move(next);
+  }
+
+  result.test_loss_history.push_back(model_->Loss(params, test_data_));
+  result.final_test_accuracy = model_->Accuracy(params, test_data_);
+  result.rounds_run = config_.num_rounds;
+  result.final_params = std::move(params);
+  return result;
+}
+
+}  // namespace comfedsv

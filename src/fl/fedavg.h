@@ -1,0 +1,66 @@
+// FedAvg trainer (McMahan et al. 2017), as described in Sec. III of the
+// paper: broadcast w^t, every client runs local SGD, the server selects
+// I_t and averages the selected local models.
+//
+// Every client computes its local update each round even when unselected —
+// that is how Algorithm 1 of the paper obtains the observable utility
+// entries, and it costs no server communication for unselected clients.
+#ifndef COMFEDSV_FL_FEDAVG_H_
+#define COMFEDSV_FL_FEDAVG_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "data/dataset.h"
+#include "fl/config.h"
+#include "fl/round_record.h"
+#include "fl/selection.h"
+#include "models/model.h"
+
+namespace comfedsv {
+
+/// Outcome of a FedAvg run.
+struct TrainingResult {
+  Vector final_params;
+  /// Test loss of the global model before each round (length num_rounds),
+  /// plus the final model's loss appended (length num_rounds + 1).
+  std::vector<double> test_loss_history;
+  /// Test accuracy of the final global model.
+  double final_test_accuracy = 0.0;
+  int rounds_run = 0;
+};
+
+/// Simulates FedAvg over in-memory client datasets.
+class FedAvgTrainer {
+ public:
+  /// `model` must outlive the trainer. `client_data` entry i is client i's
+  /// local dataset D_i; `test_data` is the server's test set D_c.
+  FedAvgTrainer(const Model* model, std::vector<Dataset> client_data,
+                Dataset test_data, FedAvgConfig config);
+
+  /// Runs the configured number of rounds. `observer` may be null; when
+  /// given, OnRound fires once per round with all local updates.
+  /// A custom `selector` may be passed; by default the trainer uses
+  /// UniformSelector wrapped in EveryoneHeardSelector when
+  /// config.select_all_first_round is set.
+  Result<TrainingResult> Train(RoundObserver* observer = nullptr,
+                               ClientSelector* selector = nullptr);
+
+  int num_clients() const { return static_cast<int>(client_data_.size()); }
+  const Dataset& test_data() const { return test_data_; }
+  const FedAvgConfig& config() const { return config_; }
+
+ private:
+  // One client's local training from `start` for config_.local_steps.
+  Vector LocalUpdate(int client, const Vector& start, double lr,
+                     Rng* client_rng) const;
+
+  const Model* model_;
+  std::vector<Dataset> client_data_;
+  Dataset test_data_;
+  FedAvgConfig config_;
+};
+
+}  // namespace comfedsv
+
+#endif  // COMFEDSV_FL_FEDAVG_H_

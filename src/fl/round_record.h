@@ -1,0 +1,54 @@
+// Per-round snapshot handed to observers: the global model before the
+// round, every client's local update (Algorithm 1 has all clients compute
+// updates each round), and the selected set I_t.
+#ifndef COMFEDSV_FL_ROUND_RECORD_H_
+#define COMFEDSV_FL_ROUND_RECORD_H_
+
+#include <vector>
+
+#include "linalg/vector.h"
+
+namespace comfedsv {
+
+/// Immutable view of one FedAvg round, from the server's perspective.
+struct RoundRecord {
+  int round = 0;
+  /// Global model w^t broadcast at the start of the round.
+  Vector global_before;
+  /// Local models w_i^{t+1} for every client i (indexed by client id).
+  std::vector<Vector> local_models;
+  /// Sorted selected set I_t (the clients whose updates are aggregated).
+  std::vector<int> selected;
+  /// Test loss of the global model before the round: l(w^t; D_c). The
+  /// per-round utility is u_t(w) = test_loss_before - l(w; D_c).
+  double test_loss_before = 0.0;
+};
+
+/// Observer hook invoked by the trainer after local updates and selection
+/// but before (conceptually: independently of) aggregation.
+class RoundObserver {
+ public:
+  virtual ~RoundObserver() = default;
+  virtual void OnRound(const RoundRecord& record) = 0;
+};
+
+/// Fans each round record out to several observers, in registration
+/// order. Used to evaluate several valuation metrics on one training run.
+class FanoutObserver : public RoundObserver {
+ public:
+  /// Registers an observer; null is ignored. Does not take ownership.
+  void Register(RoundObserver* observer) {
+    if (observer != nullptr) observers_.push_back(observer);
+  }
+
+  void OnRound(const RoundRecord& record) override {
+    for (RoundObserver* o : observers_) o->OnRound(record);
+  }
+
+ private:
+  std::vector<RoundObserver*> observers_;
+};
+
+}  // namespace comfedsv
+
+#endif  // COMFEDSV_FL_ROUND_RECORD_H_

@@ -1,0 +1,38 @@
+#include "fl/selection.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/check.h"
+
+namespace comfedsv {
+
+UniformSelector::UniformSelector(int clients_per_round)
+    : clients_per_round_(clients_per_round) {
+  COMFEDSV_CHECK_GT(clients_per_round_, 0);
+}
+
+std::vector<int> UniformSelector::Select(int /*round*/, int num_clients,
+                                         Rng* rng) {
+  COMFEDSV_CHECK(rng != nullptr);
+  const int k = std::min(clients_per_round_, num_clients);
+  return rng->SampleWithoutReplacement(num_clients, k);
+}
+
+EveryoneHeardSelector::EveryoneHeardSelector(
+    std::unique_ptr<ClientSelector> inner)
+    : inner_(std::move(inner)) {
+  COMFEDSV_CHECK(inner_ != nullptr);
+}
+
+std::vector<int> EveryoneHeardSelector::Select(int round, int num_clients,
+                                               Rng* rng) {
+  if (round == 0) {
+    std::vector<int> all(num_clients);
+    std::iota(all.begin(), all.end(), 0);
+    return all;
+  }
+  return inner_->Select(round, num_clients, rng);
+}
+
+}  // namespace comfedsv

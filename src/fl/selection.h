@@ -1,0 +1,46 @@
+// Client-selection strategies for FedAvg. The paper's server selects a
+// uniform random subset each round; Assumption 1 additionally requires one
+// round (WLOG the first) in which every client participates.
+#ifndef COMFEDSV_FL_SELECTION_H_
+#define COMFEDSV_FL_SELECTION_H_
+
+#include <memory>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace comfedsv {
+
+/// Strategy interface: produces the selected-client set for a round.
+class ClientSelector {
+ public:
+  virtual ~ClientSelector() = default;
+
+  /// Returns the sorted indices of clients selected for `round` (0-based).
+  virtual std::vector<int> Select(int round, int num_clients, Rng* rng) = 0;
+};
+
+/// Selects `clients_per_round` clients uniformly without replacement.
+class UniformSelector : public ClientSelector {
+ public:
+  explicit UniformSelector(int clients_per_round);
+  std::vector<int> Select(int round, int num_clients, Rng* rng) override;
+
+ private:
+  int clients_per_round_;
+};
+
+/// Decorator implementing Assumption 1: round 0 selects everyone, later
+/// rounds delegate to the wrapped selector.
+class EveryoneHeardSelector : public ClientSelector {
+ public:
+  explicit EveryoneHeardSelector(std::unique_ptr<ClientSelector> inner);
+  std::vector<int> Select(int round, int num_clients, Rng* rng) override;
+
+ private:
+  std::unique_ptr<ClientSelector> inner_;
+};
+
+}  // namespace comfedsv
+
+#endif  // COMFEDSV_FL_SELECTION_H_

@@ -1,0 +1,67 @@
+#include "linalg/cholesky.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace comfedsv {
+
+Result<Matrix> CholeskyFactor(const Matrix& a) {
+  if (a.rows() != a.cols()) {
+    return Status::InvalidArgument("Cholesky requires a square matrix");
+  }
+  const size_t n = a.rows();
+  Matrix l(n, n);
+  for (size_t j = 0; j < n; ++j) {
+    double diag = a(j, j);
+    for (size_t k = 0; k < j; ++k) diag -= l(j, k) * l(j, k);
+    if (diag <= 0.0 || !std::isfinite(diag)) {
+      return Status::NumericalError("matrix is not positive definite");
+    }
+    const double ljj = std::sqrt(diag);
+    l(j, j) = ljj;
+    for (size_t i = j + 1; i < n; ++i) {
+      double acc = a(i, j);
+      for (size_t k = 0; k < j; ++k) acc -= l(i, k) * l(j, k);
+      l(i, j) = acc / ljj;
+    }
+  }
+  return l;
+}
+
+Vector ForwardSubstitute(const Matrix& lower, const Vector& b) {
+  COMFEDSV_CHECK_EQ(lower.rows(), b.size());
+  const size_t n = b.size();
+  Vector y(n);
+  for (size_t i = 0; i < n; ++i) {
+    double acc = b[i];
+    for (size_t k = 0; k < i; ++k) acc -= lower(i, k) * y[k];
+    y[i] = acc / lower(i, i);
+  }
+  return y;
+}
+
+Vector BackSubstituteTranspose(const Matrix& lower, const Vector& y) {
+  COMFEDSV_CHECK_EQ(lower.rows(), y.size());
+  const size_t n = y.size();
+  Vector x(n);
+  for (size_t ii = n; ii > 0; --ii) {
+    const size_t i = ii - 1;
+    double acc = y[i];
+    for (size_t k = i + 1; k < n; ++k) acc -= lower(k, i) * x[k];
+    x[i] = acc / lower(i, i);
+  }
+  return x;
+}
+
+Result<Vector> SolveSpd(const Matrix& a, const Vector& b) {
+  if (a.rows() != b.size()) {
+    return Status::InvalidArgument("dimension mismatch in SolveSpd");
+  }
+  Result<Matrix> factor = CholeskyFactor(a);
+  if (!factor.ok()) return factor.status();
+  Vector y = ForwardSubstitute(factor.value(), b);
+  return BackSubstituteTranspose(factor.value(), y);
+}
+
+}  // namespace comfedsv

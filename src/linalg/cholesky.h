@@ -1,0 +1,27 @@
+// Cholesky factorization and SPD solves. The ALS matrix-completion solver
+// calls SolveSpd once per factor row per sweep with tiny (r x r) systems.
+#ifndef COMFEDSV_LINALG_CHOLESKY_H_
+#define COMFEDSV_LINALG_CHOLESKY_H_
+
+#include "common/status.h"
+#include "linalg/matrix.h"
+#include "linalg/vector.h"
+
+namespace comfedsv {
+
+/// Computes the lower-triangular Cholesky factor L with A = L L^T.
+/// Fails with kNumericalError if A is not (numerically) positive definite.
+Result<Matrix> CholeskyFactor(const Matrix& a);
+
+/// Solves A x = b for symmetric positive-definite A.
+Result<Vector> SolveSpd(const Matrix& a, const Vector& b);
+
+/// Solves L y = b (forward substitution) for lower-triangular L.
+Vector ForwardSubstitute(const Matrix& lower, const Vector& b);
+
+/// Solves L^T x = y (back substitution) given lower-triangular L.
+Vector BackSubstituteTranspose(const Matrix& lower, const Vector& y);
+
+}  // namespace comfedsv
+
+#endif  // COMFEDSV_LINALG_CHOLESKY_H_

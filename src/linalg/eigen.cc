@@ -1,0 +1,93 @@
+#include "linalg/eigen.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace comfedsv {
+
+Result<EigenDecomposition> SymmetricEigen(const Matrix& a,
+                                          double symmetry_tol,
+                                          int max_sweeps) {
+  if (a.rows() != a.cols()) {
+    return Status::InvalidArgument("SymmetricEigen requires a square matrix");
+  }
+  const size_t n = a.rows();
+  const double scale = std::max(a.MaxAbs(), 1e-300);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i + 1; j < n; ++j) {
+      if (std::fabs(a(i, j) - a(j, i)) > symmetry_tol * scale) {
+        return Status::InvalidArgument("matrix is not symmetric");
+      }
+    }
+  }
+
+  Matrix work = a;
+  Matrix v = Matrix::Identity(n);
+
+  auto off_diagonal_norm = [&] {
+    double acc = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      for (size_t j = i + 1; j < n; ++j) acc += work(i, j) * work(i, j);
+    }
+    return std::sqrt(2.0 * acc);
+  };
+
+  const double tol = 1e-14 * std::max(1.0, work.FrobeniusNorm());
+  for (int sweep = 0; sweep < max_sweeps; ++sweep) {
+    if (off_diagonal_norm() <= tol) break;
+    for (size_t p = 0; p < n; ++p) {
+      for (size_t q = p + 1; q < n; ++q) {
+        const double apq = work(p, q);
+        if (std::fabs(apq) <= 1e-300) continue;
+        const double app = work(p, p);
+        const double aqq = work(q, q);
+        const double theta = (aqq - app) / (2.0 * apq);
+        // Stable Jacobi rotation (Golub & Van Loan 8.4).
+        const double t = (theta >= 0.0)
+                             ? 1.0 / (theta + std::sqrt(1.0 + theta * theta))
+                             : 1.0 / (theta - std::sqrt(1.0 + theta * theta));
+        const double c = 1.0 / std::sqrt(1.0 + t * t);
+        const double s = t * c;
+        // Update rows/cols p and q of `work`.
+        for (size_t k = 0; k < n; ++k) {
+          const double akp = work(k, p);
+          const double akq = work(k, q);
+          work(k, p) = c * akp - s * akq;
+          work(k, q) = s * akp + c * akq;
+        }
+        for (size_t k = 0; k < n; ++k) {
+          const double apk = work(p, k);
+          const double aqk = work(q, k);
+          work(p, k) = c * apk - s * aqk;
+          work(q, k) = s * apk + c * aqk;
+        }
+        // Accumulate rotations into the eigenvector matrix.
+        for (size_t k = 0; k < n; ++k) {
+          const double vkp = v(k, p);
+          const double vkq = v(k, q);
+          v(k, p) = c * vkp - s * vkq;
+          v(k, q) = s * vkp + c * vkq;
+        }
+      }
+    }
+  }
+
+  // Sort eigenpairs by descending eigenvalue.
+  std::vector<size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](size_t x, size_t y) {
+    return work(x, x) > work(y, y);
+  });
+
+  EigenDecomposition out;
+  out.values = Vector(n);
+  out.vectors = Matrix(n, n);
+  for (size_t j = 0; j < n; ++j) {
+    out.values[j] = work(order[j], order[j]);
+    for (size_t i = 0; i < n; ++i) out.vectors(i, j) = v(i, order[j]);
+  }
+  return out;
+}
+
+}  // namespace comfedsv

@@ -1,0 +1,29 @@
+// Symmetric eigendecomposition via the cyclic Jacobi method. The SVD
+// (linalg/svd.h) reduces to this on the Gram matrix of the smaller side.
+#ifndef COMFEDSV_LINALG_EIGEN_H_
+#define COMFEDSV_LINALG_EIGEN_H_
+
+#include "common/status.h"
+#include "linalg/matrix.h"
+#include "linalg/vector.h"
+
+namespace comfedsv {
+
+/// Eigendecomposition of a symmetric matrix.
+struct EigenDecomposition {
+  /// Eigenvalues in descending order.
+  Vector values;
+  /// Column j of `vectors` is the unit eigenvector for values[j].
+  Matrix vectors;
+};
+
+/// Decomposes a symmetric matrix with the cyclic Jacobi method.
+/// Fails with kInvalidArgument if `a` is not square or not symmetric to
+/// within `symmetry_tol` (relative to its max entry).
+Result<EigenDecomposition> SymmetricEigen(const Matrix& a,
+                                          double symmetry_tol = 1e-8,
+                                          int max_sweeps = 64);
+
+}  // namespace comfedsv
+
+#endif  // COMFEDSV_LINALG_EIGEN_H_

@@ -1,0 +1,53 @@
+#include "linalg/eps_rank.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "linalg/svd.h"
+
+namespace comfedsv {
+
+Result<int> EpsRankUpperBound(const Matrix& a, double eps) {
+  if (eps <= 0.0) return Status::InvalidArgument("eps must be positive");
+  Result<SvdDecomposition> svd = ThinSvd(a);
+  if (!svd.ok()) return svd.status();
+  const SvdDecomposition& d = svd.value();
+  const size_t kmax = d.singular.size();
+
+  // Incrementally accumulate the rank-k reconstruction and test the
+  // max-entry error after each added component.
+  Matrix approx(a.rows(), a.cols());
+  auto max_error = [&] {
+    double m = 0.0;
+    for (size_t i = 0; i < a.rows(); ++i) {
+      for (size_t j = 0; j < a.cols(); ++j) {
+        m = std::max(m, std::fabs(a(i, j) - approx(i, j)));
+      }
+    }
+    return m;
+  };
+  if (max_error() <= eps) return 0;
+  for (size_t c = 0; c < kmax; ++c) {
+    const double s = d.singular[c];
+    for (size_t i = 0; i < a.rows(); ++i) {
+      const double uis = d.u(i, c) * s;
+      double* row = approx.RowPtr(i);
+      for (size_t j = 0; j < a.cols(); ++j) row[j] += uis * d.v(j, c);
+    }
+    if (max_error() <= eps) return static_cast<int>(c) + 1;
+  }
+  return static_cast<int>(kmax);
+}
+
+Result<int> EpsRankSpectralBound(const Matrix& a, double eps) {
+  if (eps <= 0.0) return Status::InvalidArgument("eps must be positive");
+  Result<Vector> sv = SingularValues(a);
+  if (!sv.ok()) return sv.status();
+  const Vector& s = sv.value();
+  for (size_t k = 0; k < s.size(); ++k) {
+    if (s[k] <= eps) return static_cast<int>(k);
+  }
+  return static_cast<int>(s.size());
+}
+
+}  // namespace comfedsv

@@ -1,0 +1,149 @@
+#include "linalg/matrix.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace comfedsv {
+
+Matrix Matrix::Identity(size_t n) {
+  Matrix m(n, n);
+  for (size_t i = 0; i < n; ++i) m(i, i) = 1.0;
+  return m;
+}
+
+Vector Matrix::Row(size_t i) const {
+  COMFEDSV_CHECK_LT(i, rows_);
+  Vector out(cols_);
+  const double* src = RowPtr(i);
+  for (size_t j = 0; j < cols_; ++j) out[j] = src[j];
+  return out;
+}
+
+Vector Matrix::Col(size_t j) const {
+  COMFEDSV_CHECK_LT(j, cols_);
+  Vector out(rows_);
+  for (size_t i = 0; i < rows_; ++i) out[i] = (*this)(i, j);
+  return out;
+}
+
+void Matrix::SetRow(size_t i, const Vector& v) {
+  COMFEDSV_CHECK_LT(i, rows_);
+  COMFEDSV_CHECK_EQ(v.size(), cols_);
+  double* dst = RowPtr(i);
+  for (size_t j = 0; j < cols_; ++j) dst[j] = v[j];
+}
+
+Matrix Matrix::Multiply(const Matrix& a, const Matrix& b) {
+  COMFEDSV_CHECK_EQ(a.cols(), b.rows());
+  Matrix out(a.rows(), b.cols());
+  // i-k-j loop order: streams through b's rows, cache-friendly for
+  // row-major storage.
+  for (size_t i = 0; i < a.rows(); ++i) {
+    double* out_row = out.RowPtr(i);
+    const double* a_row = a.RowPtr(i);
+    for (size_t k = 0; k < a.cols(); ++k) {
+      const double aik = a_row[k];
+      if (aik == 0.0) continue;
+      const double* b_row = b.RowPtr(k);
+      for (size_t j = 0; j < b.cols(); ++j) out_row[j] += aik * b_row[j];
+    }
+  }
+  return out;
+}
+
+Vector Matrix::MultiplyVec(const Vector& x) const {
+  COMFEDSV_CHECK_EQ(x.size(), cols_);
+  Vector y(rows_);
+  for (size_t i = 0; i < rows_; ++i) {
+    const double* row = RowPtr(i);
+    double acc = 0.0;
+    for (size_t j = 0; j < cols_; ++j) acc += row[j] * x[j];
+    y[i] = acc;
+  }
+  return y;
+}
+
+Vector Matrix::MultiplyTransposeVec(const Vector& x) const {
+  COMFEDSV_CHECK_EQ(x.size(), rows_);
+  Vector y(cols_);
+  for (size_t i = 0; i < rows_; ++i) {
+    const double* row = RowPtr(i);
+    const double xi = x[i];
+    if (xi == 0.0) continue;
+    for (size_t j = 0; j < cols_; ++j) y[j] += row[j] * xi;
+  }
+  return y;
+}
+
+Matrix Matrix::Transpose() const {
+  Matrix out(cols_, rows_);
+  for (size_t i = 0; i < rows_; ++i) {
+    const double* row = RowPtr(i);
+    for (size_t j = 0; j < cols_; ++j) out(j, i) = row[j];
+  }
+  return out;
+}
+
+void Matrix::Add(double alpha, const Matrix& other) {
+  COMFEDSV_CHECK_EQ(rows_, other.rows_);
+  COMFEDSV_CHECK_EQ(cols_, other.cols_);
+  for (size_t i = 0; i < data_.size(); ++i) {
+    data_[i] += alpha * other.data_[i];
+  }
+}
+
+void Matrix::Scale(double alpha) {
+  for (double& v : data_) v *= alpha;
+}
+
+Matrix Matrix::GramRows() const {
+  Matrix g(rows_, rows_);
+  for (size_t i = 0; i < rows_; ++i) {
+    const double* ri = RowPtr(i);
+    for (size_t j = i; j < rows_; ++j) {
+      const double* rj = RowPtr(j);
+      double acc = 0.0;
+      for (size_t k = 0; k < cols_; ++k) acc += ri[k] * rj[k];
+      g(i, j) = acc;
+      g(j, i) = acc;
+    }
+  }
+  return g;
+}
+
+double Matrix::FrobeniusNorm() const {
+  double acc = 0.0;
+  for (double v : data_) acc += v * v;
+  return std::sqrt(acc);
+}
+
+double Matrix::MaxAbs() const {
+  double m = 0.0;
+  for (double v : data_) m = std::max(m, std::fabs(v));
+  return m;
+}
+
+double Matrix::MaxAbsColumnSum() const {
+  double best = 0.0;
+  for (size_t j = 0; j < cols_; ++j) {
+    double sum = 0.0;
+    for (size_t i = 0; i < rows_; ++i) sum += std::fabs((*this)(i, j));
+    best = std::max(best, sum);
+  }
+  return best;
+}
+
+double Matrix::FrobeniusDistance(const Matrix& other) const {
+  COMFEDSV_CHECK_EQ(rows_, other.rows_);
+  COMFEDSV_CHECK_EQ(cols_, other.cols_);
+  double acc = 0.0;
+  for (size_t i = 0; i < data_.size(); ++i) {
+    double d = data_[i] - other.data_[i];
+    acc += d * d;
+  }
+  return std::sqrt(acc);
+}
+
+}  // namespace comfedsv

@@ -1,0 +1,97 @@
+// Dense row-major matrix with the BLAS-2/3 kernels used by the models,
+// the matrix-completion solvers, and the spectrum analysis.
+#ifndef COMFEDSV_LINALG_MATRIX_H_
+#define COMFEDSV_LINALG_MATRIX_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "linalg/vector.h"
+
+namespace comfedsv {
+
+/// Dense row-major matrix of doubles.
+class Matrix {
+ public:
+  Matrix() : rows_(0), cols_(0) {}
+
+  /// A rows x cols matrix of zeros.
+  Matrix(size_t rows, size_t cols) : rows_(rows), cols_(cols),
+                                     data_(rows * cols, 0.0) {}
+
+  /// A rows x cols matrix filled with `value`.
+  Matrix(size_t rows, size_t cols, double value)
+      : rows_(rows), cols_(cols), data_(rows * cols, value) {}
+
+  /// The n x n identity.
+  static Matrix Identity(size_t n);
+
+  size_t rows() const { return rows_; }
+  size_t cols() const { return cols_; }
+
+  double operator()(size_t i, size_t j) const {
+    return data_[i * cols_ + j];
+  }
+  double& operator()(size_t i, size_t j) { return data_[i * cols_ + j]; }
+
+  /// Pointer to the start of row `i`.
+  const double* RowPtr(size_t i) const { return data_.data() + i * cols_; }
+  double* RowPtr(size_t i) { return data_.data() + i * cols_; }
+
+  /// Copy of row `i` as a Vector.
+  Vector Row(size_t i) const;
+
+  /// Copy of column `j` as a Vector.
+  Vector Col(size_t j) const;
+
+  /// Overwrites row `i`. `v.size()` must equal cols().
+  void SetRow(size_t i, const Vector& v);
+
+  /// this = A * B (sizes must conform).
+  static Matrix Multiply(const Matrix& a, const Matrix& b);
+
+  /// y = this * x.
+  Vector MultiplyVec(const Vector& x) const;
+
+  /// y = this^T * x.
+  Vector MultiplyTransposeVec(const Vector& x) const;
+
+  /// Returns the transpose.
+  Matrix Transpose() const;
+
+  /// this += alpha * other (same shape).
+  void Add(double alpha, const Matrix& other);
+
+  /// this *= alpha.
+  void Scale(double alpha);
+
+  /// Gram matrix this * this^T (rows x rows, symmetric PSD).
+  Matrix GramRows() const;
+
+  /// Frobenius norm.
+  double FrobeniusNorm() const;
+
+  /// Largest absolute entry.
+  double MaxAbs() const;
+
+  /// Maximum absolute column sum (the operator 1-norm; Def. 5 in the paper
+  /// writes it as ||X||_1).
+  double MaxAbsColumnSum() const;
+
+  /// ||this - other||_F (same shape).
+  double FrobeniusDistance(const Matrix& other) const;
+
+  bool operator==(const Matrix& other) const {
+    return rows_ == other.rows_ && cols_ == other.cols_ &&
+           data_ == other.data_;
+  }
+
+ private:
+  size_t rows_;
+  size_t cols_;
+  std::vector<double> data_;
+};
+
+}  // namespace comfedsv
+
+#endif  // COMFEDSV_LINALG_MATRIX_H_

@@ -1,0 +1,100 @@
+#include "linalg/svd.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "linalg/eigen.h"
+
+namespace comfedsv {
+namespace {
+
+// Decides whether to form A A^T (rows <= cols) or A^T A (cols < rows).
+bool UseRowGram(const Matrix& a) { return a.rows() <= a.cols(); }
+
+}  // namespace
+
+Result<Vector> SingularValues(const Matrix& a) {
+  if (a.rows() == 0 || a.cols() == 0) {
+    return Status::InvalidArgument("SVD of an empty matrix");
+  }
+  Matrix gram = UseRowGram(a) ? a.GramRows() : a.Transpose().GramRows();
+  Result<EigenDecomposition> eig = SymmetricEigen(gram);
+  if (!eig.ok()) return eig.status();
+  const Vector& values = eig.value().values;
+  Vector out(values.size());
+  for (size_t i = 0; i < values.size(); ++i) {
+    out[i] = std::sqrt(std::max(0.0, values[i]));
+  }
+  return out;
+}
+
+Result<SvdDecomposition> ThinSvd(const Matrix& a) {
+  if (a.rows() == 0 || a.cols() == 0) {
+    return Status::InvalidArgument("SVD of an empty matrix");
+  }
+  const bool row_side = UseRowGram(a);
+  Matrix gram = row_side ? a.GramRows() : a.Transpose().GramRows();
+  Result<EigenDecomposition> eig = SymmetricEigen(gram);
+  if (!eig.ok()) return eig.status();
+  const EigenDecomposition& ed = eig.value();
+  const size_t k = gram.rows();
+
+  SvdDecomposition out;
+  out.singular = Vector(k);
+  for (size_t i = 0; i < k; ++i) {
+    out.singular[i] = std::sqrt(std::max(0.0, ed.values[i]));
+  }
+
+  // The Gram eigenvectors are the singular vectors of the smaller side; the
+  // other side follows from A v / sigma (or A^T u / sigma).
+  const double eps = 1e-12 * std::max(1.0, out.singular.empty()
+                                               ? 0.0
+                                               : out.singular[0]);
+  if (row_side) {
+    out.u = ed.vectors;  // rows x k
+    out.v = Matrix(a.cols(), k);
+    for (size_t j = 0; j < k; ++j) {
+      if (out.singular[j] <= eps) continue;
+      Vector uj = out.u.Col(j);
+      Vector vj = a.MultiplyTransposeVec(uj);
+      vj.Scale(1.0 / out.singular[j]);
+      for (size_t i = 0; i < a.cols(); ++i) out.v(i, j) = vj[i];
+    }
+  } else {
+    out.v = ed.vectors;  // cols x k
+    out.u = Matrix(a.rows(), k);
+    for (size_t j = 0; j < k; ++j) {
+      if (out.singular[j] <= eps) continue;
+      Vector vj = out.v.Col(j);
+      Vector uj = a.MultiplyVec(vj);
+      uj.Scale(1.0 / out.singular[j]);
+      for (size_t i = 0; i < a.rows(); ++i) out.u(i, j) = uj[i];
+    }
+  }
+  return out;
+}
+
+Result<Matrix> TruncatedSvdApproximation(const Matrix& a, int rank) {
+  if (rank < 0) return Status::InvalidArgument("rank must be non-negative");
+  Result<SvdDecomposition> svd = ThinSvd(a);
+  if (!svd.ok()) return svd.status();
+  const SvdDecomposition& d = svd.value();
+  const size_t k = std::min<size_t>(rank, d.singular.size());
+  Matrix out(a.rows(), a.cols());
+  for (size_t c = 0; c < k; ++c) {
+    const double s = d.singular[c];
+    if (s == 0.0) break;
+    for (size_t i = 0; i < a.rows(); ++i) {
+      const double uis = d.u(i, c) * s;
+      if (uis == 0.0) continue;
+      double* out_row = out.RowPtr(i);
+      for (size_t j = 0; j < a.cols(); ++j) {
+        out_row[j] += uis * d.v(j, c);
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace comfedsv

@@ -1,0 +1,32 @@
+// Singular value decomposition via the Gram-matrix eigendecomposition of
+// the smaller side. The utility matrices analysed in the paper (Fig. 2)
+// are T x 2^N with T << 2^N, so the Gram matrix is only T x T.
+#ifndef COMFEDSV_LINALG_SVD_H_
+#define COMFEDSV_LINALG_SVD_H_
+
+#include "common/status.h"
+#include "linalg/matrix.h"
+#include "linalg/vector.h"
+
+namespace comfedsv {
+
+/// Thin SVD A = U diag(s) V^T with k = min(rows, cols) components.
+struct SvdDecomposition {
+  Matrix u;        ///< rows x k, orthonormal columns.
+  Vector singular; ///< k singular values, descending, non-negative.
+  Matrix v;        ///< cols x k, orthonormal columns.
+};
+
+/// Singular values of `a` in descending order (length min(rows, cols)).
+Result<Vector> SingularValues(const Matrix& a);
+
+/// Thin SVD of `a`. Singular vectors for (numerically) zero singular
+/// values are zero columns.
+Result<SvdDecomposition> ThinSvd(const Matrix& a);
+
+/// Best rank-k approximation of `a` by truncated SVD.
+Result<Matrix> TruncatedSvdApproximation(const Matrix& a, int rank);
+
+}  // namespace comfedsv
+
+#endif  // COMFEDSV_LINALG_SVD_H_

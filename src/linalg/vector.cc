@@ -1,0 +1,109 @@
+#include "linalg/vector.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace comfedsv {
+
+double Vector::at(size_t i) const {
+  COMFEDSV_CHECK_LT(i, data_.size());
+  return data_[i];
+}
+
+void Vector::Fill(double value) {
+  std::fill(data_.begin(), data_.end(), value);
+}
+
+void Vector::Axpy(double alpha, const Vector& x) {
+  COMFEDSV_CHECK_EQ(size(), x.size());
+  const double* xp = x.data();
+  double* yp = data();
+  const size_t n = size();
+  for (size_t i = 0; i < n; ++i) yp[i] += alpha * xp[i];
+}
+
+void Vector::Scale(double alpha) {
+  for (double& v : data_) v *= alpha;
+}
+
+double Vector::Dot(const Vector& other) const {
+  COMFEDSV_CHECK_EQ(size(), other.size());
+  double acc = 0.0;
+  const double* a = data();
+  const double* b = other.data();
+  const size_t n = size();
+  for (size_t i = 0; i < n; ++i) acc += a[i] * b[i];
+  return acc;
+}
+
+double Vector::Norm2() const { return std::sqrt(Dot(*this)); }
+
+double Vector::MaxAbs() const {
+  double m = 0.0;
+  for (double v : data_) m = std::max(m, std::fabs(v));
+  return m;
+}
+
+double Vector::Sum() const {
+  double acc = 0.0;
+  for (double v : data_) acc += v;
+  return acc;
+}
+
+Vector Vector::operator+(const Vector& other) const {
+  Vector out = *this;
+  out += other;
+  return out;
+}
+
+Vector Vector::operator-(const Vector& other) const {
+  Vector out = *this;
+  out -= other;
+  return out;
+}
+
+Vector Vector::operator*(double alpha) const {
+  Vector out = *this;
+  out *= alpha;
+  return out;
+}
+
+Vector& Vector::operator+=(const Vector& other) {
+  Axpy(1.0, other);
+  return *this;
+}
+
+Vector& Vector::operator-=(const Vector& other) {
+  Axpy(-1.0, other);
+  return *this;
+}
+
+Vector& Vector::operator*=(double alpha) {
+  Scale(alpha);
+  return *this;
+}
+
+double Distance(const Vector& a, const Vector& b) {
+  COMFEDSV_CHECK_EQ(a.size(), b.size());
+  double acc = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    double d = a[i] - b[i];
+    acc += d * d;
+  }
+  return std::sqrt(acc);
+}
+
+Vector Mean(const std::vector<const Vector*>& vectors) {
+  COMFEDSV_CHECK(!vectors.empty());
+  Vector out(vectors[0]->size());
+  for (const Vector* v : vectors) {
+    COMFEDSV_CHECK(v != nullptr);
+    out.Axpy(1.0, *v);
+  }
+  out.Scale(1.0 / static_cast<double>(vectors.size()));
+  return out;
+}
+
+}  // namespace comfedsv

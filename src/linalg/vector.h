@@ -1,0 +1,91 @@
+// Dense double-precision vector.
+//
+// Models expose their parameters as flat Vectors so that FedAvg
+// aggregation, coalition averaging, and the matrix-completion factors all
+// run through the same handful of BLAS-1 kernels.
+#ifndef COMFEDSV_LINALG_VECTOR_H_
+#define COMFEDSV_LINALG_VECTOR_H_
+
+#include <cstddef>
+#include <initializer_list>
+#include <vector>
+
+namespace comfedsv {
+
+/// A dense vector of doubles with the BLAS-1 operations the library needs.
+class Vector {
+ public:
+  Vector() = default;
+
+  /// A vector of `n` zeros.
+  explicit Vector(size_t n) : data_(n, 0.0) {}
+
+  /// A vector of `n` copies of `value`.
+  Vector(size_t n, double value) : data_(n, value) {}
+
+  Vector(std::initializer_list<double> values) : data_(values) {}
+  explicit Vector(std::vector<double> values) : data_(std::move(values)) {}
+
+  size_t size() const { return data_.size(); }
+  bool empty() const { return data_.empty(); }
+
+  double operator[](size_t i) const { return data_[i]; }
+  double& operator[](size_t i) { return data_[i]; }
+
+  /// Bounds-checked access (fatal on violation).
+  double at(size_t i) const;
+
+  const double* data() const { return data_.data(); }
+  double* data() { return data_.data(); }
+
+  auto begin() { return data_.begin(); }
+  auto end() { return data_.end(); }
+  auto begin() const { return data_.begin(); }
+  auto end() const { return data_.end(); }
+
+  /// Sets every entry to `value`.
+  void Fill(double value);
+
+  /// Resizes, zero-filling any new entries.
+  void Resize(size_t n) { data_.resize(n, 0.0); }
+
+  /// this += alpha * x. Sizes must match.
+  void Axpy(double alpha, const Vector& x);
+
+  /// this *= alpha.
+  void Scale(double alpha);
+
+  /// Dot product. Sizes must match.
+  double Dot(const Vector& other) const;
+
+  /// Euclidean norm.
+  double Norm2() const;
+
+  /// Largest absolute entry (0 for an empty vector).
+  double MaxAbs() const;
+
+  /// Sum of entries.
+  double Sum() const;
+
+  Vector operator+(const Vector& other) const;
+  Vector operator-(const Vector& other) const;
+  Vector operator*(double alpha) const;
+  Vector& operator+=(const Vector& other);
+  Vector& operator-=(const Vector& other);
+  Vector& operator*=(double alpha);
+
+  bool operator==(const Vector& other) const { return data_ == other.data_; }
+
+ private:
+  std::vector<double> data_;
+};
+
+/// Euclidean distance ||a - b||.
+double Distance(const Vector& a, const Vector& b);
+
+/// Entry-wise mean of `vectors` (all the same size; the list is non-empty).
+Vector Mean(const std::vector<const Vector*>& vectors);
+
+}  // namespace comfedsv
+
+#endif  // COMFEDSV_LINALG_VECTOR_H_

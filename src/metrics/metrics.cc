@@ -1,0 +1,101 @@
+#include "metrics/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <set>
+
+#include "common/check.h"
+
+namespace comfedsv {
+
+double RelativeDifference(double a, double b) {
+  const double denom = std::max(a, b);
+  if (denom == 0.0) {
+    return (a == 0.0 && b == 0.0) ? 0.0 : 1.0;
+  }
+  return std::fabs(a - b) / std::fabs(denom);
+}
+
+std::vector<double> AverageRanks(const std::vector<double>& values) {
+  const size_t n = values.size();
+  std::vector<size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(),
+            [&](size_t x, size_t y) { return values[x] < values[y]; });
+  std::vector<double> ranks(n, 0.0);
+  size_t i = 0;
+  while (i < n) {
+    size_t j = i;
+    while (j + 1 < n && values[order[j + 1]] == values[order[i]]) ++j;
+    // Tie group [i, j] gets the average of ranks i+1 ... j+1.
+    const double avg_rank = 0.5 * static_cast<double>(i + j) + 1.0;
+    for (size_t k = i; k <= j; ++k) ranks[order[k]] = avg_rank;
+    i = j + 1;
+  }
+  return ranks;
+}
+
+Result<double> SpearmanCorrelation(const std::vector<double>& a,
+                                   const std::vector<double>& b) {
+  if (a.size() != b.size()) {
+    return Status::InvalidArgument("samples differ in length");
+  }
+  if (a.size() < 2) {
+    return Status::InvalidArgument("need at least two samples");
+  }
+  const std::vector<double> ra = AverageRanks(a);
+  const std::vector<double> rb = AverageRanks(b);
+  const double n = static_cast<double>(a.size());
+  double mean = (n + 1.0) / 2.0;
+  double cov = 0.0, var_a = 0.0, var_b = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    const double da = ra[i] - mean;
+    const double db = rb[i] - mean;
+    cov += da * db;
+    var_a += da * da;
+    var_b += db * db;
+  }
+  if (var_a == 0.0 || var_b == 0.0) {
+    return Status::NumericalError("zero rank variance");
+  }
+  return cov / std::sqrt(var_a * var_b);
+}
+
+double JaccardIndex(const std::vector<int>& a, const std::vector<int>& b) {
+  const std::set<int> sa(a.begin(), a.end());
+  const std::set<int> sb(b.begin(), b.end());
+  if (sa.empty() && sb.empty()) return 1.0;
+  size_t intersection = 0;
+  for (int x : sa) {
+    if (sb.count(x)) ++intersection;
+  }
+  const size_t unions = sa.size() + sb.size() - intersection;
+  return static_cast<double>(intersection) / static_cast<double>(unions);
+}
+
+std::vector<int> BottomKIndices(const Vector& values, int k) {
+  COMFEDSV_CHECK_GE(k, 0);
+  COMFEDSV_CHECK_LE(static_cast<size_t>(k), values.size());
+  std::vector<int> order(values.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(),
+            [&](int x, int y) { return values[x] < values[y]; });
+  order.resize(k);
+  std::sort(order.begin(), order.end());
+  return order;
+}
+
+EmpiricalCdf::EmpiricalCdf(std::vector<double> samples)
+    : sorted_(std::move(samples)) {
+  COMFEDSV_CHECK(!sorted_.empty());
+  std::sort(sorted_.begin(), sorted_.end());
+}
+
+double EmpiricalCdf::At(double t) const {
+  const auto it = std::upper_bound(sorted_.begin(), sorted_.end(), t);
+  return static_cast<double>(it - sorted_.begin()) /
+         static_cast<double>(sorted_.size());
+}
+
+}  // namespace comfedsv

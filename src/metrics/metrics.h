@@ -1,0 +1,58 @@
+// Evaluation metrics used by the paper's experiment section:
+//   * relative difference d_{i,j} (Eq. 7) — the fairness statistic;
+//   * empirical CDF (Fig. 5);
+//   * Spearman's rank correlation (Fig. 6);
+//   * Jaccard coefficient between index sets (Fig. 7).
+#ifndef COMFEDSV_METRICS_METRICS_H_
+#define COMFEDSV_METRICS_METRICS_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "linalg/vector.h"
+
+namespace comfedsv {
+
+/// Relative difference d_{i,j} = |a - b| / max{a, b} (Eq. 7 of the paper).
+/// By the paper's convention the denominator is the (signed) max of the
+/// two values; when both are 0 the difference is defined as 0. Values are
+/// clamped into [0, 1] only when both inputs are non-negative; for mixed
+/// signs the raw ratio is returned.
+double RelativeDifference(double a, double b);
+
+/// Average ranks of `values` (1-based, ties get the mean of their ranks).
+std::vector<double> AverageRanks(const std::vector<double>& values);
+
+/// Spearman's rank correlation between two equal-length samples.
+/// Fails on length < 2 or zero rank variance.
+Result<double> SpearmanCorrelation(const std::vector<double>& a,
+                                   const std::vector<double>& b);
+
+/// Jaccard coefficient |A ∩ B| / |A ∪ B| between two index sets
+/// (duplicates ignored). The Jaccard of two empty sets is defined as 1.
+double JaccardIndex(const std::vector<int>& a, const std::vector<int>& b);
+
+/// Indices of the k smallest values (the "bottom-k clients" of Fig. 7).
+std::vector<int> BottomKIndices(const Vector& values, int k);
+
+/// Empirical cumulative distribution: P(X <= t) for a sample.
+class EmpiricalCdf {
+ public:
+  explicit EmpiricalCdf(std::vector<double> samples);
+
+  /// P(X <= t) under the empirical distribution.
+  double At(double t) const;
+
+  /// Number of samples.
+  size_t size() const { return sorted_.size(); }
+
+  /// The sorted sample.
+  const std::vector<double>& sorted_samples() const { return sorted_; }
+
+ private:
+  std::vector<double> sorted_;
+};
+
+}  // namespace comfedsv
+
+#endif  // COMFEDSV_METRICS_METRICS_H_

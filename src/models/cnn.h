@@ -1,0 +1,77 @@
+// Small convolutional network: conv(3x3, valid) -> ReLU -> maxpool(2x2)
+// -> fully-connected -> softmax. This is the library's stand-in for the
+// paper's CNN/VGG16 models (see DESIGN.md substitutions): it exercises a
+// genuinely non-convex, weight-shared architecture through the same
+// valuation pipeline.
+#ifndef COMFEDSV_MODELS_CNN_H_
+#define COMFEDSV_MODELS_CNN_H_
+
+#include <string>
+#include <vector>
+
+#include "models/model.h"
+
+namespace comfedsv {
+
+/// Configuration of the small CNN.
+struct CnnConfig {
+  int image_side = 8;    ///< input is channels x side x side
+  int channels = 1;      ///< 1 for MNIST-like, 3 for CIFAR-like
+  int num_filters = 8;   ///< conv output channels
+  int num_classes = 10;
+  double l2_penalty = 0.0;
+};
+
+/// conv3x3(valid) -> ReLU -> maxpool2x2 -> FC -> softmax.
+///
+/// Input rows are images flattened channel-major:
+/// x[ch * side * side + r * side + c].
+/// Flat parameter layout: conv weights [filters][channels][3][3], conv
+/// bias [filters], FC weights (pooled_dim x classes) row-major, FC bias
+/// [classes].
+class Cnn : public Model {
+ public:
+  explicit Cnn(const CnnConfig& config);
+
+  size_t num_params() const override { return total_params_; }
+  size_t input_dim() const override {
+    return static_cast<size_t>(config_.channels) * config_.image_side *
+           config_.image_side;
+  }
+  int num_classes() const override { return config_.num_classes; }
+  std::string name() const override { return "cnn"; }
+
+  double Loss(const Vector& params, const Dataset& data) const override;
+  double LossAndGradient(const Vector& params, const Dataset& data,
+                         Vector* grad) const override;
+  int Predict(const Vector& params, const double* x) const override;
+
+  int conv_side() const { return conv_side_; }
+  int pool_side() const { return pool_side_; }
+  size_t pooled_dim() const { return pooled_dim_; }
+
+ private:
+  struct ForwardState {
+    std::vector<double> conv;    // filters * conv_side^2, post-ReLU
+    std::vector<double> pooled;  // filters * pool_side^2
+    std::vector<int> argmax;     // index into conv for each pooled cell
+    std::vector<double> probs;   // classes
+  };
+
+  double ForwardSample(const Vector& params, const double* x, int label,
+                       ForwardState* state) const;
+
+  CnnConfig config_;
+  int conv_side_;
+  int pool_side_;
+  size_t pooled_dim_;
+  size_t conv_weights_offset_;
+  size_t conv_bias_offset_;
+  size_t fc_weights_offset_;
+  size_t fc_bias_offset_;
+  size_t total_params_;
+};
+
+}  // namespace comfedsv
+
+#endif  // COMFEDSV_MODELS_CNN_H_

@@ -1,0 +1,39 @@
+#include "models/gradient_check.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace comfedsv {
+
+Vector FiniteDifferenceGradient(const Model& model, const Vector& params,
+                                const Dataset& data, double step) {
+  COMFEDSV_CHECK_GT(step, 0.0);
+  Vector perturbed = params;
+  Vector grad(params.size());
+  for (size_t i = 0; i < params.size(); ++i) {
+    const double original = perturbed[i];
+    perturbed[i] = original + step;
+    const double up = model.Loss(perturbed, data);
+    perturbed[i] = original - step;
+    const double down = model.Loss(perturbed, data);
+    perturbed[i] = original;
+    grad[i] = (up - down) / (2.0 * step);
+  }
+  return grad;
+}
+
+double MaxRelativeGradientError(const Model& model, const Vector& params,
+                                const Dataset& data, double step) {
+  Vector analytic;
+  model.LossAndGradient(params, data, &analytic);
+  Vector numeric = FiniteDifferenceGradient(model, params, data, step);
+  double max_diff = 0.0;
+  for (size_t i = 0; i < analytic.size(); ++i) {
+    max_diff = std::max(max_diff, std::fabs(analytic[i] - numeric[i]));
+  }
+  return max_diff / std::max(1.0, analytic.MaxAbs());
+}
+
+}  // namespace comfedsv

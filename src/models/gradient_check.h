@@ -1,0 +1,25 @@
+// Finite-difference gradient verification. Exposed as a library utility so
+// both the unit tests and downstream users adding custom models can check
+// their analytic gradients.
+#ifndef COMFEDSV_MODELS_GRADIENT_CHECK_H_
+#define COMFEDSV_MODELS_GRADIENT_CHECK_H_
+
+#include "data/dataset.h"
+#include "linalg/vector.h"
+#include "models/model.h"
+
+namespace comfedsv {
+
+/// Central-difference numerical gradient of `model`'s loss at `params`.
+/// O(num_params) loss evaluations — test-sized inputs only.
+Vector FiniteDifferenceGradient(const Model& model, const Vector& params,
+                                const Dataset& data, double step = 1e-5);
+
+/// Largest absolute difference between the analytic and finite-difference
+/// gradients, normalized by max(1, ||analytic||_inf).
+double MaxRelativeGradientError(const Model& model, const Vector& params,
+                                const Dataset& data, double step = 1e-5);
+
+}  // namespace comfedsv
+
+#endif  // COMFEDSV_MODELS_GRADIENT_CHECK_H_

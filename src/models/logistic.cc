@@ -1,0 +1,105 @@
+#include "models/logistic.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/check.h"
+
+namespace comfedsv {
+
+LogisticRegression::LogisticRegression(size_t input_dim, int num_classes,
+                                       double l2_penalty)
+    : dim_(input_dim), classes_(num_classes), l2_penalty_(l2_penalty) {
+  COMFEDSV_CHECK_GT(dim_, 0u);
+  COMFEDSV_CHECK_GT(classes_, 1);
+  COMFEDSV_CHECK_GE(l2_penalty_, 0.0);
+}
+
+size_t LogisticRegression::num_params() const {
+  return dim_ * static_cast<size_t>(classes_) +
+         static_cast<size_t>(classes_);
+}
+
+double LogisticRegression::ForwardSample(const Vector& params,
+                                         const double* x, int label,
+                                         double* probs) const {
+  const double* w = params.data();                  // dim x classes
+  const double* b = params.data() + dim_ * classes_;  // classes
+  for (int c = 0; c < classes_; ++c) probs[c] = b[c];
+  for (size_t j = 0; j < dim_; ++j) {
+    const double xj = x[j];
+    if (xj == 0.0) continue;
+    const double* wrow = w + j * classes_;
+    for (int c = 0; c < classes_; ++c) probs[c] += xj * wrow[c];
+  }
+  double max_logit = probs[0];
+  for (int c = 1; c < classes_; ++c) max_logit = std::max(max_logit, probs[c]);
+  double sum = 0.0;
+  for (int c = 0; c < classes_; ++c) {
+    probs[c] = std::exp(probs[c] - max_logit);
+    sum += probs[c];
+  }
+  double loss = 0.0;
+  if (label >= 0) loss = -std::log(std::max(probs[label] / sum, 1e-300));
+  for (int c = 0; c < classes_; ++c) probs[c] /= sum;
+  return loss;
+}
+
+double LogisticRegression::Loss(const Vector& params,
+                                const Dataset& data) const {
+  COMFEDSV_CHECK_EQ(params.size(), num_params());
+  COMFEDSV_CHECK_EQ(data.dim(), dim_);
+  std::vector<double> probs(classes_);
+  double total = 0.0;
+  for (size_t i = 0; i < data.num_samples(); ++i) {
+    total += ForwardSample(params, data.sample(i), data.label(i),
+                           probs.data());
+  }
+  double mean = data.empty() ? 0.0
+                             : total / static_cast<double>(data.num_samples());
+  return mean + 0.5 * l2_penalty_ * params.Dot(params);
+}
+
+double LogisticRegression::LossAndGradient(const Vector& params,
+                                           const Dataset& data,
+                                           Vector* grad) const {
+  COMFEDSV_CHECK_EQ(params.size(), num_params());
+  COMFEDSV_CHECK_EQ(data.dim(), dim_);
+  COMFEDSV_CHECK(grad != nullptr);
+  grad->Resize(num_params());
+  grad->Fill(0.0);
+
+  std::vector<double> probs(classes_);
+  double total = 0.0;
+  double* gw = grad->data();
+  double* gb = grad->data() + dim_ * classes_;
+  for (size_t i = 0; i < data.num_samples(); ++i) {
+    const double* x = data.sample(i);
+    const int y = data.label(i);
+    total += ForwardSample(params, x, y, probs.data());
+    // dL/dlogit_c = p_c - 1{c == y}
+    probs[y] -= 1.0;
+    for (size_t j = 0; j < dim_; ++j) {
+      const double xj = x[j];
+      if (xj == 0.0) continue;
+      double* gw_row = gw + j * classes_;
+      for (int c = 0; c < classes_; ++c) gw_row[c] += xj * probs[c];
+    }
+    for (int c = 0; c < classes_; ++c) gb[c] += probs[c];
+  }
+  const double inv_n =
+      data.empty() ? 0.0 : 1.0 / static_cast<double>(data.num_samples());
+  grad->Scale(inv_n);
+  grad->Axpy(l2_penalty_, params);
+  return total * inv_n + 0.5 * l2_penalty_ * params.Dot(params);
+}
+
+int LogisticRegression::Predict(const Vector& params, const double* x) const {
+  std::vector<double> probs(classes_);
+  ForwardSample(params, x, /*label=*/-1, probs.data());
+  return static_cast<int>(std::max_element(probs.begin(), probs.end()) -
+                          probs.begin());
+}
+
+}  // namespace comfedsv

@@ -1,0 +1,50 @@
+// Multinomial (softmax) logistic regression with L2 regularization.
+//
+// With l2_penalty > 0 the loss is Lipschitz-on-bounded-sets, smooth, and
+// strongly convex — exactly the conditions of Propositions 1 and 2, which
+// makes this the model used by the rank-bound validation bench.
+#ifndef COMFEDSV_MODELS_LOGISTIC_H_
+#define COMFEDSV_MODELS_LOGISTIC_H_
+
+#include <string>
+
+#include "models/model.h"
+
+namespace comfedsv {
+
+/// Softmax regression: logits = W^T x + b.
+/// Parameter layout: W row-major (dim x classes) followed by b (classes).
+class LogisticRegression : public Model {
+ public:
+  /// `l2_penalty` adds 0.5 * l2 * ||params||^2 to the loss (all parameters,
+  /// so the objective is l2-strongly convex).
+  LogisticRegression(size_t input_dim, int num_classes,
+                     double l2_penalty = 0.0);
+
+  size_t num_params() const override;
+  size_t input_dim() const override { return dim_; }
+  int num_classes() const override { return classes_; }
+  std::string name() const override { return "logistic"; }
+
+  double Loss(const Vector& params, const Dataset& data) const override;
+  double LossAndGradient(const Vector& params, const Dataset& data,
+                         Vector* grad) const override;
+  int Predict(const Vector& params, const double* x) const override;
+
+  double l2_penalty() const { return l2_penalty_; }
+
+ private:
+  // Computes softmax probabilities for sample `x` into `probs` (length
+  // classes_); returns the log-sum-exp-normalized log-loss contribution
+  // for `label` if label >= 0, else 0.
+  double ForwardSample(const Vector& params, const double* x, int label,
+                       double* probs) const;
+
+  size_t dim_;
+  int classes_;
+  double l2_penalty_;
+};
+
+}  // namespace comfedsv
+
+#endif  // COMFEDSV_MODELS_LOGISTIC_H_

@@ -1,0 +1,61 @@
+// Fully connected neural network (multilayer perceptron) with ReLU hidden
+// activations and a softmax cross-entropy output — the paper's model for
+// MNIST. Backpropagation is hand-written over the flat parameter layout.
+#ifndef COMFEDSV_MODELS_MLP_H_
+#define COMFEDSV_MODELS_MLP_H_
+
+#include <string>
+#include <vector>
+
+#include "models/model.h"
+
+namespace comfedsv {
+
+/// MLP with layer sizes {input, hidden..., classes}.
+///
+/// Flat parameter layout, layer by layer: W_l row-major
+/// (in_l x out_l) followed by b_l (out_l).
+class Mlp : public Model {
+ public:
+  /// `layer_sizes` must have >= 2 entries; the first is the input
+  /// dimension, the last is the number of classes.
+  /// `l2_penalty` adds 0.5 * l2 * ||params||^2 to the loss.
+  explicit Mlp(std::vector<size_t> layer_sizes, double l2_penalty = 0.0);
+
+  size_t num_params() const override { return total_params_; }
+  size_t input_dim() const override { return layer_sizes_.front(); }
+  int num_classes() const override {
+    return static_cast<int>(layer_sizes_.back());
+  }
+  std::string name() const override { return "mlp"; }
+
+  double Loss(const Vector& params, const Dataset& data) const override;
+  double LossAndGradient(const Vector& params, const Dataset& data,
+                         Vector* grad) const override;
+  int Predict(const Vector& params, const double* x) const override;
+
+  int num_layers() const { return static_cast<int>(layer_sizes_.size()) - 1; }
+
+ private:
+  struct LayerOffsets {
+    size_t weights;  // offset of W_l in the flat vector
+    size_t bias;     // offset of b_l
+    size_t in;       // fan-in
+    size_t out;      // fan-out
+  };
+
+  // Runs the forward pass for one sample; `activations[l]` receives the
+  // post-activation output of layer l (layer num_layers()-1 holds softmax
+  // probabilities). Returns the cross-entropy loss for `label` (>= 0) or 0.
+  double ForwardSample(const Vector& params, const double* x, int label,
+                       std::vector<std::vector<double>>* activations) const;
+
+  std::vector<size_t> layer_sizes_;
+  std::vector<LayerOffsets> offsets_;
+  size_t total_params_;
+  double l2_penalty_;
+};
+
+}  // namespace comfedsv
+
+#endif  // COMFEDSV_MODELS_MLP_H_

@@ -1,0 +1,27 @@
+#include "models/model.h"
+
+#include "common/check.h"
+
+namespace comfedsv {
+
+double Model::Accuracy(const Vector& params, const Dataset& data) const {
+  COMFEDSV_CHECK_EQ(data.dim(), input_dim());
+  if (data.empty()) return 0.0;
+  size_t correct = 0;
+  for (size_t i = 0; i < data.num_samples(); ++i) {
+    if (Predict(params, data.sample(i)) == data.label(i)) ++correct;
+  }
+  return static_cast<double>(correct) /
+         static_cast<double>(data.num_samples());
+}
+
+void Model::InitializeParams(Vector* params, Rng* rng, double scale) const {
+  COMFEDSV_CHECK(params != nullptr);
+  COMFEDSV_CHECK(rng != nullptr);
+  params->Resize(num_params());
+  for (size_t i = 0; i < params->size(); ++i) {
+    (*params)[i] = rng->NextGaussian(0.0, scale);
+  }
+}
+
+}  // namespace comfedsv

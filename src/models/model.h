@@ -1,0 +1,56 @@
+// Model interface.
+//
+// Every model exposes its parameters as one flat Vector so the federated
+// substrate can average, perturb, and evaluate parameters without knowing
+// the architecture. Gradients are analytic; tests validate them against
+// finite differences (models/gradient_check.h).
+#ifndef COMFEDSV_MODELS_MODEL_H_
+#define COMFEDSV_MODELS_MODEL_H_
+
+#include <memory>
+#include <string>
+
+#include "common/rng.h"
+#include "data/dataset.h"
+#include "linalg/vector.h"
+
+namespace comfedsv {
+
+/// A differentiable classifier over flat parameter vectors.
+class Model {
+ public:
+  virtual ~Model() = default;
+
+  /// Length of the flat parameter vector.
+  virtual size_t num_params() const = 0;
+
+  /// Input dimension this model expects.
+  virtual size_t input_dim() const = 0;
+
+  /// Number of classes.
+  virtual int num_classes() const = 0;
+
+  /// Short architecture name for logs and reports.
+  virtual std::string name() const = 0;
+
+  /// Mean loss over `data` (plus any built-in L2 regularizer).
+  virtual double Loss(const Vector& params, const Dataset& data) const = 0;
+
+  /// Mean loss and its gradient; `grad` is resized and overwritten.
+  virtual double LossAndGradient(const Vector& params, const Dataset& data,
+                                 Vector* grad) const = 0;
+
+  /// Predicted class for a single feature row `x` of length input_dim().
+  virtual int Predict(const Vector& params, const double* x) const = 0;
+
+  /// Fraction of `data` classified correctly.
+  double Accuracy(const Vector& params, const Dataset& data) const;
+
+  /// Fills `params` with a small random initialization (N(0, scale^2)).
+  void InitializeParams(Vector* params, Rng* rng,
+                        double scale = 0.05) const;
+};
+
+}  // namespace comfedsv
+
+#endif  // COMFEDSV_MODELS_MODEL_H_

@@ -1,0 +1,72 @@
+// Coalition: a subset of clients out of a fixed universe {0, ..., N-1}.
+// Implemented as a dynamic bitset so the library supports N > 64 (the
+// paper's Fig. 7/8 experiments use up to 100 clients).
+#ifndef COMFEDSV_SHAPLEY_COALITION_H_
+#define COMFEDSV_SHAPLEY_COALITION_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+namespace comfedsv {
+
+/// A subset of {0, ..., universe_size-1}, hashable and order-comparable.
+class Coalition {
+ public:
+  Coalition() : universe_size_(0) {}
+
+  /// The empty coalition over a universe of `universe_size` clients.
+  explicit Coalition(int universe_size);
+
+  /// Coalition containing exactly `members`.
+  static Coalition FromMembers(int universe_size,
+                               const std::vector<int>& members);
+
+  /// The full coalition {0, ..., universe_size-1}.
+  static Coalition Full(int universe_size);
+
+  int universe_size() const { return universe_size_; }
+
+  void Add(int client);
+  void Remove(int client);
+  bool Contains(int client) const;
+
+  /// Number of members.
+  int Count() const;
+  bool IsEmpty() const { return Count() == 0; }
+
+  /// True iff every member of this coalition is in `other`.
+  bool IsSubsetOf(const Coalition& other) const;
+
+  /// Sorted member list.
+  std::vector<int> Members() const;
+
+  /// Copy with `client` added / removed.
+  Coalition With(int client) const;
+  Coalition Without(int client) const;
+
+  bool operator==(const Coalition& other) const {
+    return universe_size_ == other.universe_size_ && words_ == other.words_;
+  }
+  bool operator!=(const Coalition& other) const { return !(*this == other); }
+
+  /// Lexicographic order on the bit pattern (for deterministic maps).
+  bool operator<(const Coalition& other) const;
+
+  size_t Hash() const;
+
+ private:
+  void CheckClient(int client) const;
+
+  int universe_size_;
+  std::vector<uint64_t> words_;
+};
+
+/// Hash functor for unordered containers.
+struct CoalitionHash {
+  size_t operator()(const Coalition& c) const { return c.Hash(); }
+};
+
+}  // namespace comfedsv
+
+#endif  // COMFEDSV_SHAPLEY_COALITION_H_

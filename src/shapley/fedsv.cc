@@ -1,0 +1,42 @@
+#include "shapley/fedsv.h"
+
+#include "common/check.h"
+#include "shapley/shapley.h"
+#include "shapley/utility.h"
+
+namespace comfedsv {
+
+FedSvEvaluator::FedSvEvaluator(const Model* model, const Dataset* test_data,
+                               int num_clients, FedSvConfig config)
+    : model_(model),
+      test_data_(test_data),
+      config_(config),
+      values_(num_clients),
+      rng_(config.seed) {
+  COMFEDSV_CHECK(model_ != nullptr);
+  COMFEDSV_CHECK(test_data_ != nullptr);
+  COMFEDSV_CHECK_GT(num_clients, 0);
+}
+
+void FedSvEvaluator::OnRound(const RoundRecord& record) {
+  const int n = static_cast<int>(values_.size());
+  RoundUtility utility(model_, test_data_, &record, &loss_calls_);
+  UtilityFn fn = [&utility](const Coalition& c) {
+    return utility.Utility(c);
+  };
+
+  Result<Vector> round_values = Status::Internal("unset");
+  if (config_.mode == FedSvConfig::Mode::kExact) {
+    round_values = ExactShapley(n, record.selected, fn);
+  } else {
+    int budget = config_.permutations_per_round > 0
+                     ? config_.permutations_per_round
+                     : DefaultPermutationBudget(
+                           static_cast<int>(record.selected.size()));
+    round_values = MonteCarloShapley(n, record.selected, fn, budget, &rng_);
+  }
+  COMFEDSV_CHECK_OK(round_values.status());
+  values_ += round_values.value();
+}
+
+}  // namespace comfedsv

@@ -1,0 +1,60 @@
+// Federated Shapley value (Wang et al. 2020; Definition 2 of the paper):
+// in each round, the Shapley value of the round's utility game restricted
+// to the selected clients I_t; unselected clients get zero. The final
+// FedSV is the sum over rounds.
+//
+// This is the baseline the paper improves on — Observation 1 / Example 1
+// show it violates symmetry under partial participation.
+#ifndef COMFEDSV_SHAPLEY_FEDSV_H_
+#define COMFEDSV_SHAPLEY_FEDSV_H_
+
+#include <cstdint>
+
+#include "common/rng.h"
+#include "data/dataset.h"
+#include "fl/round_record.h"
+#include "linalg/vector.h"
+#include "models/model.h"
+
+namespace comfedsv {
+
+/// How each round's restricted Shapley values are computed.
+struct FedSvConfig {
+  enum class Mode {
+    kExact,       ///< 2^|I_t| subset enumeration (small I_t)
+    kMonteCarlo,  ///< permutation sampling (the paper's large-K setting)
+  };
+  Mode mode = Mode::kExact;
+  /// Permutations per round for kMonteCarlo; 0 = DefaultPermutationBudget
+  /// (O(K log K), the budget in the paper's Sec. VII-D analysis).
+  int permutations_per_round = 0;
+  uint64_t seed = 0;
+};
+
+/// Accumulates FedSV over a training run. Plug into FedAvgTrainer::Train
+/// as the RoundObserver, then read values().
+class FedSvEvaluator : public RoundObserver {
+ public:
+  FedSvEvaluator(const Model* model, const Dataset* test_data,
+                 int num_clients, FedSvConfig config);
+
+  void OnRound(const RoundRecord& record) override;
+
+  /// Per-client FedSV s_i accumulated so far (length num_clients).
+  const Vector& values() const { return values_; }
+
+  /// Total test-loss evaluations spent (the Fig. 8 cost unit).
+  int64_t loss_calls() const { return loss_calls_; }
+
+ private:
+  const Model* model_;
+  const Dataset* test_data_;
+  FedSvConfig config_;
+  Vector values_;
+  Rng rng_;
+  int64_t loss_calls_ = 0;
+};
+
+}  // namespace comfedsv
+
+#endif  // COMFEDSV_SHAPLEY_FEDSV_H_

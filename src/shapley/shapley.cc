@@ -1,0 +1,87 @@
+#include "shapley/shapley.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+
+#include "common/check.h"
+#include "common/combinatorics.h"
+
+namespace comfedsv {
+
+Result<Vector> ExactShapley(int universe_size,
+                            const std::vector<int>& players,
+                            const UtilityFn& utility, int max_players) {
+  const int m = static_cast<int>(players.size());
+  if (m == 0) return Status::InvalidArgument("no players");
+  if (m > max_players) {
+    return Status::InvalidArgument(
+        "too many players for exact enumeration");
+  }
+
+  // Evaluate the utility of every subset of `players`, indexed by the
+  // local bitmask over positions in `players`.
+  const uint32_t num_subsets = 1u << m;
+  std::vector<double> subset_utility(num_subsets);
+  for (uint32_t mask = 0; mask < num_subsets; ++mask) {
+    Coalition c(universe_size);
+    for (int p = 0; p < m; ++p) {
+      if (mask & (1u << p)) c.Add(players[p]);
+    }
+    subset_utility[mask] = utility(c);
+  }
+
+  // phi_i = (1/m) sum_{S not containing i} [1 / C(m-1, |S|)]
+  //         * [U(S + i) - U(S)].
+  Vector values(universe_size);
+  for (int p = 0; p < m; ++p) {
+    const uint32_t bit = 1u << p;
+    double acc = 0.0;
+    for (uint32_t mask = 0; mask < num_subsets; ++mask) {
+      if (mask & bit) continue;
+      const int s = std::popcount(mask);
+      const double weight = 1.0 / Binomial(m - 1, s);
+      acc += weight * (subset_utility[mask | bit] - subset_utility[mask]);
+    }
+    values[players[p]] = acc / static_cast<double>(m);
+  }
+  return values;
+}
+
+Result<Vector> MonteCarloShapley(int universe_size,
+                                 const std::vector<int>& players,
+                                 const UtilityFn& utility,
+                                 int num_permutations, Rng* rng) {
+  if (players.empty()) return Status::InvalidArgument("no players");
+  if (num_permutations <= 0) {
+    return Status::InvalidArgument("num_permutations must be positive");
+  }
+  COMFEDSV_CHECK(rng != nullptr);
+
+  const int m = static_cast<int>(players.size());
+  Vector values(universe_size);
+  std::vector<int> order(players);
+  for (int sample = 0; sample < num_permutations; ++sample) {
+    rng->Shuffle(&order);
+    Coalition prefix(universe_size);
+    double prev_utility = 0.0;  // U(empty) = 0 by convention
+    for (int pos = 0; pos < m; ++pos) {
+      prefix.Add(order[pos]);
+      const double cur_utility = utility(prefix);
+      values[order[pos]] += cur_utility - prev_utility;
+      prev_utility = cur_utility;
+    }
+  }
+  values.Scale(1.0 / static_cast<double>(num_permutations));
+  return values;
+}
+
+int DefaultPermutationBudget(int num_players) {
+  COMFEDSV_CHECK_GT(num_players, 0);
+  const double suggested =
+      std::ceil(static_cast<double>(num_players) *
+                std::log(static_cast<double>(num_players) + 1.0));
+  return std::max(8, static_cast<int>(suggested));
+}
+
+}  // namespace comfedsv

@@ -1,0 +1,47 @@
+// Classical Shapley value over an arbitrary black-box utility function:
+// exact subset enumeration for small player sets and permutation-sampling
+// Monte Carlo for large ones. Both are the building blocks of FedSV
+// (Def. 2) and of the ground-truth evaluations in the experiments.
+#ifndef COMFEDSV_SHAPLEY_SHAPLEY_H_
+#define COMFEDSV_SHAPLEY_SHAPLEY_H_
+
+#include <functional>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "linalg/vector.h"
+#include "shapley/coalition.h"
+
+namespace comfedsv {
+
+/// Black-box coalition utility. Implementations should memoize internally
+/// if evaluations are expensive (RoundUtility does).
+using UtilityFn = std::function<double(const Coalition&)>;
+
+/// Exact Shapley values of `players` (a subset of the universe) by full
+/// subset enumeration: 2^|players| utility evaluations.
+///
+/// Returns a vector indexed by universe client id; non-players get 0.
+/// Fails with kInvalidArgument if |players| > max_players (the 2^m blowup
+/// guard).
+Result<Vector> ExactShapley(int universe_size,
+                            const std::vector<int>& players,
+                            const UtilityFn& utility, int max_players = 25);
+
+/// Permutation-sampling Monte-Carlo Shapley estimate (Castro et al. /
+/// Maleki et al., the estimator in Sec. VI-E): averages marginal
+/// contributions along `num_permutations` random orderings of `players`.
+/// Unbiased; O(num_permutations * |players|) utility evaluations.
+Result<Vector> MonteCarloShapley(int universe_size,
+                                 const std::vector<int>& players,
+                                 const UtilityFn& utility,
+                                 int num_permutations, Rng* rng);
+
+/// The paper's default permutation budget O(K log K) for a K-player game
+/// (Maleki et al. bound referenced in Sec. VI-E), floored at 8.
+int DefaultPermutationBudget(int num_players);
+
+}  // namespace comfedsv
+
+#endif  // COMFEDSV_SHAPLEY_SHAPLEY_H_

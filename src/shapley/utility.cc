@@ -1,0 +1,40 @@
+#include "shapley/utility.h"
+
+#include "common/check.h"
+
+namespace comfedsv {
+
+RoundUtility::RoundUtility(const Model* model, const Dataset* test_data,
+                           const RoundRecord* record, int64_t* loss_calls)
+    : model_(model),
+      test_data_(test_data),
+      record_(record),
+      loss_calls_(loss_calls) {
+  COMFEDSV_CHECK(model_ != nullptr);
+  COMFEDSV_CHECK(test_data_ != nullptr);
+  COMFEDSV_CHECK(record_ != nullptr);
+}
+
+double RoundUtility::Utility(const Coalition& coalition) {
+  if (coalition.IsEmpty()) return 0.0;
+  auto it = cache_.find(coalition);
+  if (it != cache_.end()) return it->second;
+
+  // Average the coalition members' local models.
+  const std::vector<int> members = coalition.Members();
+  Vector aggregate(record_->global_before.size());
+  for (int k : members) {
+    COMFEDSV_CHECK_LT(static_cast<size_t>(k), record_->local_models.size());
+    aggregate.Axpy(1.0, record_->local_models[k]);
+  }
+  aggregate.Scale(1.0 / static_cast<double>(members.size()));
+
+  const double loss = model_->Loss(aggregate, *test_data_);
+  if (loss_calls_ != nullptr) ++(*loss_calls_);
+  ++distinct_evaluations_;
+  const double utility = record_->test_loss_before - loss;
+  cache_.emplace(coalition, utility);
+  return utility;
+}
+
+}  // namespace comfedsv

@@ -1,0 +1,51 @@
+// Per-round utility evaluation (Sec. V of the paper):
+//
+//   U_t(S) = u_t(w_S^{t+1}),  u_t(w) = l(w^t; D_c) - l(w; D_c),
+//   w_S^{t+1} = (1/|S|) sum_{k in S} w_k^{t+1},   U_t(empty) = 0.
+//
+// Evaluating u_t — one test-set loss — is the dominant cost of every
+// valuation method, so the evaluator counts calls; the paper's complexity
+// discussion (Sec. VII-D) and Fig. 8 are in units of these calls.
+#ifndef COMFEDSV_SHAPLEY_UTILITY_H_
+#define COMFEDSV_SHAPLEY_UTILITY_H_
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "data/dataset.h"
+#include "fl/round_record.h"
+#include "models/model.h"
+#include "shapley/coalition.h"
+
+namespace comfedsv {
+
+/// Evaluates coalition utilities for one round, memoizing by coalition so
+/// repeated queries (e.g. shared Monte-Carlo prefixes) cost one test-loss
+/// evaluation each. Holds references; the record, model and test set must
+/// outlive it.
+class RoundUtility {
+ public:
+  /// `loss_calls` is an optional shared counter of test-loss evaluations,
+  /// accumulated across rounds by the callers that own it.
+  RoundUtility(const Model* model, const Dataset* test_data,
+               const RoundRecord* record, int64_t* loss_calls = nullptr);
+
+  /// U_t(S). The empty coalition has utility 0 by convention
+  /// (u_t(w^t) = 0).
+  double Utility(const Coalition& coalition);
+
+  /// Number of distinct coalitions evaluated so far this round.
+  int64_t distinct_evaluations() const { return distinct_evaluations_; }
+
+ private:
+  const Model* model_;
+  const Dataset* test_data_;
+  const RoundRecord* record_;
+  int64_t* loss_calls_;
+  int64_t distinct_evaluations_ = 0;
+  std::unordered_map<Coalition, double, CoalitionHash> cache_;
+};
+
+}  // namespace comfedsv
+
+#endif  // COMFEDSV_SHAPLEY_UTILITY_H_

@@ -1,0 +1,178 @@
+#include "common/combinatorics.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace comfedsv {
+namespace {
+
+TEST(CombinatoricsTest, LogFactorialSmallValues) {
+  EXPECT_NEAR(LogFactorial(0), 0.0, 1e-12);
+  EXPECT_NEAR(LogFactorial(1), 0.0, 1e-12);
+  EXPECT_NEAR(LogFactorial(5), std::log(120.0), 1e-10);
+  EXPECT_NEAR(LogFactorial(10), std::log(3628800.0), 1e-8);
+}
+
+TEST(CombinatoricsTest, BinomialKnownValues) {
+  EXPECT_DOUBLE_EQ(Binomial(5, 0), 1.0);
+  EXPECT_DOUBLE_EQ(Binomial(5, 2), 10.0);
+  EXPECT_DOUBLE_EQ(Binomial(10, 5), 252.0);
+  EXPECT_DOUBLE_EQ(Binomial(52, 5), 2598960.0);
+}
+
+TEST(CombinatoricsTest, BinomialOutOfRangeIsZero) {
+  EXPECT_DOUBLE_EQ(Binomial(5, -1), 0.0);
+  EXPECT_DOUBLE_EQ(Binomial(5, 6), 0.0);
+}
+
+TEST(CombinatoricsTest, BinomialSymmetry) {
+  for (int n = 1; n <= 30; ++n) {
+    for (int k = 0; k <= n; ++k) {
+      EXPECT_DOUBLE_EQ(Binomial(n, k), Binomial(n, n - k))
+          << "n=" << n << " k=" << k;
+    }
+  }
+}
+
+TEST(CombinatoricsTest, PascalRule) {
+  for (int n = 2; n <= 25; ++n) {
+    for (int k = 1; k < n; ++k) {
+      EXPECT_NEAR(Binomial(n, k),
+                  Binomial(n - 1, k - 1) + Binomial(n - 1, k), 1e-6)
+          << "n=" << n << " k=" << k;
+    }
+  }
+}
+
+TEST(CombinatoricsTest, MultinomialMatchesBinomialForTwoParts) {
+  EXPECT_NEAR(LogMultinomial(10, {4, 6}), LogBinomial(10, 4), 1e-10);
+}
+
+TEST(CombinatoricsTest, MultinomialKnownValue) {
+  // 6! / (1! 2! 3!) = 60.
+  EXPECT_NEAR(std::exp(LogMultinomial(6, {1, 2, 3})), 60.0, 1e-8);
+}
+
+TEST(Observation1Test, SIsZeroGivesProbabilityOne) {
+  EXPECT_DOUBLE_EQ(Observation1TailProbability(10, 0.2, 0), 1.0);
+}
+
+TEST(Observation1Test, ZeroSplitProbabilityMeansNoDivergence) {
+  // p = 0: the two clients are always treated the same, so the gap is 0.
+  for (int s = 1; s <= 5; ++s) {
+    EXPECT_NEAR(Observation1TailProbability(10, 0.0, s), 0.0, 1e-12);
+  }
+}
+
+TEST(Observation1Test, MonotoneDecreasingInS) {
+  double prev = 1.0;
+  for (int s = 0; s <= 10; ++s) {
+    double p = Observation1TailProbability(10, 0.21, s);
+    EXPECT_LE(p, prev + 1e-12) << "s=" << s;
+    prev = p;
+  }
+}
+
+TEST(Observation1Test, MonotoneIncreasingInP) {
+  // More selection asymmetry => larger divergence probability.
+  double prev = 0.0;
+  for (double p : {0.05, 0.1, 0.2, 0.3, 0.4}) {
+    double tail = Observation1TailProbability(20, p, 3);
+    EXPECT_GE(tail, prev - 1e-12) << "p=" << p;
+    prev = tail;
+  }
+}
+
+TEST(Observation1Test, SingleRoundClosedForm) {
+  // T=1, s=1: |gap| >= 1 iff exactly one of the two clients is selected,
+  // which happens with probability 2p.
+  const double p = 0.21;
+  EXPECT_NEAR(Observation1TailProbability(1, p, 1), 2.0 * p, 1e-12);
+}
+
+TEST(Observation1Test, MatchesDirectEnumerationSmallT) {
+  // Exhaustive trinomial enumeration for T=4.
+  const int T = 4;
+  const double p = 0.15;
+  for (int s = 1; s <= T; ++s) {
+    double expect = 0.0;
+    // Each round: +1 (p), -1 (p), 0 (1-2p). Enumerate counts.
+    for (int plus = 0; plus <= T; ++plus) {
+      for (int minus = 0; plus + minus <= T; ++minus) {
+        const int zeros = T - plus - minus;
+        if (std::abs(plus - minus) < s) continue;
+        expect += std::exp(LogMultinomial(T, {plus, minus, zeros})) *
+                  std::pow(p, plus + minus) * std::pow(1 - 2 * p, zeros);
+      }
+    }
+    EXPECT_NEAR(Observation1TailProbability(T, p, s), expect, 1e-10)
+        << "s=" << s;
+  }
+}
+
+TEST(Observation1Test, PaperLiteralFormIsUpperEnvelope) {
+  // The paper's printed (1-p) zero-step factor over-weights zero steps,
+  // so its series is >= the exact one.
+  for (int s = 1; s <= 6; ++s) {
+    const double exact = Observation1TailProbability(15, 0.2, s, false);
+    const double literal = Observation1TailProbability(15, 0.2, s, true);
+    EXPECT_GE(literal, exact - 1e-12) << "s=" << s;
+  }
+}
+
+TEST(SelectionSplitProbabilityTest, MatchesFormulaAndSymmetry) {
+  // m=3, N=10: p = 3*7 / (10*9) = 7/30.
+  EXPECT_NEAR(SelectionSplitProbability(10, 3), 7.0 / 30.0, 1e-12);
+  // Selecting m or N-m is symmetric.
+  EXPECT_NEAR(SelectionSplitProbability(10, 3),
+              SelectionSplitProbability(10, 7), 1e-12);
+  // Selecting everyone or no one never splits the pair.
+  EXPECT_DOUBLE_EQ(SelectionSplitProbability(10, 10), 0.0);
+  EXPECT_DOUBLE_EQ(SelectionSplitProbability(10, 0), 0.0);
+}
+
+class Observation1SimulationTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(Observation1SimulationTest, BoundIsALowerBoundOnSimulatedTail) {
+  // Observation 1 claims P(|s_i - s_j| >= s delta) >= P_s. Simulate the
+  // selection process with delta_t == delta (no noise): then the gap is
+  // exactly delta * (sum of +/-1/0 steps) and equality holds.
+  const int T = 12;
+  const int N = 10;
+  const int m = GetParam();
+  const double p = SelectionSplitProbability(N, m);
+  Rng rng(1234 + m);
+  const int trials = 20000;
+  std::vector<int> gap_counts(2 * T + 1, 0);
+  for (int trial = 0; trial < trials; ++trial) {
+    int gap = 0;
+    for (int t = 0; t < T; ++t) {
+      std::vector<int> sel = rng.SampleWithoutReplacement(N, m);
+      bool has_i = std::find(sel.begin(), sel.end(), 0) != sel.end();
+      bool has_j = std::find(sel.begin(), sel.end(), 1) != sel.end();
+      if (has_i && !has_j) ++gap;
+      if (has_j && !has_i) --gap;
+    }
+    ++gap_counts[gap + T];
+  }
+  for (int s = 1; s <= 4; ++s) {
+    int tail_count = 0;
+    for (int g = -T; g <= T; ++g) {
+      if (std::abs(g) >= s) tail_count += gap_counts[g + T];
+    }
+    const double simulated = tail_count / static_cast<double>(trials);
+    const double predicted = Observation1TailProbability(T, p, s);
+    EXPECT_NEAR(simulated, predicted, 0.02) << "m=" << m << " s=" << s;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(SelectionSizes, Observation1SimulationTest,
+                         ::testing::Values(2, 3, 5));
+
+}  // namespace
+}  // namespace comfedsv

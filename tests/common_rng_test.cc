@@ -1,0 +1,182 @@
+#include "common/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <set>
+#include <vector>
+
+namespace comfedsv {
+namespace {
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.NextUint64(), b.NextUint64());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.NextUint64() == b.NextUint64()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(RngTest, SeedZeroIsUsable) {
+  Rng r(0);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 32; ++i) seen.insert(r.NextUint64());
+  EXPECT_GT(seen.size(), 30u);  // not stuck at a fixed point
+}
+
+TEST(RngTest, BoundedUintWithinRange) {
+  Rng r(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(r.NextUint64(10), 10u);
+  }
+}
+
+TEST(RngTest, NextIntInclusiveRange) {
+  Rng r(7);
+  std::set<int> seen;
+  for (int i = 0; i < 500; ++i) {
+    int v = r.NextInt(-2, 2);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 2);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 5u);  // hits every value in the range
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng r(11);
+  for (int i = 0; i < 1000; ++i) {
+    double v = r.NextDouble();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(RngTest, GaussianMomentsApproximatelyStandard) {
+  Rng r(99);
+  const int n = 20000;
+  double sum = 0.0, sum_sq = 0.0;
+  for (int i = 0; i < n; ++i) {
+    double v = r.NextGaussian();
+    sum += v;
+    sum_sq += v * v;
+  }
+  const double mean = sum / n;
+  const double var = sum_sq / n - mean * mean;
+  EXPECT_NEAR(mean, 0.0, 0.03);
+  EXPECT_NEAR(var, 1.0, 0.05);
+}
+
+TEST(RngTest, GaussianWithParams) {
+  Rng r(5);
+  const int n = 20000;
+  double sum = 0.0;
+  for (int i = 0; i < n; ++i) sum += r.NextGaussian(3.0, 0.5);
+  EXPECT_NEAR(sum / n, 3.0, 0.02);
+}
+
+TEST(RngTest, BernoulliFrequency) {
+  Rng r(13);
+  int hits = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    if (r.NextBernoulli(0.3)) ++hits;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.02);
+}
+
+TEST(RngTest, SplitStreamsAreIndependentOfParentUse) {
+  // A child split with the same salt from the same parent state must be
+  // identical regardless of what other children were created.
+  Rng parent1(42), parent2(42);
+  Rng child_a = parent1.Split(7);
+  parent2.Split(3);  // different salt, discarded
+  Rng child_b = parent2.Split(7);
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_EQ(child_a.NextUint64(), child_b.NextUint64());
+  }
+}
+
+TEST(RngTest, SplitDifferentSaltsDiffer) {
+  Rng parent(42);
+  Rng a = parent.Split(1);
+  Rng b = parent.Split(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.NextUint64() == b.NextUint64()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(RngTest, PermutationIsAPermutation) {
+  Rng r(3);
+  std::vector<int> p = r.Permutation(50);
+  std::vector<int> sorted = p;
+  std::sort(sorted.begin(), sorted.end());
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(sorted[i], i);
+}
+
+TEST(RngTest, PermutationIsApproximatelyUniform) {
+  // Position of element 0 should be uniform over 5 slots.
+  Rng r(17);
+  std::map<int, int> position_counts;
+  const int trials = 5000;
+  for (int t = 0; t < trials; ++t) {
+    std::vector<int> p = r.Permutation(5);
+    for (int i = 0; i < 5; ++i) {
+      if (p[i] == 0) ++position_counts[i];
+    }
+  }
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_NEAR(position_counts[i] / static_cast<double>(trials), 0.2,
+                0.03);
+  }
+}
+
+TEST(RngTest, SampleWithoutReplacementProperties) {
+  Rng r(23);
+  for (int trial = 0; trial < 50; ++trial) {
+    std::vector<int> s = r.SampleWithoutReplacement(20, 7);
+    EXPECT_EQ(s.size(), 7u);
+    EXPECT_TRUE(std::is_sorted(s.begin(), s.end()));
+    std::set<int> uniq(s.begin(), s.end());
+    EXPECT_EQ(uniq.size(), 7u);
+    for (int v : s) {
+      EXPECT_GE(v, 0);
+      EXPECT_LT(v, 20);
+    }
+  }
+}
+
+TEST(RngTest, SampleWithoutReplacementUniformInclusion) {
+  // Each of 10 items appears in a size-3 sample with probability 0.3.
+  Rng r(31);
+  std::vector<int> counts(10, 0);
+  const int trials = 10000;
+  for (int t = 0; t < trials; ++t) {
+    for (int v : r.SampleWithoutReplacement(10, 3)) ++counts[v];
+  }
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_NEAR(counts[i] / static_cast<double>(trials), 0.3, 0.03);
+  }
+}
+
+TEST(RngTest, SampleEdgeCases) {
+  Rng r(1);
+  EXPECT_TRUE(r.SampleWithoutReplacement(5, 0).empty());
+  std::vector<int> all = r.SampleWithoutReplacement(5, 5);
+  EXPECT_EQ(all, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+}  // namespace
+}  // namespace comfedsv

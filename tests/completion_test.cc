@@ -1,0 +1,229 @@
+// Matrix-completion tests: exact recovery of low-rank matrices from full
+// and partial observations, solver agreement, and configuration guards.
+#include "completion/solver.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "completion/interner.h"
+#include "completion/observations.h"
+#include "linalg/matrix.h"
+
+namespace comfedsv {
+namespace {
+
+Matrix RandomLowRank(int rows, int cols, int rank, uint64_t seed) {
+  Rng rng(seed);
+  Matrix a(rows, rank);
+  Matrix b(rank, cols);
+  for (int i = 0; i < rows; ++i) {
+    for (int k = 0; k < rank; ++k) a(i, k) = rng.NextGaussian();
+  }
+  for (int k = 0; k < rank; ++k) {
+    for (int j = 0; j < cols; ++j) b(k, j) = rng.NextGaussian();
+  }
+  return Matrix::Multiply(a, b);
+}
+
+ObservationSet FullObservations(const Matrix& m) {
+  ObservationSet obs(m.rows(), m.cols());
+  for (size_t i = 0; i < m.rows(); ++i) {
+    for (size_t j = 0; j < m.cols(); ++j) {
+      obs.Add(static_cast<int>(i), static_cast<int>(j), m(i, j));
+    }
+  }
+  return obs;
+}
+
+ObservationSet SampledObservations(const Matrix& m, double keep,
+                                   uint64_t seed) {
+  Rng rng(seed);
+  ObservationSet obs(m.rows(), m.cols());
+  // Guarantee coverage: one random observation per row and per column,
+  // then Bernoulli sampling on top.
+  for (size_t i = 0; i < m.rows(); ++i) {
+    size_t j = rng.NextUint64(m.cols());
+    obs.Add(static_cast<int>(i), static_cast<int>(j), m(i, j));
+  }
+  for (size_t j = 0; j < m.cols(); ++j) {
+    size_t i = rng.NextUint64(m.rows());
+    obs.Add(static_cast<int>(i), static_cast<int>(j), m(i, j));
+  }
+  for (size_t i = 0; i < m.rows(); ++i) {
+    for (size_t j = 0; j < m.cols(); ++j) {
+      if (rng.NextBernoulli(keep)) {
+        obs.Add(static_cast<int>(i), static_cast<int>(j), m(i, j));
+      }
+    }
+  }
+  return obs;
+}
+
+double RelativeError(const Matrix& reference, const CompletionResult& fit) {
+  Matrix approx = Matrix::Multiply(fit.w, fit.h.Transpose());
+  return approx.FrobeniusDistance(reference) / reference.FrobeniusNorm();
+}
+
+TEST(ObservationSetTest, IndexingAndDensity) {
+  ObservationSet obs(3, 4);
+  obs.Add(0, 1, 5.0);
+  obs.Add(2, 1, 7.0);
+  obs.Add(0, 3, 9.0);
+  EXPECT_EQ(obs.size(), 3u);
+  EXPECT_EQ(obs.RowEntries(0).size(), 2u);
+  EXPECT_EQ(obs.RowEntries(1).size(), 0u);
+  EXPECT_EQ(obs.ColEntries(1).size(), 2u);
+  EXPECT_DOUBLE_EQ(obs.Density(), 3.0 / 12.0);
+  const Observation& e = obs.entries()[obs.ColEntries(3)[0]];
+  EXPECT_DOUBLE_EQ(e.value, 9.0);
+}
+
+TEST(ObservationSetTest, IndexRebuildsAfterAdd) {
+  ObservationSet obs(2, 2);
+  obs.Add(0, 0, 1.0);
+  EXPECT_EQ(obs.RowEntries(0).size(), 1u);
+  obs.Add(0, 1, 2.0);  // invalidates the lazy index
+  EXPECT_EQ(obs.RowEntries(0).size(), 2u);
+}
+
+class SolverParamTest : public ::testing::TestWithParam<CompletionSolver> {
+};
+
+TEST_P(SolverParamTest, RecoversLowRankFromFullObservations) {
+  Matrix truth = RandomLowRank(20, 15, 3, 1);
+  CompletionConfig cfg;
+  cfg.rank = 3;
+  cfg.lambda = 1e-6;
+  cfg.max_iters = 300;
+  cfg.solver = GetParam();
+  cfg.seed = 2;
+  Result<CompletionResult> fit =
+      CompleteMatrix(FullObservations(truth), cfg);
+  ASSERT_TRUE(fit.ok()) << fit.status().ToString();
+  EXPECT_LT(RelativeError(truth, fit.value()), 1e-2)
+      << CompletionSolverName(GetParam());
+  EXPECT_LT(fit.value().observed_rmse, 1e-2);
+}
+
+TEST_P(SolverParamTest, RecoversLowRankFromPartialObservations) {
+  Matrix truth = RandomLowRank(30, 25, 2, 3);
+  ObservationSet obs = SampledObservations(truth, 0.5, 4);
+  CompletionConfig cfg;
+  cfg.rank = 2;
+  // Moderate regularization: with ~50% sampling, a tiny lambda lets the
+  // exact ALS row solves overfit sparsely observed rows.
+  cfg.lambda = 1e-1;
+  cfg.max_iters = 400;
+  cfg.solver = GetParam();
+  cfg.seed = 5;
+  Result<CompletionResult> fit = CompleteMatrix(obs, cfg);
+  ASSERT_TRUE(fit.ok());
+  EXPECT_LT(RelativeError(truth, fit.value()), 0.1)
+      << CompletionSolverName(GetParam());
+}
+
+TEST_P(SolverParamTest, OverparameterizedRankStillFits) {
+  Matrix truth = RandomLowRank(15, 12, 2, 7);
+  CompletionConfig cfg;
+  cfg.rank = 6;  // more than the true rank
+  cfg.lambda = 1e-4;
+  cfg.max_iters = 200;
+  cfg.solver = GetParam();
+  Result<CompletionResult> fit =
+      CompleteMatrix(FullObservations(truth), cfg);
+  ASSERT_TRUE(fit.ok());
+  EXPECT_LT(fit.value().observed_rmse, 0.05);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSolvers, SolverParamTest,
+                         ::testing::Values(CompletionSolver::kAls,
+                                           CompletionSolver::kCcd,
+                                           CompletionSolver::kSgd),
+                         [](const auto& info) {
+                           return CompletionSolverName(info.param) ==
+                                          "ccd++"
+                                      ? std::string("ccd")
+                                      : CompletionSolverName(info.param);
+                         });
+
+TEST(CompletionTest, StrongRegularizationShrinksFactors) {
+  Matrix truth = RandomLowRank(10, 10, 2, 9);
+  CompletionConfig weak;
+  weak.rank = 2;
+  weak.lambda = 1e-6;
+  weak.max_iters = 100;
+  CompletionConfig strong = weak;
+  strong.lambda = 100.0;
+  auto fit_weak = CompleteMatrix(FullObservations(truth), weak);
+  auto fit_strong = CompleteMatrix(FullObservations(truth), strong);
+  ASSERT_TRUE(fit_weak.ok() && fit_strong.ok());
+  const double norm_weak = fit_weak.value().w.FrobeniusNorm() +
+                           fit_weak.value().h.FrobeniusNorm();
+  const double norm_strong = fit_strong.value().w.FrobeniusNorm() +
+                             fit_strong.value().h.FrobeniusNorm();
+  EXPECT_LT(norm_strong, norm_weak);
+}
+
+TEST(CompletionTest, PredictMatchesFactorProduct) {
+  Matrix truth = RandomLowRank(6, 5, 2, 11);
+  CompletionConfig cfg;
+  cfg.rank = 2;
+  cfg.lambda = 1e-5;
+  auto fit = CompleteMatrix(FullObservations(truth), cfg);
+  ASSERT_TRUE(fit.ok());
+  Matrix product =
+      Matrix::Multiply(fit.value().w, fit.value().h.Transpose());
+  for (int i = 0; i < 6; ++i) {
+    for (int j = 0; j < 5; ++j) {
+      EXPECT_NEAR(fit.value().Predict(i, j), product(i, j), 1e-12);
+    }
+  }
+}
+
+TEST(CompletionTest, DeterministicGivenSeed) {
+  Matrix truth = RandomLowRank(8, 8, 2, 13);
+  CompletionConfig cfg;
+  cfg.rank = 2;
+  cfg.lambda = 1e-4;
+  cfg.seed = 42;
+  auto a = CompleteMatrix(FullObservations(truth), cfg);
+  auto b = CompleteMatrix(FullObservations(truth), cfg);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_TRUE(a.value().w == b.value().w);
+  EXPECT_TRUE(a.value().h == b.value().h);
+}
+
+TEST(CompletionTest, ConfigGuards) {
+  ObservationSet obs(2, 2);
+  obs.Add(0, 0, 1.0);
+  CompletionConfig cfg;
+  cfg.rank = 0;
+  EXPECT_FALSE(CompleteMatrix(obs, cfg).ok());
+  cfg.rank = 2;
+  cfg.lambda = -1.0;
+  EXPECT_FALSE(CompleteMatrix(obs, cfg).ok());
+  cfg.lambda = 0.0;  // ill-posed for ALS
+  EXPECT_FALSE(CompleteMatrix(obs, cfg).ok());
+  cfg.lambda = 0.1;
+  EXPECT_TRUE(CompleteMatrix(obs, cfg).ok());
+  ObservationSet empty(2, 2);
+  EXPECT_FALSE(CompleteMatrix(empty, cfg).ok());
+}
+
+TEST(InternerTest, InternFindGetRoundTrip) {
+  CoalitionInterner interner;
+  Coalition a = Coalition::FromMembers(5, {1, 2});
+  Coalition b = Coalition::FromMembers(5, {3});
+  EXPECT_EQ(interner.Intern(a), 0);
+  EXPECT_EQ(interner.Intern(b), 1);
+  EXPECT_EQ(interner.Intern(a), 0);  // dedup
+  EXPECT_EQ(interner.size(), 2);
+  EXPECT_EQ(interner.Find(a), 0);
+  EXPECT_EQ(interner.Find(Coalition::FromMembers(5, {0})), -1);
+  EXPECT_EQ(interner.Get(1), b);
+}
+
+}  // namespace
+}  // namespace comfedsv

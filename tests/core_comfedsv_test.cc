@@ -1,0 +1,345 @@
+// ComFedSV formula and fairness-property tests (Theorem 1):
+//   * with a perfectly completed matrix, ComFedSV == ground truth;
+//   * symmetry: identical clients get (near-)identical values;
+//   * zero element: a client whose update never changes utilities gets 0;
+//   * the sampled estimator (Eq. 12) converges to Def. 4.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/comfedsv_values.h"
+#include "core/evaluator.h"
+#include "core/recorders.h"
+#include "data/image_sim.h"
+#include "data/noise.h"
+#include "data/partition.h"
+#include "fl/fedavg.h"
+#include "metrics/metrics.h"
+#include "models/logistic.h"
+#include "shapley/shapley.h"
+
+namespace comfedsv {
+namespace {
+
+struct Workload {
+  std::vector<Dataset> clients;
+  Dataset test;
+};
+
+Workload MakeWorkload(int num_clients, uint64_t seed) {
+  SimulatedImageConfig cfg;
+  cfg.num_samples = 60 * num_clients + 100;
+  cfg.seed = seed;
+  Dataset pool = GenerateSimulatedImages(cfg);
+  Rng rng(seed + 1);
+  auto [train_pool, test] = pool.RandomSplit(0.25, &rng);
+  return {PartitionIid(train_pool, num_clients, &rng), std::move(test)};
+}
+
+FedAvgConfig SmallFedConfig(int rounds, int per_round, uint64_t seed) {
+  FedAvgConfig cfg;
+  cfg.num_rounds = rounds;
+  cfg.clients_per_round = per_round;
+  cfg.select_all_first_round = true;
+  cfg.lr = LearningRateSchedule::Constant(0.3);
+  cfg.seed = seed;
+  return cfg;
+}
+
+// ---------------------------------------------------------------------
+// Formula-level tests on hand-constructed matrices.
+
+TEST(ComFedSvFormulaTest, GroundTruthOnAdditiveUtilities) {
+  // U_t(S) = sum of per-client weights: ComFedSV_i = T * weight_i / ...
+  // Actually for additive utility the Shapley value per round is the own
+  // weight, and values sum over rounds.
+  const int n = 3;
+  const std::vector<double> weights = {1.0, 2.0, 4.0};
+  const int rounds = 2;
+  Matrix u(rounds, 1u << n);
+  for (int t = 0; t < rounds; ++t) {
+    for (uint32_t mask = 0; mask < (1u << n); ++mask) {
+      double total = 0.0;
+      for (int i = 0; i < n; ++i) {
+        if (mask & (1u << i)) total += weights[i];
+      }
+      u(t, mask) = total;
+    }
+  }
+  Result<Vector> values = ComFedSvFromFullMatrix(u, n);
+  ASSERT_TRUE(values.ok());
+  for (int i = 0; i < n; ++i) {
+    EXPECT_NEAR(values.value()[i], rounds * weights[i], 1e-10) << i;
+  }
+}
+
+TEST(ComFedSvFormulaTest, GroundTruthMatchesExactShapleyPerRound) {
+  // For a single round the ComFedSV ground truth must equal the classical
+  // Shapley value of the round's utility game.
+  const int n = 4;
+  Rng rng(5);
+  Matrix u(1, 1u << n);
+  for (uint32_t mask = 1; mask < (1u << n); ++mask) {
+    u(0, mask) = rng.NextGaussian();
+  }
+  Result<Vector> comfedsv = ComFedSvFromFullMatrix(u, n);
+  ASSERT_TRUE(comfedsv.ok());
+
+  UtilityFn game = [&](const Coalition& c) {
+    uint32_t mask = 0;
+    for (int m : c.Members()) mask |= (1u << m);
+    return u(0, mask);
+  };
+  Result<Vector> shapley = ExactShapley(n, {0, 1, 2, 3}, game);
+  ASSERT_TRUE(shapley.ok());
+  for (int i = 0; i < n; ++i) {
+    EXPECT_NEAR(comfedsv.value()[i], shapley.value()[i], 1e-10) << i;
+  }
+}
+
+TEST(ComFedSvFormulaTest, FactorsReproduceFullMatrixValues) {
+  // Build a rank-2 utility matrix, factor it exactly, and check that the
+  // factor-based Def. 4 equals the full-matrix Eq. 14.
+  const int n = 3;
+  const int rounds = 5;
+  Rng rng(7);
+  Matrix w(rounds, 2);
+  Matrix h(1u << n, 2);
+  for (int t = 0; t < rounds; ++t) {
+    w(t, 0) = rng.NextGaussian();
+    w(t, 1) = rng.NextGaussian();
+  }
+  CoalitionInterner interner;
+  for (uint32_t mask = 0; mask < (1u << n); ++mask) {
+    Coalition c(n);
+    for (int i = 0; i < n; ++i) {
+      if (mask & (1u << i)) c.Add(i);
+    }
+    const int col = interner.Intern(c);
+    ASSERT_EQ(col, static_cast<int>(mask));
+    h(col, 0) = rng.NextGaussian();
+    h(col, 1) = rng.NextGaussian();
+  }
+  Matrix u = Matrix::Multiply(w, h.Transpose());
+  Result<Vector> from_factors = ComFedSvFromFactors(w, h, interner, n);
+  Result<Vector> from_matrix = ComFedSvFromFullMatrix(u, n);
+  ASSERT_TRUE(from_factors.ok());
+  ASSERT_TRUE(from_matrix.ok());
+  for (int i = 0; i < n; ++i) {
+    EXPECT_NEAR(from_factors.value()[i], from_matrix.value()[i], 1e-9);
+  }
+}
+
+TEST(ComFedSvFormulaTest, SampledEstimatorConvergesToExact) {
+  // Eq. 12 with many permutations ~ Def. 4 on the same factors.
+  const int n = 5;
+  const int rounds = 3;
+  Rng rng(11);
+  Matrix w(rounds, 2);
+  Matrix h(1u << n, 2);
+  CoalitionInterner interner;
+  for (int t = 0; t < rounds; ++t) {
+    w(t, 0) = rng.NextGaussian();
+    w(t, 1) = rng.NextGaussian();
+  }
+  for (uint32_t mask = 0; mask < (1u << n); ++mask) {
+    Coalition c(n);
+    for (int i = 0; i < n; ++i) {
+      if (mask & (1u << i)) c.Add(i);
+    }
+    int col = interner.Intern(c);
+    h(col, 0) = rng.NextGaussian();
+    h(col, 1) = rng.NextGaussian();
+  }
+  Result<Vector> exact = ComFedSvFromFactors(w, h, interner, n);
+  ASSERT_TRUE(exact.ok());
+
+  // Sample permutations and build prefix-column tables via the interner.
+  const int num_perms = 20000;
+  Rng prng(13);
+  std::vector<std::vector<int>> perms;
+  std::vector<std::vector<int>> prefix_cols;
+  for (int m = 0; m < num_perms; ++m) {
+    perms.push_back(prng.Permutation(n));
+    std::vector<int> cols;
+    Coalition prefix(n);
+    cols.push_back(interner.Find(prefix));
+    for (int member : perms.back()) {
+      prefix.Add(member);
+      cols.push_back(interner.Find(prefix));
+    }
+    prefix_cols.push_back(std::move(cols));
+  }
+  Result<Vector> sampled =
+      ComFedSvSampled(w, h, perms, prefix_cols, n);
+  ASSERT_TRUE(sampled.ok());
+  for (int i = 0; i < n; ++i) {
+    EXPECT_NEAR(sampled.value()[i], exact.value()[i],
+                0.05 * (1.0 + std::fabs(exact.value()[i])))
+        << i;
+  }
+}
+
+TEST(ComFedSvFormulaTest, GuardsAndErrors) {
+  Matrix u(2, 8);
+  EXPECT_FALSE(ComFedSvFromFullMatrix(u, 4).ok());  // 2^4 != 8
+  EXPECT_FALSE(ComFedSvFromFullMatrix(u, 0).ok());
+  EXPECT_FALSE(ComFedSvFromFullMatrix(u, 20).ok());
+
+  Matrix w(2, 2), h(8, 3);
+  CoalitionInterner interner;
+  EXPECT_FALSE(ComFedSvFromFactors(w, h, interner, 3).ok());  // rank mismatch
+
+  Matrix h2(8, 2);
+  // Interner missing coalitions -> FailedPrecondition.
+  Result<Vector> r = ComFedSvFromFactors(w, h2, interner, 3);
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kFailedPrecondition);
+}
+
+// ---------------------------------------------------------------------
+// End-to-end evaluator tests (Theorem 1 properties).
+
+TEST(ComFedSvEvaluatorTest, FullySelectedTrainingMatchesGroundTruth) {
+  // When every round selects every client, the observed matrix IS the
+  // full matrix: ComFedSV (with near-exact completion) must match the
+  // ground truth up to completion error.
+  Workload w = MakeWorkload(4, 41);
+  LogisticRegression model(w.test.dim(), 10);
+  FedAvgConfig fcfg = SmallFedConfig(4, 4, 43);  // all 4 clients per round
+
+  ComFedSvConfig ccfg;
+  ccfg.mode = ComFedSvConfig::Mode::kFull;
+  ccfg.completion.rank = 4;
+  ccfg.completion.lambda = 1e-6;
+  ccfg.completion.max_iters = 500;
+  ComFedSvEvaluator comfedsv(&model, &w.test, 4, ccfg);
+  GroundTruthEvaluator ground_truth(&model, &w.test, 4);
+
+  FanoutObserver fanout;
+  fanout.Register(&comfedsv);
+  fanout.Register(&ground_truth);
+  FedAvgTrainer trainer(&model, w.clients, w.test, fcfg);
+  ASSERT_TRUE(trainer.Train(&fanout).ok());
+
+  Result<ComFedSvOutput> out = comfedsv.Finalize();
+  ASSERT_TRUE(out.ok()) << out.status().ToString();
+  Result<Vector> truth = ground_truth.Finalize();
+  ASSERT_TRUE(truth.ok());
+
+  const double scale = truth.value().MaxAbs() + 1e-12;
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_NEAR(out.value().values[i], truth.value()[i], 0.05 * scale)
+        << i;
+  }
+  EXPECT_DOUBLE_EQ(out.value().observed_density, 1.0);
+}
+
+TEST(ComFedSvEvaluatorTest, SymmetryForIdenticalClients) {
+  // Theorem 1 symmetry: clients 0 and 3 share identical data; their
+  // ComFedSVs should be close even under partial selection (while FedSV
+  // diverges, as shown in shapley_fedsv_test).
+  Workload w = MakeWorkload(3, 47);
+  w.clients.push_back(w.clients[0]);  // client 3 == client 0
+  LogisticRegression model(w.test.dim(), 10);
+  FedAvgConfig fcfg = SmallFedConfig(6, 2, 49);
+
+  ComFedSvConfig ccfg;
+  ccfg.mode = ComFedSvConfig::Mode::kFull;
+  ccfg.completion.rank = 3;
+  ccfg.completion.lambda = 1e-4;
+  ccfg.completion.max_iters = 300;
+  ComFedSvEvaluator evaluator(&model, &w.test, 4, ccfg);
+  FedAvgTrainer trainer(&model, w.clients, w.test, fcfg);
+  ASSERT_TRUE(trainer.Train(&evaluator).ok());
+  Result<ComFedSvOutput> out = evaluator.Finalize();
+  ASSERT_TRUE(out.ok());
+  // Identical clients produce identical local models, so every coalition
+  // column treats them interchangeably up to completion error.
+  const double scale = out.value().values.MaxAbs() + 1e-12;
+  EXPECT_LT(std::fabs(out.value().values[0] - out.value().values[3]),
+            0.25 * scale);
+}
+
+TEST(ComFedSvEvaluatorTest, ZeroElementForNullClient) {
+  // A client whose local model never moves (empty gradient => w_i = w^t
+  // would need zero data; instead give it a tiny learning contribution by
+  // duplicating the global: emulate with a client whose dataset makes the
+  // gradient zero is impractical, so test the formula-level property).
+  //
+  // Build a synthetic full matrix in which client 2 never changes any
+  // coalition utility; its ground-truth ComFedSV must be exactly 0.
+  const int n = 3;
+  const int rounds = 4;
+  Rng rng(51);
+  // Assign utility by the subset of {0, 1} only.
+  std::vector<double> base(4);
+  for (auto& b : base) b = rng.NextGaussian();
+  Matrix u(rounds, 1u << n);
+  for (int t = 0; t < rounds; ++t) {
+    for (uint32_t mask = 0; mask < (1u << n); ++mask) {
+      const uint32_t reduced = mask & 0b011;  // ignore client 2
+      u(t, mask) = base[reduced] * (t + 1);
+    }
+  }
+  Result<Vector> values = ComFedSvFromFullMatrix(u, n);
+  ASSERT_TRUE(values.ok());
+  EXPECT_NEAR(values.value()[2], 0.0, 1e-10);
+}
+
+TEST(ComFedSvEvaluatorTest, SampledModeRunsAndCorrelatesWithFull) {
+  // Give clients genuinely different quality (graded label noise), so the
+  // two estimators have real signal to agree on; with IID clients all
+  // values are near-equal and rank correlation is undefined noise.
+  Workload w = MakeWorkload(6, 53);
+  Rng noise_rng(54);
+  for (int i = 0; i < 6; ++i) {
+    FlipLabels(&w.clients[i], 0.15 * i, &noise_rng);
+  }
+  LogisticRegression model(w.test.dim(), 10);
+  FedAvgConfig fcfg = SmallFedConfig(8, 3, 57);
+
+  ComFedSvConfig full_cfg;
+  full_cfg.mode = ComFedSvConfig::Mode::kFull;
+  full_cfg.completion.rank = 4;
+  full_cfg.completion.lambda = 1e-4;
+  ComFedSvEvaluator full_eval(&model, &w.test, 6, full_cfg);
+
+  ComFedSvConfig sampled_cfg;
+  sampled_cfg.mode = ComFedSvConfig::Mode::kSampled;
+  sampled_cfg.num_permutations = 200;
+  sampled_cfg.completion.rank = 4;
+  sampled_cfg.completion.lambda = 1e-4;
+  sampled_cfg.seed = 59;
+  ComFedSvEvaluator sampled_eval(&model, &w.test, 6, sampled_cfg);
+
+  FanoutObserver fanout;
+  fanout.Register(&full_eval);
+  fanout.Register(&sampled_eval);
+  FedAvgTrainer trainer(&model, w.clients, w.test, fcfg);
+  ASSERT_TRUE(trainer.Train(&fanout).ok());
+
+  Result<ComFedSvOutput> full_out = full_eval.Finalize();
+  Result<ComFedSvOutput> sampled_out = sampled_eval.Finalize();
+  ASSERT_TRUE(full_out.ok()) << full_out.status().ToString();
+  ASSERT_TRUE(sampled_out.ok()) << sampled_out.status().ToString();
+
+  std::vector<double> a(full_out.value().values.begin(),
+                        full_out.value().values.end());
+  std::vector<double> b(sampled_out.value().values.begin(),
+                        sampled_out.value().values.end());
+  Result<double> rho = SpearmanCorrelation(a, b);
+  ASSERT_TRUE(rho.ok());
+  EXPECT_GT(rho.value(), 0.5);
+}
+
+TEST(ComFedSvEvaluatorTest, FinalizeWithoutRoundsFails) {
+  Workload w = MakeWorkload(3, 61);
+  LogisticRegression model(w.test.dim(), 10);
+  ComFedSvConfig ccfg;
+  ComFedSvEvaluator evaluator(&model, &w.test, 3, ccfg);
+  EXPECT_FALSE(evaluator.Finalize().ok());
+}
+
+}  // namespace
+}  // namespace comfedsv

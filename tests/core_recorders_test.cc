@@ -1,0 +1,204 @@
+// Recorder tests: the three utility-matrix materializations agree with
+// each other and with direct utility evaluation.
+#include "core/recorders.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "data/image_sim.h"
+#include "data/partition.h"
+#include "fl/fedavg.h"
+#include "models/logistic.h"
+#include "shapley/utility.h"
+
+namespace comfedsv {
+namespace {
+
+struct Workload {
+  std::vector<Dataset> clients;
+  Dataset test;
+};
+
+Workload MakeWorkload(int num_clients, uint64_t seed) {
+  SimulatedImageConfig cfg;
+  cfg.num_samples = 60 * num_clients + 100;
+  cfg.seed = seed;
+  Dataset pool = GenerateSimulatedImages(cfg);
+  Rng rng(seed + 1);
+  auto [train_pool, test] = pool.RandomSplit(0.25, &rng);
+  return {PartitionIid(train_pool, num_clients, &rng), std::move(test)};
+}
+
+FedAvgConfig SmallFedConfig(int rounds, int per_round, uint64_t seed) {
+  FedAvgConfig cfg;
+  cfg.num_rounds = rounds;
+  cfg.clients_per_round = per_round;
+  cfg.select_all_first_round = true;
+  cfg.lr = LearningRateSchedule::Constant(0.3);
+  cfg.seed = seed;
+  return cfg;
+}
+
+TEST(FullUtilityRecorderTest, MatrixShapeAndEmptyColumn) {
+  Workload w = MakeWorkload(4, 3);
+  LogisticRegression model(w.test.dim(), 10);
+  FullUtilityRecorder recorder(&model, &w.test, 4);
+  FedAvgTrainer trainer(&model, w.clients, w.test,
+                        SmallFedConfig(3, 2, 7));
+  ASSERT_TRUE(trainer.Train(&recorder).ok());
+  Matrix u = recorder.ToMatrix();
+  EXPECT_EQ(u.rows(), 3u);
+  EXPECT_EQ(u.cols(), 16u);
+  // Column 0 is the empty coalition: always zero.
+  for (size_t t = 0; t < 3; ++t) EXPECT_DOUBLE_EQ(u(t, 0), 0.0);
+  // 2^N - 1 utility evaluations per round.
+  EXPECT_EQ(recorder.loss_calls(), 3 * 15);
+}
+
+TEST(FullUtilityRecorderTest, EntriesMatchDirectUtility) {
+  Workload w = MakeWorkload(3, 5);
+  LogisticRegression model(w.test.dim(), 10);
+  FullUtilityRecorder recorder(&model, &w.test, 3);
+
+  // Capture the records to recompute utilities independently.
+  struct Capture : RoundObserver {
+    std::vector<RoundRecord> records;
+    void OnRound(const RoundRecord& r) override { records.push_back(r); }
+  } capture;
+
+  FanoutObserver both;
+  both.Register(&recorder);
+  both.Register(&capture);
+
+  FedAvgTrainer trainer(&model, w.clients, w.test,
+                        SmallFedConfig(2, 2, 9));
+  ASSERT_TRUE(trainer.Train(&both).ok());
+  Matrix u = recorder.ToMatrix();
+  for (size_t t = 0; t < capture.records.size(); ++t) {
+    RoundUtility util(&model, &w.test, &capture.records[t]);
+    for (uint32_t mask = 0; mask < 8; ++mask) {
+      Coalition c(3);
+      for (int i = 0; i < 3; ++i) {
+        if (mask & (1u << i)) c.Add(i);
+      }
+      EXPECT_NEAR(u(t, mask), util.Utility(c), 1e-12)
+          << "t=" << t << " mask=" << mask;
+    }
+  }
+}
+
+TEST(ObservedUtilityRecorderTest, FirstRoundObservesAllColumns) {
+  Workload w = MakeWorkload(4, 11);
+  LogisticRegression model(w.test.dim(), 10);
+  ObservedUtilityRecorder recorder(&model, &w.test, 4);
+  FedAvgTrainer trainer(&model, w.clients, w.test,
+                        SmallFedConfig(4, 2, 13));
+  ASSERT_TRUE(trainer.Train(&recorder).ok());
+  // Assumption 1: round 0 selects everyone, interning all 2^4 columns.
+  EXPECT_EQ(recorder.interner().size(), 16);
+  ObservationSet obs = recorder.BuildObservations();
+  EXPECT_EQ(obs.num_rows(), 4);
+  EXPECT_EQ(obs.num_cols(), 16);
+  // Round 0 contributes 16 entries (incl. empty), later rounds 4 each.
+  EXPECT_EQ(obs.size(), 16u + 3u * 4u);
+}
+
+TEST(ObservedUtilityRecorderTest, ObservedEntriesAreSubsetsOfSelected) {
+  Workload w = MakeWorkload(5, 15);
+  LogisticRegression model(w.test.dim(), 10);
+  ObservedUtilityRecorder recorder(&model, &w.test, 5);
+
+  struct Capture : RoundObserver {
+    std::vector<std::vector<int>> selected;
+    void OnRound(const RoundRecord& r) override {
+      selected.push_back(r.selected);
+    }
+  } capture;
+  FanoutObserver both;
+  both.Register(&recorder);
+  both.Register(&capture);
+
+  FedAvgTrainer trainer(&model, w.clients, w.test,
+                        SmallFedConfig(5, 2, 17));
+  ASSERT_TRUE(trainer.Train(&both).ok());
+  ObservationSet obs = recorder.BuildObservations();
+  for (const Observation& o : obs.entries()) {
+    const Coalition& c = recorder.interner().Get(o.col);
+    Coalition sel = Coalition::FromMembers(5, capture.selected[o.row]);
+    EXPECT_TRUE(c.IsSubsetOf(sel))
+        << "round " << o.row << " coalition not within I_t";
+  }
+}
+
+TEST(SampledUtilityRecorderTest, PrefixColumnStructure) {
+  Workload w = MakeWorkload(6, 19);
+  LogisticRegression model(w.test.dim(), 10);
+  SampledUtilityRecorder recorder(&model, &w.test, 6,
+                                  /*num_permutations=*/5, /*seed=*/21);
+  // 5 permutations of 6 clients: prefix table is 5 x 7; all length-0
+  // prefixes share the empty column; full-set prefixes share one column.
+  const auto& pc = recorder.prefix_columns();
+  ASSERT_EQ(pc.size(), 5u);
+  for (const auto& row : pc) ASSERT_EQ(row.size(), 7u);
+  std::set<int> empty_cols, full_cols;
+  for (const auto& row : pc) {
+    empty_cols.insert(row[0]);
+    full_cols.insert(row[6]);
+  }
+  EXPECT_EQ(empty_cols.size(), 1u);
+  EXPECT_EQ(full_cols.size(), 1u);
+  // Columns <= 5 * 5 distinct non-trivial prefixes + empty + full.
+  EXPECT_LE(recorder.interner().size(), 5 * 5 + 2);
+}
+
+TEST(SampledUtilityRecorderTest, RecordsOnlyPrefixesInsideSelected) {
+  Workload w = MakeWorkload(6, 23);
+  LogisticRegression model(w.test.dim(), 10);
+  SampledUtilityRecorder recorder(&model, &w.test, 6, 8, 25);
+
+  struct Capture : RoundObserver {
+    std::vector<std::vector<int>> selected;
+    void OnRound(const RoundRecord& r) override {
+      selected.push_back(r.selected);
+    }
+  } capture;
+  FanoutObserver both;
+  both.Register(&recorder);
+  both.Register(&capture);
+
+  FedAvgTrainer trainer(&model, w.clients, w.test,
+                        SmallFedConfig(4, 2, 27));
+  ASSERT_TRUE(trainer.Train(&both).ok());
+  ObservationSet obs = recorder.BuildObservations();
+  EXPECT_GT(obs.size(), 0u);
+  for (const Observation& o : obs.entries()) {
+    const Coalition& c = recorder.interner().Get(o.col);
+    Coalition sel = Coalition::FromMembers(6, capture.selected[o.row]);
+    EXPECT_TRUE(c.IsSubsetOf(sel));
+  }
+  // Round 0 (everyone selected) must observe every prefix column.
+  std::set<int> round0_cols;
+  for (const Observation& o : obs.entries()) {
+    if (o.row == 0) round0_cols.insert(o.col);
+  }
+  EXPECT_EQ(static_cast<int>(round0_cols.size()),
+            recorder.interner().size());
+}
+
+TEST(SampledUtilityRecorderTest, SupportsManyClients) {
+  // The Algorithm 1 path must work beyond the 2^N regime.
+  Workload w = MakeWorkload(30, 29);
+  LogisticRegression model(w.test.dim(), 10);
+  SampledUtilityRecorder recorder(&model, &w.test, 30, 10, 31);
+  FedAvgTrainer trainer(&model, w.clients, w.test,
+                        SmallFedConfig(3, 5, 33));
+  ASSERT_TRUE(trainer.Train(&recorder).ok());
+  ObservationSet obs = recorder.BuildObservations();
+  EXPECT_EQ(obs.num_rows(), 3);
+  EXPECT_GT(obs.size(), 0u);
+  EXPECT_GT(recorder.loss_calls(), 0);
+}
+
+}  // namespace
+}  // namespace comfedsv

@@ -1,0 +1,95 @@
+#include "data/dataset.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace comfedsv {
+namespace {
+
+Dataset MakeToy() {
+  Matrix feats(4, 2);
+  feats(0, 0) = 1.0;
+  feats(1, 0) = 2.0;
+  feats(2, 0) = 3.0;
+  feats(3, 0) = 4.0;
+  return Dataset(std::move(feats), {0, 1, 2, 0}, 3);
+}
+
+TEST(DatasetTest, BasicAccessors) {
+  Dataset d = MakeToy();
+  EXPECT_EQ(d.num_samples(), 4u);
+  EXPECT_EQ(d.dim(), 2u);
+  EXPECT_EQ(d.num_classes(), 3);
+  EXPECT_FALSE(d.empty());
+  EXPECT_EQ(d.label(2), 2);
+  EXPECT_DOUBLE_EQ(d.sample(1)[0], 2.0);
+}
+
+TEST(DatasetTest, SubsetPreservesRowsAndLabels) {
+  Dataset d = MakeToy();
+  Dataset sub = d.Subset({3, 0});
+  EXPECT_EQ(sub.num_samples(), 2u);
+  EXPECT_DOUBLE_EQ(sub.sample(0)[0], 4.0);
+  EXPECT_EQ(sub.label(0), 0);
+  EXPECT_DOUBLE_EQ(sub.sample(1)[0], 1.0);
+}
+
+TEST(DatasetTest, SubsetWithRepeats) {
+  Dataset d = MakeToy();
+  Dataset sub = d.Subset({1, 1, 1});
+  EXPECT_EQ(sub.num_samples(), 3u);
+  for (size_t i = 0; i < 3; ++i) EXPECT_EQ(sub.label(i), 1);
+}
+
+TEST(DatasetTest, RandomSplitSizesAndDisjointness) {
+  Matrix feats(100, 1);
+  std::vector<int> labels(100);
+  for (int i = 0; i < 100; ++i) {
+    feats(i, 0) = i;
+    labels[i] = i % 2;
+  }
+  Dataset d(std::move(feats), std::move(labels), 2);
+  Rng rng(5);
+  auto [train, test] = d.RandomSplit(0.25, &rng);
+  EXPECT_EQ(train.num_samples(), 75u);
+  EXPECT_EQ(test.num_samples(), 25u);
+  // Feature values are unique ids; check the split partitions them.
+  std::vector<bool> seen(100, false);
+  for (size_t i = 0; i < train.num_samples(); ++i) {
+    seen[static_cast<int>(train.sample(i)[0])] = true;
+  }
+  for (size_t i = 0; i < test.num_samples(); ++i) {
+    int id = static_cast<int>(test.sample(i)[0]);
+    EXPECT_FALSE(seen[id]) << "sample in both splits";
+    seen[id] = true;
+  }
+  for (int i = 0; i < 100; ++i) EXPECT_TRUE(seen[i]);
+}
+
+TEST(DatasetTest, RandomSplitExtremes) {
+  Dataset d = MakeToy();
+  Rng rng(1);
+  auto [all, none] = d.RandomSplit(0.0, &rng);
+  EXPECT_EQ(all.num_samples(), 4u);
+  EXPECT_EQ(none.num_samples(), 0u);
+  EXPECT_TRUE(none.empty());
+}
+
+TEST(DatasetTest, ConcatStacksSamples) {
+  Dataset a = MakeToy();
+  Dataset b = MakeToy();
+  Dataset c = Dataset::Concat({&a, &b});
+  EXPECT_EQ(c.num_samples(), 8u);
+  EXPECT_EQ(c.label(4), 0);
+  EXPECT_DOUBLE_EQ(c.sample(5)[0], 2.0);
+}
+
+TEST(DatasetTest, ClassHistogram) {
+  Dataset d = MakeToy();
+  std::vector<int> hist = d.ClassHistogram();
+  EXPECT_EQ(hist, (std::vector<int>{2, 1, 1}));
+}
+
+}  // namespace
+}  // namespace comfedsv

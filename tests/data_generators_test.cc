@@ -1,0 +1,203 @@
+// Tests for the synthetic (FedProx-style) and simulated-image generators.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "data/image_sim.h"
+#include "data/synthetic.h"
+#include "models/logistic.h"
+
+namespace comfedsv {
+namespace {
+
+TEST(SyntheticTest, ShapesAndDeterminism) {
+  SyntheticConfig cfg;
+  cfg.num_clients = 5;
+  cfg.samples_per_client = 40;
+  cfg.dim = 10;
+  cfg.num_classes = 4;
+  cfg.seed = 9;
+  auto clients = GenerateSyntheticFederated(cfg);
+  ASSERT_EQ(clients.size(), 5u);
+  for (const Dataset& d : clients) {
+    EXPECT_EQ(d.num_samples(), 40u);
+    EXPECT_EQ(d.dim(), 10u);
+    EXPECT_EQ(d.num_classes(), 4);
+  }
+  auto clients2 = GenerateSyntheticFederated(cfg);
+  EXPECT_TRUE(clients[2].features() == clients2[2].features());
+  EXPECT_EQ(clients[2].labels(), clients2[2].labels());
+}
+
+TEST(SyntheticTest, SeedChangesData) {
+  SyntheticConfig cfg;
+  cfg.seed = 1;
+  auto a = GenerateSyntheticFederated(cfg);
+  cfg.seed = 2;
+  auto b = GenerateSyntheticFederated(cfg);
+  EXPECT_FALSE(a[0].features() == b[0].features());
+}
+
+TEST(SyntheticTest, IidClientsShareLabelDistribution) {
+  SyntheticConfig cfg;
+  cfg.iid = true;
+  cfg.alpha = 0.0;
+  cfg.beta = 0.0;
+  cfg.num_clients = 6;
+  cfg.samples_per_client = 600;
+  cfg.seed = 4;
+  auto clients = GenerateSyntheticFederated(cfg);
+  // Under the shared model, per-class frequencies should be similar
+  // across clients (total-variation distance small).
+  auto freq = [&](const Dataset& d) {
+    std::vector<double> f(d.num_classes(), 0.0);
+    for (int y : d.labels()) f[y] += 1.0 / d.num_samples();
+    return f;
+  };
+  auto f0 = freq(clients[0]);
+  for (size_t k = 1; k < clients.size(); ++k) {
+    auto fk = freq(clients[k]);
+    double tv = 0.0;
+    for (size_t c = 0; c < f0.size(); ++c) tv += std::fabs(f0[c] - fk[c]);
+    EXPECT_LT(tv / 2.0, 0.15) << "client " << k;
+  }
+}
+
+TEST(SyntheticTest, NonIidClientsDivergeMoreThanIid) {
+  auto label_divergence = [](const std::vector<Dataset>& clients) {
+    // Mean pairwise total-variation distance between label histograms.
+    std::vector<std::vector<double>> freqs;
+    for (const Dataset& d : clients) {
+      std::vector<double> f(d.num_classes(), 0.0);
+      for (int y : d.labels()) f[y] += 1.0 / d.num_samples();
+      freqs.push_back(f);
+    }
+    double total = 0.0;
+    int pairs = 0;
+    for (size_t a = 0; a < freqs.size(); ++a) {
+      for (size_t b = a + 1; b < freqs.size(); ++b) {
+        double tv = 0.0;
+        for (size_t c = 0; c < freqs[a].size(); ++c) {
+          tv += std::fabs(freqs[a][c] - freqs[b][c]);
+        }
+        total += tv / 2.0;
+        ++pairs;
+      }
+    }
+    return total / pairs;
+  };
+
+  SyntheticConfig iid;
+  iid.iid = true;
+  iid.num_clients = 8;
+  iid.samples_per_client = 300;
+  iid.seed = 3;
+  SyntheticConfig noniid;
+  noniid.iid = false;
+  noniid.alpha = 1.0;
+  noniid.beta = 1.0;
+  noniid.num_clients = 8;
+  noniid.samples_per_client = 300;
+  noniid.seed = 3;
+  EXPECT_GT(label_divergence(GenerateSyntheticFederated(noniid)),
+            label_divergence(GenerateSyntheticFederated(iid)));
+}
+
+TEST(ImageSimTest, DimsAndBalance) {
+  SimulatedImageConfig cfg;
+  cfg.family = ImageFamily::kMnist;
+  cfg.num_samples = 500;
+  cfg.image_side = 8;
+  cfg.seed = 7;
+  EXPECT_EQ(SimulatedImageDim(cfg), 64);
+  Dataset d = GenerateSimulatedImages(cfg);
+  EXPECT_EQ(d.num_samples(), 500u);
+  EXPECT_EQ(d.dim(), 64u);
+  std::vector<int> hist = d.ClassHistogram();
+  for (int c = 0; c < 10; ++c) EXPECT_EQ(hist[c], 50) << "class " << c;
+}
+
+TEST(ImageSimTest, CifarHasThreeChannels) {
+  SimulatedImageConfig cfg;
+  cfg.family = ImageFamily::kCifar10;
+  cfg.image_side = 8;
+  EXPECT_EQ(SimulatedImageDim(cfg), 192);
+}
+
+TEST(ImageSimTest, FamilyNames) {
+  EXPECT_EQ(ImageFamilyName(ImageFamily::kMnist), "mnist-sim");
+  EXPECT_EQ(ImageFamilyName(ImageFamily::kFashionMnist), "fmnist-sim");
+  EXPECT_EQ(ImageFamilyName(ImageFamily::kCifar10), "cifar10-sim");
+}
+
+TEST(ImageSimTest, SameSeedReproduces) {
+  SimulatedImageConfig cfg;
+  cfg.num_samples = 100;
+  cfg.seed = 42;
+  Dataset a = GenerateSimulatedImages(cfg);
+  Dataset b = GenerateSimulatedImages(cfg);
+  EXPECT_TRUE(a.features() == b.features());
+  EXPECT_EQ(a.labels(), b.labels());
+}
+
+TEST(ImageSimTest, DifferentSeedsShareDistributionNotSamples) {
+  SimulatedImageConfig cfg;
+  cfg.num_samples = 200;
+  cfg.seed = 1;
+  Dataset a = GenerateSimulatedImages(cfg);
+  cfg.seed = 2;
+  Dataset b = GenerateSimulatedImages(cfg);
+  EXPECT_FALSE(a.features() == b.features());
+  // Prototypes are seed-independent: class means should be close.
+  auto class_mean = [](const Dataset& d, int cls) {
+    Vector mean(d.dim());
+    int count = 0;
+    for (size_t i = 0; i < d.num_samples(); ++i) {
+      if (d.label(i) != cls) continue;
+      for (size_t j = 0; j < d.dim(); ++j) mean[j] += d.sample(i)[j];
+      ++count;
+    }
+    mean.Scale(1.0 / count);
+    return mean;
+  };
+  for (int cls : {0, 5, 9}) {
+    Vector ma = class_mean(a, cls);
+    Vector mb = class_mean(b, cls);
+    EXPECT_LT(Distance(ma, mb) / std::max(1.0, ma.Norm2()), 0.8)
+        << "class " << cls;
+  }
+}
+
+class ImageFamilyLearnabilityTest
+    : public ::testing::TestWithParam<ImageFamily> {};
+
+TEST_P(ImageFamilyLearnabilityTest, LogisticBeatsChanceByWideMargin) {
+  SimulatedImageConfig cfg;
+  cfg.family = GetParam();
+  cfg.num_samples = 800;
+  cfg.seed = 11;
+  Dataset all = GenerateSimulatedImages(cfg);
+  Rng rng(12);
+  auto [train, test] = all.RandomSplit(0.25, &rng);
+
+  LogisticRegression model(train.dim(), 10, /*l2_penalty=*/1e-4);
+  Vector params;
+  model.InitializeParams(&params, &rng);
+  Vector grad;
+  for (int it = 0; it < 150; ++it) {
+    model.LossAndGradient(params, train, &grad);
+    params.Axpy(-0.5, grad);
+  }
+  // Chance is 0.1; every family should be clearly learnable.
+  EXPECT_GT(model.Accuracy(params, test), 0.5)
+      << ImageFamilyName(GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllFamilies, ImageFamilyLearnabilityTest,
+                         ::testing::Values(ImageFamily::kMnist,
+                                           ImageFamily::kFashionMnist,
+                                           ImageFamily::kCifar10));
+
+}  // namespace
+}  // namespace comfedsv

@@ -1,0 +1,127 @@
+// Tests for the scale-aware noise injectors used by the Fig. 6 workload.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "data/image_sim.h"
+#include "data/noise.h"
+
+namespace comfedsv {
+namespace {
+
+Dataset MakePool(int samples, uint64_t seed) {
+  SimulatedImageConfig cfg;
+  cfg.num_samples = samples;
+  cfg.seed = seed;
+  return GenerateSimulatedImages(cfg);
+}
+
+std::vector<double> ColumnStddev(const Dataset& d) {
+  std::vector<double> mean(d.dim(), 0.0), var(d.dim(), 0.0);
+  for (size_t i = 0; i < d.num_samples(); ++i) {
+    for (size_t j = 0; j < d.dim(); ++j) mean[j] += d.sample(i)[j];
+  }
+  for (double& m : mean) m /= static_cast<double>(d.num_samples());
+  for (size_t i = 0; i < d.num_samples(); ++i) {
+    for (size_t j = 0; j < d.dim(); ++j) {
+      const double x = d.sample(i)[j] - mean[j];
+      var[j] += x * x;
+    }
+  }
+  std::vector<double> out(d.dim());
+  for (size_t j = 0; j < d.dim(); ++j) {
+    out[j] = std::sqrt(var[j] / static_cast<double>(d.num_samples()));
+  }
+  return out;
+}
+
+TEST(RelativeNoiseTest, CorruptsRequestedFractionOnly) {
+  Dataset d = MakePool(200, 1);
+  Dataset original = d;
+  Rng rng(2);
+  EXPECT_EQ(AddRelativeGaussianFeatureNoise(&d, 0.3, 1.0, &rng), 60);
+  int differing = 0;
+  for (size_t i = 0; i < d.num_samples(); ++i) {
+    for (size_t j = 0; j < d.dim(); ++j) {
+      if (d.sample(i)[j] != original.sample(i)[j]) {
+        ++differing;
+        break;
+      }
+    }
+  }
+  EXPECT_EQ(differing, 60);
+  EXPECT_EQ(d.labels(), original.labels());
+}
+
+TEST(RelativeNoiseTest, PreservesColumnScaleRoughly) {
+  // Relative noise at factor f inflates column variance by ~(1 + p f^2)
+  // where p is the corrupted fraction — never by orders of magnitude.
+  Dataset d = MakePool(2000, 3);
+  std::vector<double> before = ColumnStddev(d);
+  Rng rng(4);
+  AddRelativeGaussianFeatureNoise(&d, 0.5, 1.0, &rng);
+  std::vector<double> after = ColumnStddev(d);
+  for (size_t j = 0; j < d.dim(); ++j) {
+    EXPECT_LT(after[j], 2.0 * before[j]) << "column " << j;
+    EXPECT_GT(after[j], 0.8 * before[j]) << "column " << j;
+  }
+}
+
+TEST(RelativeNoiseTest, ZeroFractionAndEmptyDatasetAreNoOps) {
+  Dataset d = MakePool(30, 5);
+  Dataset original = d;
+  Rng rng(6);
+  EXPECT_EQ(AddRelativeGaussianFeatureNoise(&d, 0.0, 2.0, &rng), 0);
+  EXPECT_TRUE(d.features() == original.features());
+  Dataset empty(Matrix(0, 4), {}, 2);
+  EXPECT_EQ(AddRelativeGaussianFeatureNoise(&empty, 0.5, 1.0, &rng), 0);
+}
+
+TEST(ReplaceWithNoiseTest, ReplacedSamplesMatchColumnMoments) {
+  Dataset d = MakePool(2000, 7);
+  std::vector<double> before = ColumnStddev(d);
+  Rng rng(8);
+  EXPECT_EQ(ReplaceFeaturesWithNoise(&d, 1.0, &rng), 2000);
+  std::vector<double> after = ColumnStddev(d);
+  // Fully replaced data has (approximately) the same per-column spread.
+  for (size_t j = 0; j < d.dim(); ++j) {
+    EXPECT_NEAR(after[j] / before[j], 1.0, 0.15) << "column " << j;
+  }
+}
+
+TEST(ReplaceWithNoiseTest, DestroysClassStructure) {
+  // Class means collapse to the global mean once features are replaced.
+  Dataset d = MakePool(1000, 9);
+  auto class_mean_spread = [](const Dataset& data) {
+    // Average distance between class-0 and class-1 mean vectors.
+    Vector m0(data.dim()), m1(data.dim());
+    int c0 = 0, c1 = 0;
+    for (size_t i = 0; i < data.num_samples(); ++i) {
+      if (data.label(i) == 0) {
+        for (size_t j = 0; j < data.dim(); ++j) m0[j] += data.sample(i)[j];
+        ++c0;
+      } else if (data.label(i) == 1) {
+        for (size_t j = 0; j < data.dim(); ++j) m1[j] += data.sample(i)[j];
+        ++c1;
+      }
+    }
+    m0.Scale(1.0 / c0);
+    m1.Scale(1.0 / c1);
+    return Distance(m0, m1);
+  };
+  const double spread_before = class_mean_spread(d);
+  Rng rng(10);
+  ReplaceFeaturesWithNoise(&d, 1.0, &rng);
+  EXPECT_LT(class_mean_spread(d), 0.4 * spread_before);
+}
+
+TEST(ReplaceWithNoiseTest, PartialReplacementKeepsLabels) {
+  Dataset d = MakePool(100, 11);
+  Dataset original = d;
+  Rng rng(12);
+  EXPECT_EQ(ReplaceFeaturesWithNoise(&d, 0.25, &rng), 25);
+  EXPECT_EQ(d.labels(), original.labels());
+}
+
+}  // namespace
+}  // namespace comfedsv

@@ -1,0 +1,141 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "data/image_sim.h"
+#include "data/noise.h"
+#include "data/partition.h"
+
+namespace comfedsv {
+namespace {
+
+Dataset MakePool(int samples, uint64_t seed) {
+  SimulatedImageConfig cfg;
+  cfg.num_samples = samples;
+  cfg.seed = seed;
+  return GenerateSimulatedImages(cfg);
+}
+
+TEST(PartitionTest, IidCoversAllSamplesDisjointly) {
+  Dataset pool = MakePool(103, 3);
+  Rng rng(1);
+  auto parts = PartitionIid(pool, 4, &rng);
+  ASSERT_EQ(parts.size(), 4u);
+  size_t total = 0;
+  for (const Dataset& p : parts) total += p.num_samples();
+  EXPECT_EQ(total, 103u);
+  // Sizes are near-equal (26, 26, 26, 25 in some order).
+  for (const Dataset& p : parts) {
+    EXPECT_GE(p.num_samples(), 25u);
+    EXPECT_LE(p.num_samples(), 26u);
+  }
+}
+
+TEST(PartitionTest, IidPreservesClassBalanceApproximately) {
+  Dataset pool = MakePool(1000, 5);
+  Rng rng(2);
+  auto parts = PartitionIid(pool, 5, &rng);
+  for (const Dataset& p : parts) {
+    std::vector<int> hist = p.ClassHistogram();
+    for (int c = 0; c < 10; ++c) {
+      // Each client should see roughly 20 of each class.
+      EXPECT_GE(hist[c], 8) << "class " << c;
+      EXPECT_LE(hist[c], 35) << "class " << c;
+    }
+  }
+}
+
+TEST(PartitionTest, LabelShardsConcentrateClasses) {
+  Dataset pool = MakePool(1000, 7);
+  Rng rng(3);
+  auto parts = PartitionByLabelShards(pool, 10, /*shards_per_client=*/2,
+                                      &rng);
+  ASSERT_EQ(parts.size(), 10u);
+  // With 2 shards per client over label-sorted data, each client sees at
+  // most ~3 distinct classes (2 shards can straddle a boundary each).
+  for (const Dataset& p : parts) {
+    std::set<int> classes(p.labels().begin(), p.labels().end());
+    EXPECT_LE(classes.size(), 4u);
+    EXPECT_GE(classes.size(), 1u);
+  }
+}
+
+TEST(PartitionTest, LabelShardsCoverAllSamples) {
+  Dataset pool = MakePool(200, 9);
+  Rng rng(4);
+  auto parts = PartitionByLabelShards(pool, 5, 2, &rng);
+  size_t total = 0;
+  for (const Dataset& p : parts) total += p.num_samples();
+  EXPECT_EQ(total, 200u);
+}
+
+TEST(PartitionTest, DeterministicGivenRngSeed) {
+  Dataset pool = MakePool(100, 11);
+  Rng rng_a(5), rng_b(5);
+  auto a = PartitionIid(pool, 3, &rng_a);
+  auto b = PartitionIid(pool, 3, &rng_b);
+  for (size_t k = 0; k < a.size(); ++k) {
+    EXPECT_TRUE(a[k].features() == b[k].features());
+  }
+}
+
+TEST(NoiseTest, GaussianNoiseCorruptsRequestedFraction) {
+  Dataset d = MakePool(200, 13);
+  Dataset original = d;
+  Rng rng(6);
+  const int corrupted = AddGaussianFeatureNoise(&d, 0.25, 2.0, &rng);
+  EXPECT_EQ(corrupted, 50);
+  // Exactly `corrupted` rows should differ.
+  int differing = 0;
+  for (size_t i = 0; i < d.num_samples(); ++i) {
+    for (size_t j = 0; j < d.dim(); ++j) {
+      if (d.sample(i)[j] != original.sample(i)[j]) {
+        ++differing;
+        break;
+      }
+    }
+  }
+  EXPECT_EQ(differing, 50);
+  // Labels untouched.
+  EXPECT_EQ(d.labels(), original.labels());
+}
+
+TEST(NoiseTest, ZeroFractionIsNoOp) {
+  Dataset d = MakePool(50, 15);
+  Dataset original = d;
+  Rng rng(7);
+  EXPECT_EQ(AddGaussianFeatureNoise(&d, 0.0, 1.0, &rng), 0);
+  EXPECT_TRUE(d.features() == original.features());
+  EXPECT_EQ(FlipLabels(&d, 0.0, &rng), 0);
+  EXPECT_EQ(d.labels(), original.labels());
+}
+
+TEST(NoiseTest, FlipLabelsChangesExactlyChosenFraction) {
+  Dataset d = MakePool(300, 17);
+  Dataset original = d;
+  Rng rng(8);
+  const int flipped = FlipLabels(&d, 0.3, &rng);
+  EXPECT_EQ(flipped, 90);
+  int changed = 0;
+  for (size_t i = 0; i < d.num_samples(); ++i) {
+    if (d.label(i) != original.label(i)) ++changed;
+  }
+  // Every flipped label must actually change class.
+  EXPECT_EQ(changed, 90);
+  // Features untouched.
+  EXPECT_TRUE(d.features() == original.features());
+}
+
+TEST(NoiseTest, FlippedLabelsStayInRange) {
+  Dataset d = MakePool(100, 19);
+  Rng rng(9);
+  FlipLabels(&d, 1.0, &rng);
+  for (int y : d.labels()) {
+    EXPECT_GE(y, 0);
+    EXPECT_LT(y, d.num_classes());
+  }
+}
+
+}  // namespace
+}  // namespace comfedsv

@@ -1,0 +1,225 @@
+// Cholesky, symmetric eigendecomposition, SVD, and eps-rank tests.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "linalg/cholesky.h"
+#include "linalg/eigen.h"
+#include "linalg/eps_rank.h"
+#include "linalg/matrix.h"
+#include "linalg/svd.h"
+
+namespace comfedsv {
+namespace {
+
+Matrix RandomMatrix(size_t rows, size_t cols, uint64_t seed) {
+  Rng rng(seed);
+  Matrix m(rows, cols);
+  for (size_t i = 0; i < rows; ++i) {
+    for (size_t j = 0; j < cols; ++j) m(i, j) = rng.NextGaussian();
+  }
+  return m;
+}
+
+Matrix RandomSpd(size_t n, uint64_t seed) {
+  Matrix a = RandomMatrix(n, n + 2, seed);
+  Matrix spd = a.GramRows();
+  for (size_t i = 0; i < n; ++i) spd(i, i) += 0.5;  // ensure definite
+  return spd;
+}
+
+TEST(CholeskyTest, FactorReconstructs) {
+  Matrix a = RandomSpd(6, 11);
+  Result<Matrix> l = CholeskyFactor(a);
+  ASSERT_TRUE(l.ok()) << l.status().ToString();
+  Matrix recon = Matrix::Multiply(l.value(), l.value().Transpose());
+  EXPECT_LT(recon.FrobeniusDistance(a), 1e-9);
+}
+
+TEST(CholeskyTest, SolveSpdMatchesDirectCheck) {
+  Matrix a = RandomSpd(8, 21);
+  Vector b(8);
+  for (size_t i = 0; i < 8; ++i) b[i] = static_cast<double>(i) - 3.0;
+  Result<Vector> x = SolveSpd(a, b);
+  ASSERT_TRUE(x.ok());
+  Vector ax = a.MultiplyVec(x.value());
+  EXPECT_LT(Distance(ax, b), 1e-8);
+}
+
+TEST(CholeskyTest, RejectsIndefiniteMatrix) {
+  Matrix a(2, 2);
+  a(0, 0) = 1.0;
+  a(1, 1) = -1.0;
+  EXPECT_FALSE(CholeskyFactor(a).ok());
+}
+
+TEST(CholeskyTest, RejectsNonSquare) {
+  EXPECT_FALSE(CholeskyFactor(Matrix(2, 3)).ok());
+  EXPECT_EQ(CholeskyFactor(Matrix(2, 3)).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(EigenTest, DiagonalMatrixEigenvalues) {
+  Matrix d(3, 3);
+  d(0, 0) = 3.0;
+  d(1, 1) = 1.0;
+  d(2, 2) = 2.0;
+  Result<EigenDecomposition> eig = SymmetricEigen(d);
+  ASSERT_TRUE(eig.ok());
+  EXPECT_NEAR(eig.value().values[0], 3.0, 1e-12);
+  EXPECT_NEAR(eig.value().values[1], 2.0, 1e-12);
+  EXPECT_NEAR(eig.value().values[2], 1.0, 1e-12);
+}
+
+TEST(EigenTest, Known2x2) {
+  // [[2,1],[1,2]] has eigenvalues 3 and 1.
+  Matrix a(2, 2);
+  a(0, 0) = 2.0;
+  a(0, 1) = 1.0;
+  a(1, 0) = 1.0;
+  a(1, 1) = 2.0;
+  Result<EigenDecomposition> eig = SymmetricEigen(a);
+  ASSERT_TRUE(eig.ok());
+  EXPECT_NEAR(eig.value().values[0], 3.0, 1e-10);
+  EXPECT_NEAR(eig.value().values[1], 1.0, 1e-10);
+}
+
+TEST(EigenTest, ReconstructionAndOrthogonality) {
+  Matrix a = RandomSpd(10, 33);
+  Result<EigenDecomposition> eig = SymmetricEigen(a);
+  ASSERT_TRUE(eig.ok());
+  const Matrix& v = eig.value().vectors;
+  // V diag(lambda) V^T == A.
+  Matrix lam(10, 10);
+  for (size_t i = 0; i < 10; ++i) lam(i, i) = eig.value().values[i];
+  Matrix recon =
+      Matrix::Multiply(Matrix::Multiply(v, lam), v.Transpose());
+  EXPECT_LT(recon.FrobeniusDistance(a), 1e-8);
+  // V^T V == I.
+  Matrix vtv = Matrix::Multiply(v.Transpose(), v);
+  EXPECT_LT(vtv.FrobeniusDistance(Matrix::Identity(10)), 1e-9);
+}
+
+TEST(EigenTest, RejectsNonSymmetric) {
+  Matrix a(2, 2);
+  a(0, 1) = 1.0;
+  a(1, 0) = 2.0;
+  EXPECT_FALSE(SymmetricEigen(a).ok());
+}
+
+TEST(SvdTest, SingularValuesOfKnownMatrix) {
+  // diag(3, 2) embedded in 2x3.
+  Matrix a(2, 3);
+  a(0, 0) = 3.0;
+  a(1, 1) = 2.0;
+  Result<Vector> sv = SingularValues(a);
+  ASSERT_TRUE(sv.ok());
+  EXPECT_NEAR(sv.value()[0], 3.0, 1e-10);
+  EXPECT_NEAR(sv.value()[1], 2.0, 1e-10);
+}
+
+TEST(SvdTest, ThinSvdReconstructsTallAndWide) {
+  for (auto [rows, cols] : {std::pair<size_t, size_t>{12, 5},
+                            std::pair<size_t, size_t>{5, 12}}) {
+    Matrix a = RandomMatrix(rows, cols, rows * 100 + cols);
+    Result<SvdDecomposition> svd = ThinSvd(a);
+    ASSERT_TRUE(svd.ok());
+    const SvdDecomposition& d = svd.value();
+    Matrix sigma(d.singular.size(), d.singular.size());
+    for (size_t i = 0; i < d.singular.size(); ++i) {
+      sigma(i, i) = d.singular[i];
+    }
+    Matrix recon = Matrix::Multiply(Matrix::Multiply(d.u, sigma),
+                                    d.v.Transpose());
+    EXPECT_LT(recon.FrobeniusDistance(a), 1e-7)
+        << rows << "x" << cols;
+  }
+}
+
+TEST(SvdTest, SingularValuesDescendingNonNegative) {
+  Matrix a = RandomMatrix(8, 20, 77);
+  Result<Vector> sv = SingularValues(a);
+  ASSERT_TRUE(sv.ok());
+  for (size_t i = 0; i + 1 < sv.value().size(); ++i) {
+    EXPECT_GE(sv.value()[i], sv.value()[i + 1] - 1e-12);
+  }
+  for (size_t i = 0; i < sv.value().size(); ++i) {
+    EXPECT_GE(sv.value()[i], 0.0);
+  }
+}
+
+TEST(SvdTest, FrobeniusNormIdentity) {
+  // ||A||_F^2 == sum of squared singular values.
+  Matrix a = RandomMatrix(6, 9, 5);
+  Result<Vector> sv = SingularValues(a);
+  ASSERT_TRUE(sv.ok());
+  double sum_sq = 0.0;
+  for (size_t i = 0; i < sv.value().size(); ++i) {
+    sum_sq += sv.value()[i] * sv.value()[i];
+  }
+  EXPECT_NEAR(std::sqrt(sum_sq), a.FrobeniusNorm(), 1e-9);
+}
+
+TEST(SvdTest, TruncationErrorMatchesTailSingularValues) {
+  Matrix a = RandomMatrix(10, 10, 8);
+  Result<SvdDecomposition> svd = ThinSvd(a);
+  ASSERT_TRUE(svd.ok());
+  for (int k : {0, 3, 7, 10}) {
+    Result<Matrix> approx = TruncatedSvdApproximation(a, k);
+    ASSERT_TRUE(approx.ok());
+    double tail = 0.0;
+    for (size_t i = k; i < svd.value().singular.size(); ++i) {
+      tail += svd.value().singular[i] * svd.value().singular[i];
+    }
+    EXPECT_NEAR(approx.value().FrobeniusDistance(a), std::sqrt(tail), 1e-8)
+        << "k=" << k;
+  }
+}
+
+TEST(SvdTest, ExactlyLowRankMatrixDetected) {
+  // Outer product of two vectors has rank 1.
+  Matrix u = RandomMatrix(9, 2, 3);
+  Matrix v = RandomMatrix(2, 13, 4);
+  Matrix a = Matrix::Multiply(u, v);  // rank <= 2
+  Result<Vector> sv = SingularValues(a);
+  ASSERT_TRUE(sv.ok());
+  EXPECT_GT(sv.value()[1], 1e-8);
+  // sigma_3 is numerically zero relative to sigma_1.
+  EXPECT_LT(sv.value()[2], 1e-6 * sv.value()[0]);
+}
+
+TEST(EpsRankTest, SpectralAndExactBoundsOnLowRankPlusNoise) {
+  Matrix u = RandomMatrix(20, 3, 13);
+  Matrix v = RandomMatrix(3, 30, 14);
+  Matrix a = Matrix::Multiply(u, v);
+  Rng rng(15);
+  for (size_t i = 0; i < a.rows(); ++i) {
+    for (size_t j = 0; j < a.cols(); ++j) {
+      a(i, j) += 1e-4 * rng.NextGaussian();
+    }
+  }
+  Result<int> spectral = EpsRankSpectralBound(a, 0.05);
+  Result<int> exact = EpsRankUpperBound(a, 0.05);
+  ASSERT_TRUE(spectral.ok());
+  ASSERT_TRUE(exact.ok());
+  EXPECT_LE(exact.value(), 3);
+  EXPECT_LE(exact.value(), spectral.value());
+  EXPECT_GE(exact.value(), 1);
+}
+
+TEST(EpsRankTest, HugeEpsGivesRankZero) {
+  Matrix a = RandomMatrix(5, 5, 2);
+  Result<int> r = EpsRankUpperBound(a, 1e9);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 0);
+}
+
+TEST(EpsRankTest, RejectsNonPositiveEps) {
+  Matrix a = RandomMatrix(3, 3, 2);
+  EXPECT_FALSE(EpsRankUpperBound(a, 0.0).ok());
+  EXPECT_FALSE(EpsRankSpectralBound(a, -1.0).ok());
+}
+
+}  // namespace
+}  // namespace comfedsv

@@ -1,0 +1,185 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "linalg/matrix.h"
+#include "linalg/vector.h"
+
+namespace comfedsv {
+namespace {
+
+TEST(VectorTest, ConstructionAndAccess) {
+  Vector zero(4);
+  EXPECT_EQ(zero.size(), 4u);
+  for (size_t i = 0; i < 4; ++i) EXPECT_DOUBLE_EQ(zero[i], 0.0);
+
+  Vector filled(3, 2.5);
+  EXPECT_DOUBLE_EQ(filled[2], 2.5);
+
+  Vector init{1.0, 2.0, 3.0};
+  EXPECT_DOUBLE_EQ(init[1], 2.0);
+  EXPECT_DOUBLE_EQ(init.at(2), 3.0);
+}
+
+TEST(VectorTest, DotAndNorm) {
+  Vector a{1.0, 2.0, 3.0};
+  Vector b{4.0, -5.0, 6.0};
+  EXPECT_DOUBLE_EQ(a.Dot(b), 4.0 - 10.0 + 18.0);
+  EXPECT_DOUBLE_EQ(a.Norm2(), std::sqrt(14.0));
+}
+
+TEST(VectorTest, AxpyAndScale) {
+  Vector y{1.0, 1.0};
+  Vector x{2.0, 3.0};
+  y.Axpy(2.0, x);
+  EXPECT_DOUBLE_EQ(y[0], 5.0);
+  EXPECT_DOUBLE_EQ(y[1], 7.0);
+  y.Scale(0.5);
+  EXPECT_DOUBLE_EQ(y[0], 2.5);
+}
+
+TEST(VectorTest, ArithmeticOperators) {
+  Vector a{1.0, 2.0};
+  Vector b{3.0, 5.0};
+  Vector sum = a + b;
+  Vector diff = b - a;
+  Vector scaled = a * 3.0;
+  EXPECT_DOUBLE_EQ(sum[1], 7.0);
+  EXPECT_DOUBLE_EQ(diff[0], 2.0);
+  EXPECT_DOUBLE_EQ(scaled[1], 6.0);
+  a += b;
+  EXPECT_DOUBLE_EQ(a[0], 4.0);
+  a -= b;
+  EXPECT_DOUBLE_EQ(a[0], 1.0);
+  a *= 2.0;
+  EXPECT_DOUBLE_EQ(a[1], 4.0);
+}
+
+TEST(VectorTest, MaxAbsAndSum) {
+  Vector v{-3.0, 2.0, 1.0};
+  EXPECT_DOUBLE_EQ(v.MaxAbs(), 3.0);
+  EXPECT_DOUBLE_EQ(v.Sum(), 0.0);
+  EXPECT_DOUBLE_EQ(Vector().MaxAbs(), 0.0);
+}
+
+TEST(VectorTest, DistanceAndMean) {
+  Vector a{0.0, 0.0};
+  Vector b{3.0, 4.0};
+  EXPECT_DOUBLE_EQ(Distance(a, b), 5.0);
+  Vector c{6.0, 8.0};
+  Vector m = Mean({&b, &c});
+  EXPECT_DOUBLE_EQ(m[0], 4.5);
+  EXPECT_DOUBLE_EQ(m[1], 6.0);
+}
+
+TEST(VectorTest, FillAndResize) {
+  Vector v(2);
+  v.Fill(7.0);
+  v.Resize(4);
+  EXPECT_DOUBLE_EQ(v[1], 7.0);
+  EXPECT_DOUBLE_EQ(v[3], 0.0);
+}
+
+TEST(MatrixTest, IdentityAndAccess) {
+  Matrix eye = Matrix::Identity(3);
+  EXPECT_DOUBLE_EQ(eye(1, 1), 1.0);
+  EXPECT_DOUBLE_EQ(eye(0, 2), 0.0);
+  EXPECT_EQ(eye.rows(), 3u);
+  EXPECT_EQ(eye.cols(), 3u);
+}
+
+TEST(MatrixTest, RowColSetRow) {
+  Matrix m(2, 3);
+  m.SetRow(0, Vector{1.0, 2.0, 3.0});
+  m.SetRow(1, Vector{4.0, 5.0, 6.0});
+  EXPECT_EQ(m.Row(1), (Vector{4.0, 5.0, 6.0}));
+  EXPECT_EQ(m.Col(2), (Vector{3.0, 6.0}));
+}
+
+TEST(MatrixTest, MultiplyKnownProduct) {
+  Matrix a(2, 3);
+  a.SetRow(0, Vector{1.0, 2.0, 3.0});
+  a.SetRow(1, Vector{4.0, 5.0, 6.0});
+  Matrix b(3, 2);
+  b.SetRow(0, Vector{7.0, 8.0});
+  b.SetRow(1, Vector{9.0, 10.0});
+  b.SetRow(2, Vector{11.0, 12.0});
+  Matrix c = Matrix::Multiply(a, b);
+  EXPECT_DOUBLE_EQ(c(0, 0), 58.0);
+  EXPECT_DOUBLE_EQ(c(0, 1), 64.0);
+  EXPECT_DOUBLE_EQ(c(1, 0), 139.0);
+  EXPECT_DOUBLE_EQ(c(1, 1), 154.0);
+}
+
+TEST(MatrixTest, MultiplyByIdentityIsNoOp) {
+  Matrix a(3, 3);
+  for (size_t i = 0; i < 3; ++i) {
+    for (size_t j = 0; j < 3; ++j) a(i, j) = i * 3.0 + j;
+  }
+  Matrix prod = Matrix::Multiply(a, Matrix::Identity(3));
+  EXPECT_TRUE(prod == a);
+}
+
+TEST(MatrixTest, MultiplyVecAndTransposeVec) {
+  Matrix a(2, 3);
+  a.SetRow(0, Vector{1.0, 0.0, 2.0});
+  a.SetRow(1, Vector{0.0, 3.0, 0.0});
+  Vector x{1.0, 1.0, 1.0};
+  Vector y = a.MultiplyVec(x);
+  EXPECT_EQ(y, (Vector{3.0, 3.0}));
+  Vector z{2.0, 1.0};
+  Vector w = a.MultiplyTransposeVec(z);
+  EXPECT_EQ(w, (Vector{2.0, 3.0, 4.0}));
+}
+
+TEST(MatrixTest, TransposeInvolution) {
+  Matrix a(2, 3);
+  a.SetRow(0, Vector{1.0, 2.0, 3.0});
+  a.SetRow(1, Vector{4.0, 5.0, 6.0});
+  Matrix att = a.Transpose().Transpose();
+  EXPECT_TRUE(att == a);
+  EXPECT_DOUBLE_EQ(a.Transpose()(2, 1), 6.0);
+}
+
+TEST(MatrixTest, GramRowsIsSymmetricPsd) {
+  Matrix a(3, 5);
+  for (size_t i = 0; i < 3; ++i) {
+    for (size_t j = 0; j < 5; ++j) {
+      a(i, j) = std::sin(static_cast<double>(i * 5 + j));
+    }
+  }
+  Matrix g = a.GramRows();
+  EXPECT_EQ(g.rows(), 3u);
+  for (size_t i = 0; i < 3; ++i) {
+    EXPECT_GE(g(i, i), 0.0);
+    for (size_t j = 0; j < 3; ++j) {
+      EXPECT_DOUBLE_EQ(g(i, j), g(j, i));
+      EXPECT_NEAR(g(i, j), a.Row(i).Dot(a.Row(j)), 1e-12);
+    }
+  }
+}
+
+TEST(MatrixTest, Norms) {
+  Matrix m(2, 2);
+  m(0, 0) = 3.0;
+  m(0, 1) = -4.0;
+  m(1, 0) = 0.0;
+  m(1, 1) = 12.0;
+  EXPECT_DOUBLE_EQ(m.FrobeniusNorm(), 13.0);
+  EXPECT_DOUBLE_EQ(m.MaxAbs(), 12.0);
+  // Column sums of |.|: col0 = 3, col1 = 16.
+  EXPECT_DOUBLE_EQ(m.MaxAbsColumnSum(), 16.0);
+}
+
+TEST(MatrixTest, AddScaleFrobeniusDistance) {
+  Matrix a(2, 2, 1.0);
+  Matrix b(2, 2, 3.0);
+  EXPECT_DOUBLE_EQ(a.FrobeniusDistance(b), 4.0);
+  a.Add(0.5, b);
+  EXPECT_DOUBLE_EQ(a(0, 0), 2.5);
+  a.Scale(2.0);
+  EXPECT_DOUBLE_EQ(a(1, 1), 5.0);
+}
+
+}  // namespace
+}  // namespace comfedsv

@@ -1,0 +1,111 @@
+#include "metrics/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace comfedsv {
+namespace {
+
+TEST(RelativeDifferenceTest, BasicCases) {
+  EXPECT_DOUBLE_EQ(RelativeDifference(1.0, 1.0), 0.0);
+  EXPECT_DOUBLE_EQ(RelativeDifference(0.0, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(RelativeDifference(2.0, 1.0), 0.5);
+  EXPECT_DOUBLE_EQ(RelativeDifference(1.0, 2.0), 0.5);
+  EXPECT_DOUBLE_EQ(RelativeDifference(3.0, 0.0), 1.0);
+}
+
+TEST(RelativeDifferenceTest, SymmetricInArguments) {
+  for (double a : {0.5, 1.0, 7.0}) {
+    for (double b : {0.25, 2.0, 9.0}) {
+      EXPECT_DOUBLE_EQ(RelativeDifference(a, b), RelativeDifference(b, a));
+    }
+  }
+}
+
+TEST(AverageRanksTest, NoTies) {
+  std::vector<double> v = {10.0, 30.0, 20.0};
+  EXPECT_EQ(AverageRanks(v), (std::vector<double>{1.0, 3.0, 2.0}));
+}
+
+TEST(AverageRanksTest, TiesGetMeanRank) {
+  std::vector<double> v = {5.0, 1.0, 5.0, 0.0};
+  // sorted: 0.0(r1), 1.0(r2), 5.0, 5.0 (ranks 3,4 -> 3.5 each)
+  EXPECT_EQ(AverageRanks(v), (std::vector<double>{3.5, 2.0, 3.5, 1.0}));
+}
+
+TEST(SpearmanTest, PerfectAgreementAndReversal) {
+  std::vector<double> a = {1.0, 2.0, 3.0, 4.0};
+  std::vector<double> monotone = {10.0, 20.0, 30.0, 40.0};
+  std::vector<double> reversed = {4.0, 3.0, 2.0, 1.0};
+  EXPECT_NEAR(SpearmanCorrelation(a, monotone).value(), 1.0, 1e-12);
+  EXPECT_NEAR(SpearmanCorrelation(a, reversed).value(), -1.0, 1e-12);
+}
+
+TEST(SpearmanTest, InvariantUnderMonotoneTransform) {
+  std::vector<double> a = {0.3, 1.5, -2.0, 0.9, 4.0};
+  std::vector<double> b;
+  for (double v : a) b.push_back(std::exp(v));  // strictly increasing map
+  EXPECT_NEAR(SpearmanCorrelation(a, b).value(), 1.0, 1e-12);
+}
+
+TEST(SpearmanTest, KnownValueWithOneSwap) {
+  // Permutation (1,2,3,4,5) vs (2,1,3,4,5): rho = 1 - 6*2/(5*24) = 0.9.
+  std::vector<double> a = {1, 2, 3, 4, 5};
+  std::vector<double> b = {2, 1, 3, 4, 5};
+  EXPECT_NEAR(SpearmanCorrelation(a, b).value(), 0.9, 1e-12);
+}
+
+TEST(SpearmanTest, ErrorCases) {
+  EXPECT_FALSE(SpearmanCorrelation({1.0}, {2.0}).ok());
+  EXPECT_FALSE(SpearmanCorrelation({1.0, 2.0}, {1.0, 2.0, 3.0}).ok());
+  EXPECT_FALSE(SpearmanCorrelation({1.0, 1.0}, {2.0, 3.0}).ok());
+}
+
+TEST(JaccardTest, StandardCases) {
+  EXPECT_DOUBLE_EQ(JaccardIndex({1, 2, 3}, {1, 2, 3}), 1.0);
+  EXPECT_DOUBLE_EQ(JaccardIndex({1, 2}, {3, 4}), 0.0);
+  EXPECT_DOUBLE_EQ(JaccardIndex({1, 2, 3}, {2, 3, 4}), 0.5);
+  EXPECT_DOUBLE_EQ(JaccardIndex({}, {}), 1.0);
+  EXPECT_DOUBLE_EQ(JaccardIndex({1}, {}), 0.0);
+}
+
+TEST(JaccardTest, DuplicatesIgnored) {
+  EXPECT_DOUBLE_EQ(JaccardIndex({1, 1, 2}, {2, 2, 1}), 1.0);
+}
+
+TEST(BottomKTest, FindsSmallest) {
+  Vector v{5.0, -1.0, 3.0, 0.0, 7.0};
+  EXPECT_EQ(BottomKIndices(v, 2), (std::vector<int>{1, 3}));
+  EXPECT_EQ(BottomKIndices(v, 0), (std::vector<int>{}));
+  EXPECT_EQ(BottomKIndices(v, 5), (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EmpiricalCdfTest, StepFunctionValues) {
+  EmpiricalCdf cdf({3.0, 1.0, 2.0, 2.0});
+  EXPECT_DOUBLE_EQ(cdf.At(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(cdf.At(1.0), 0.25);
+  EXPECT_DOUBLE_EQ(cdf.At(2.0), 0.75);
+  EXPECT_DOUBLE_EQ(cdf.At(2.5), 0.75);
+  EXPECT_DOUBLE_EQ(cdf.At(3.0), 1.0);
+  EXPECT_DOUBLE_EQ(cdf.At(100.0), 1.0);
+  EXPECT_EQ(cdf.size(), 4u);
+}
+
+TEST(EmpiricalCdfTest, SortedSamplesExposed) {
+  EmpiricalCdf cdf({3.0, 1.0, 2.0});
+  EXPECT_EQ(cdf.sorted_samples(), (std::vector<double>{1.0, 2.0, 3.0}));
+}
+
+TEST(EmpiricalCdfTest, MonotoneNonDecreasing) {
+  EmpiricalCdf cdf({0.1, 0.9, 0.4, 0.3, 0.8});
+  double prev = 0.0;
+  for (double t = -0.5; t <= 1.5; t += 0.05) {
+    const double cur = cdf.At(t);
+    EXPECT_GE(cur, prev);
+    prev = cur;
+  }
+}
+
+}  // namespace
+}  // namespace comfedsv

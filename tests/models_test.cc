@@ -1,0 +1,255 @@
+// Model tests: analytic-vs-numeric gradients, loss decrease under GD,
+// prediction consistency, and parameter-layout sanity for all three
+// architectures.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "data/image_sim.h"
+#include "data/synthetic.h"
+#include "models/cnn.h"
+#include "models/gradient_check.h"
+#include "models/logistic.h"
+#include "models/mlp.h"
+
+namespace comfedsv {
+namespace {
+
+Dataset SmallData(int samples, int dim, int classes, uint64_t seed) {
+  Rng rng(seed);
+  Matrix feats(samples, dim);
+  std::vector<int> labels(samples);
+  for (int i = 0; i < samples; ++i) {
+    for (int j = 0; j < dim; ++j) feats(i, j) = rng.NextGaussian();
+    labels[i] = static_cast<int>(rng.NextUint64(classes));
+  }
+  return Dataset(std::move(feats), std::move(labels), classes);
+}
+
+// ---------------------------------------------------------------------
+// Parameter counts.
+
+TEST(ModelShapeTest, LogisticParamCount) {
+  LogisticRegression m(20, 7);
+  EXPECT_EQ(m.num_params(), 20u * 7u + 7u);
+  EXPECT_EQ(m.input_dim(), 20u);
+  EXPECT_EQ(m.num_classes(), 7);
+  EXPECT_EQ(m.name(), "logistic");
+}
+
+TEST(ModelShapeTest, MlpParamCount) {
+  Mlp m({10, 8, 4});
+  // (10*8 + 8) + (8*4 + 4) = 88 + 36 = 124.
+  EXPECT_EQ(m.num_params(), 124u);
+  EXPECT_EQ(m.num_layers(), 2);
+  EXPECT_EQ(m.name(), "mlp");
+}
+
+TEST(ModelShapeTest, CnnParamCount) {
+  CnnConfig cfg;
+  cfg.image_side = 8;
+  cfg.channels = 1;
+  cfg.num_filters = 4;
+  cfg.num_classes = 10;
+  Cnn m(cfg);
+  // conv: 4*1*9 + 4 = 40; pooled: 4 * 3 * 3 = 36; fc: 36*10 + 10 = 370.
+  EXPECT_EQ(m.conv_side(), 6);
+  EXPECT_EQ(m.pool_side(), 3);
+  EXPECT_EQ(m.pooled_dim(), 36u);
+  EXPECT_EQ(m.num_params(), 40u + 370u);
+  EXPECT_EQ(m.input_dim(), 64u);
+}
+
+// ---------------------------------------------------------------------
+// Gradient checks (the decisive correctness tests).
+
+TEST(GradientCheckTest, LogisticAnalyticMatchesNumeric) {
+  LogisticRegression model(6, 4, /*l2_penalty=*/0.01);
+  Dataset data = SmallData(12, 6, 4, 1);
+  Rng rng(2);
+  Vector params;
+  model.InitializeParams(&params, &rng, 0.3);
+  EXPECT_LT(MaxRelativeGradientError(model, params, data), 1e-6);
+}
+
+TEST(GradientCheckTest, LogisticWithoutRegularizer) {
+  LogisticRegression model(5, 3, 0.0);
+  Dataset data = SmallData(8, 5, 3, 3);
+  Rng rng(4);
+  Vector params;
+  model.InitializeParams(&params, &rng, 0.5);
+  EXPECT_LT(MaxRelativeGradientError(model, params, data), 1e-6);
+}
+
+TEST(GradientCheckTest, MlpOneHiddenLayer) {
+  Mlp model({6, 5, 3}, /*l2_penalty=*/0.02);
+  Dataset data = SmallData(10, 6, 3, 5);
+  Rng rng(6);
+  Vector params;
+  model.InitializeParams(&params, &rng, 0.4);
+  EXPECT_LT(MaxRelativeGradientError(model, params, data), 1e-5);
+}
+
+TEST(GradientCheckTest, MlpTwoHiddenLayers) {
+  Mlp model({5, 7, 6, 4}, 0.0);
+  Dataset data = SmallData(9, 5, 4, 7);
+  Rng rng(8);
+  Vector params;
+  model.InitializeParams(&params, &rng, 0.4);
+  EXPECT_LT(MaxRelativeGradientError(model, params, data), 1e-5);
+}
+
+TEST(GradientCheckTest, CnnSingleChannel) {
+  CnnConfig cfg;
+  cfg.image_side = 6;
+  cfg.channels = 1;
+  cfg.num_filters = 3;
+  cfg.num_classes = 4;
+  cfg.l2_penalty = 0.01;
+  Cnn model(cfg);
+  Dataset data = SmallData(6, 36, 4, 9);
+  Rng rng(10);
+  Vector params;
+  model.InitializeParams(&params, &rng, 0.4);
+  EXPECT_LT(MaxRelativeGradientError(model, params, data), 1e-5);
+}
+
+TEST(GradientCheckTest, CnnThreeChannels) {
+  CnnConfig cfg;
+  cfg.image_side = 6;
+  cfg.channels = 3;
+  cfg.num_filters = 2;
+  cfg.num_classes = 3;
+  Cnn model(cfg);
+  Dataset data = SmallData(5, 108, 3, 11);
+  Rng rng(12);
+  Vector params;
+  model.InitializeParams(&params, &rng, 0.4);
+  EXPECT_LT(MaxRelativeGradientError(model, params, data), 1e-5);
+}
+
+// ---------------------------------------------------------------------
+// Training behaviour.
+
+template <typename ModelT>
+void ExpectGradientDescentDecreasesLoss(const ModelT& model,
+                                        const Dataset& data, double lr,
+                                        int steps) {
+  Rng rng(13);
+  Vector params;
+  model.InitializeParams(&params, &rng);
+  Vector grad;
+  double prev = model.Loss(params, data);
+  const double initial = prev;
+  for (int i = 0; i < steps; ++i) {
+    model.LossAndGradient(params, data, &grad);
+    params.Axpy(-lr, grad);
+  }
+  const double final_loss = model.Loss(params, data);
+  EXPECT_LT(final_loss, initial * 0.9);
+}
+
+TEST(TrainingTest, LogisticLossDecreases) {
+  SimulatedImageConfig cfg;
+  cfg.num_samples = 300;
+  cfg.seed = 21;
+  Dataset data = GenerateSimulatedImages(cfg);
+  LogisticRegression model(data.dim(), 10, 1e-4);
+  ExpectGradientDescentDecreasesLoss(model, data, 0.5, 60);
+}
+
+TEST(TrainingTest, MlpLossDecreases) {
+  SimulatedImageConfig cfg;
+  cfg.num_samples = 300;
+  cfg.seed = 22;
+  Dataset data = GenerateSimulatedImages(cfg);
+  Mlp model({data.dim(), 16, 10});
+  ExpectGradientDescentDecreasesLoss(model, data, 0.3, 80);
+}
+
+TEST(TrainingTest, CnnLossDecreases) {
+  SimulatedImageConfig cfg;
+  cfg.num_samples = 200;
+  cfg.seed = 23;
+  cfg.family = ImageFamily::kCifar10;
+  Dataset data = GenerateSimulatedImages(cfg);
+  CnnConfig mcfg;
+  mcfg.image_side = 8;
+  mcfg.channels = 3;
+  mcfg.num_filters = 4;
+  Cnn model(mcfg);
+  ExpectGradientDescentDecreasesLoss(model, data, 0.2, 60);
+}
+
+TEST(TrainingTest, LogisticReachesHighAccuracyOnSeparableData) {
+  // Argmax-linear labels are realizable by the model class.
+  SyntheticConfig cfg;
+  cfg.num_clients = 1;
+  cfg.samples_per_client = 400;
+  cfg.iid = true;
+  cfg.dim = 20;
+  cfg.num_classes = 5;
+  cfg.seed = 31;
+  Dataset data = GenerateSyntheticFederated(cfg)[0];
+  LogisticRegression model(20, 5, 0.0);
+  Rng rng(32);
+  Vector params;
+  model.InitializeParams(&params, &rng);
+  Vector grad;
+  for (int i = 0; i < 300; ++i) {
+    model.LossAndGradient(params, data, &grad);
+    params.Axpy(-1.0, grad);
+  }
+  EXPECT_GT(model.Accuracy(params, data), 0.8);
+}
+
+// ---------------------------------------------------------------------
+// Prediction / loss consistency.
+
+TEST(PredictionTest, AccuracyOneWhenLossNearZero) {
+  // Overfit a tiny dataset; predictions must match labels.
+  Dataset data = SmallData(6, 4, 3, 41);
+  Mlp model({4, 12, 3});
+  Rng rng(42);
+  Vector params;
+  model.InitializeParams(&params, &rng, 0.3);
+  Vector grad;
+  for (int i = 0; i < 2000; ++i) {
+    model.LossAndGradient(params, data, &grad);
+    params.Axpy(-0.5, grad);
+  }
+  if (model.Loss(params, data) < 0.05) {
+    EXPECT_DOUBLE_EQ(model.Accuracy(params, data), 1.0);
+  }
+}
+
+TEST(PredictionTest, LossIsMeanNegativeLogLikelihood) {
+  // With zero parameters, softmax is uniform: loss = log(C).
+  LogisticRegression model(5, 4, 0.0);
+  Dataset data = SmallData(10, 5, 4, 51);
+  Vector zeros(model.num_params());
+  EXPECT_NEAR(model.Loss(zeros, data), std::log(4.0), 1e-12);
+}
+
+TEST(PredictionTest, L2PenaltyAddsQuadraticTerm) {
+  LogisticRegression with(4, 3, 0.5);
+  LogisticRegression without(4, 3, 0.0);
+  Dataset data = SmallData(6, 4, 3, 61);
+  Rng rng(62);
+  Vector params;
+  with.InitializeParams(&params, &rng, 0.3);
+  EXPECT_NEAR(with.Loss(params, data),
+              without.Loss(params, data) + 0.25 * params.Dot(params),
+              1e-12);
+}
+
+TEST(PredictionTest, EmptyDatasetLossIsRegularizerOnly) {
+  LogisticRegression model(3, 2, 0.2);
+  Dataset empty(Matrix(0, 3), {}, 2);
+  Vector params(model.num_params(), 0.5);
+  EXPECT_NEAR(model.Loss(params, empty), 0.1 * params.Dot(params), 1e-12);
+}
+
+}  // namespace
+}  // namespace comfedsv

@@ -1,0 +1,203 @@
+// Parameterized property sweeps across configurations:
+//   * gradient correctness across model families and sizes;
+//   * Shapley axioms (efficiency, symmetry, dummy) across game types;
+//   * completion recovery across ranks and densities;
+//   * FedAvg determinism across thread counts.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+#include "completion/solver.h"
+#include "data/image_sim.h"
+#include "data/partition.h"
+#include "fl/fedavg.h"
+#include "models/cnn.h"
+#include "models/gradient_check.h"
+#include "models/logistic.h"
+#include "models/mlp.h"
+#include "shapley/shapley.h"
+
+namespace comfedsv {
+namespace {
+
+// ---------------------------------------------------------------------
+// Gradient sweeps: (model family, input dim proxy, classes).
+
+class GradientSweep
+    : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(GradientSweep, LogisticGradientMatchesFiniteDifference) {
+  auto [dim, classes, seed] = GetParam();
+  LogisticRegression model(dim, classes, 0.5e-2);
+  Rng rng(seed);
+  Matrix feats(7, dim);
+  std::vector<int> labels(7);
+  for (int i = 0; i < 7; ++i) {
+    for (int j = 0; j < dim; ++j) feats(i, j) = rng.NextGaussian();
+    labels[i] = static_cast<int>(rng.NextUint64(classes));
+  }
+  Dataset data(std::move(feats), std::move(labels), classes);
+  Vector params;
+  model.InitializeParams(&params, &rng, 0.4);
+  EXPECT_LT(MaxRelativeGradientError(model, params, data), 1e-6);
+}
+
+TEST_P(GradientSweep, MlpGradientMatchesFiniteDifference) {
+  auto [dim, classes, seed] = GetParam();
+  Mlp model({static_cast<size_t>(dim), 6, static_cast<size_t>(classes)},
+            1e-3);
+  Rng rng(seed + 100);
+  Matrix feats(6, dim);
+  std::vector<int> labels(6);
+  for (int i = 0; i < 6; ++i) {
+    for (int j = 0; j < dim; ++j) feats(i, j) = rng.NextGaussian();
+    labels[i] = static_cast<int>(rng.NextUint64(classes));
+  }
+  Dataset data(std::move(feats), std::move(labels), classes);
+  Vector params;
+  model.InitializeParams(&params, &rng, 0.4);
+  EXPECT_LT(MaxRelativeGradientError(model, params, data), 1e-5);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    DimsAndClasses, GradientSweep,
+    ::testing::Values(std::make_tuple(3, 2, 1), std::make_tuple(8, 3, 2),
+                      std::make_tuple(12, 5, 3),
+                      std::make_tuple(20, 10, 4)));
+
+// ---------------------------------------------------------------------
+// Shapley axioms across random games.
+
+class ShapleyAxiomSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(ShapleyAxiomSweep, EfficiencyHoldsForRandomGames) {
+  const int seed = GetParam();
+  Rng rng(seed);
+  const int m = 5;
+  // Random game: value indexed by coalition bitmask over the players.
+  std::vector<double> values(1u << m);
+  for (auto& v : values) v = rng.NextGaussian();
+  values[0] = 0.0;
+  std::vector<int> players = {0, 1, 2, 3, 4};
+  UtilityFn game = [&](const Coalition& c) {
+    uint32_t mask = 0;
+    for (int p : c.Members()) mask |= (1u << p);
+    return values[mask];
+  };
+  Result<Vector> phi = ExactShapley(m, players, game);
+  ASSERT_TRUE(phi.ok());
+  EXPECT_NEAR(phi.value().Sum(), values[(1u << m) - 1], 1e-10);
+}
+
+TEST_P(ShapleyAxiomSweep, DummyAxiomHoldsForRandomGames) {
+  const int seed = GetParam();
+  Rng rng(seed + 31);
+  const int m = 5;
+  // Game that ignores player 2 entirely.
+  std::vector<double> values(1u << (m - 1));
+  for (auto& v : values) v = rng.NextGaussian();
+  values[0] = 0.0;
+  std::vector<int> players = {0, 1, 2, 3, 4};
+  UtilityFn game = [&](const Coalition& c) {
+    uint32_t mask = 0;
+    int bit = 0;
+    for (int p : {0, 1, 3, 4}) {
+      if (c.Contains(p)) mask |= (1u << bit);
+      ++bit;
+    }
+    return values[mask];
+  };
+  Result<Vector> phi = ExactShapley(m, players, game);
+  ASSERT_TRUE(phi.ok());
+  EXPECT_NEAR(phi.value()[2], 0.0, 1e-10);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ShapleyAxiomSweep,
+                         ::testing::Range(1, 9));
+
+// ---------------------------------------------------------------------
+// Completion recovery sweep: (rank, density).
+
+class CompletionSweep
+    : public ::testing::TestWithParam<std::tuple<int, double>> {};
+
+TEST_P(CompletionSweep, AlsWithSmoothingRecoversLowRank) {
+  auto [rank, density] = GetParam();
+  Rng rng(static_cast<uint64_t>(rank * 100 + density * 10));
+  Matrix a(25, rank), b(rank, 20);
+  for (size_t i = 0; i < a.rows(); ++i) {
+    for (int k = 0; k < rank; ++k) a(i, k) = rng.NextGaussian();
+  }
+  for (int k = 0; k < rank; ++k) {
+    for (size_t j = 0; j < b.cols(); ++j) b(k, j) = rng.NextGaussian();
+  }
+  Matrix truth = Matrix::Multiply(a, b);
+  // Coverage guarantees (one entry per row and column) + Bernoulli
+  // sampling on top.
+  ObservationSet clean(25, 20);
+  for (int i = 0; i < 25; ++i) {
+    int j = static_cast<int>(rng.NextUint64(20));
+    clean.Add(i, j, truth(i, j));
+  }
+  for (int j = 0; j < 20; ++j) {
+    int i = static_cast<int>(rng.NextUint64(25));
+    clean.Add(i, j, truth(i, j));
+  }
+  for (int i = 0; i < 25; ++i) {
+    for (int j = 0; j < 20; ++j) {
+      if (rng.NextBernoulli(density)) clean.Add(i, j, truth(i, j));
+    }
+  }
+  CompletionConfig cfg;
+  cfg.rank = rank;
+  cfg.lambda = 1e-1;
+  cfg.max_iters = 300;
+  Result<CompletionResult> fit = CompleteMatrix(clean, cfg);
+  ASSERT_TRUE(fit.ok());
+  Matrix approx =
+      Matrix::Multiply(fit.value().w, fit.value().h.Transpose());
+  EXPECT_LT(approx.FrobeniusDistance(truth) / truth.FrobeniusNorm(), 0.2)
+      << "rank=" << rank << " density=" << density;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RankDensity, CompletionSweep,
+    ::testing::Values(std::make_tuple(1, 0.4), std::make_tuple(2, 0.5),
+                      std::make_tuple(3, 0.6), std::make_tuple(2, 0.8)));
+
+// ---------------------------------------------------------------------
+// FedAvg determinism across thread counts.
+
+class ThreadSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(ThreadSweep, TrainingIsThreadCountInvariant) {
+  SimulatedImageConfig icfg;
+  icfg.num_samples = 300;
+  icfg.seed = 77;
+  Dataset pool = GenerateSimulatedImages(icfg);
+  Rng rng(78);
+  auto [train_pool, test] = pool.RandomSplit(0.2, &rng);
+  auto clients = PartitionIid(train_pool, 4, &rng);
+  LogisticRegression model(pool.dim(), 10);
+
+  FedAvgConfig cfg;
+  cfg.num_rounds = 3;
+  cfg.clients_per_round = 2;
+  cfg.seed = 79;
+  cfg.num_threads = 0;
+  FedAvgTrainer reference(&model, clients, test, cfg);
+  Result<TrainingResult> ref = reference.Train();
+  ASSERT_TRUE(ref.ok());
+
+  cfg.num_threads = GetParam();
+  FedAvgTrainer threaded(&model, clients, test, cfg);
+  Result<TrainingResult> got = threaded.Train();
+  ASSERT_TRUE(got.ok());
+  EXPECT_TRUE(ref.value().final_params == got.value().final_params);
+}
+
+INSTANTIATE_TEST_SUITE_P(Threads, ThreadSweep, ::testing::Values(2, 3, 8));
+
+}  // namespace
+}  // namespace comfedsv

@@ -1,0 +1,173 @@
+// Exact and Monte-Carlo Shapley on analytically solvable games.
+#include "shapley/shapley.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace comfedsv {
+namespace {
+
+// Additive game: U(S) = sum of per-player weights. Shapley = own weight.
+UtilityFn AdditiveGame(const std::vector<double>& weights) {
+  return [weights](const Coalition& c) {
+    double total = 0.0;
+    for (int m : c.Members()) total += weights[m];
+    return total;
+  };
+}
+
+// Unanimity game on a carrier set R: U(S) = 1 iff R subseteq S.
+// Shapley: 1/|R| for members of R, 0 otherwise.
+UtilityFn UnanimityGame(const Coalition& carrier) {
+  return [carrier](const Coalition& c) {
+    return carrier.IsSubsetOf(c) ? 1.0 : 0.0;
+  };
+}
+
+TEST(ExactShapleyTest, AdditiveGameGivesOwnWeight) {
+  std::vector<double> weights = {1.0, -2.0, 3.5, 0.0};
+  std::vector<int> players = {0, 1, 2, 3};
+  Result<Vector> v = ExactShapley(4, players, AdditiveGame(weights));
+  ASSERT_TRUE(v.ok());
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_NEAR(v.value()[i], weights[i], 1e-12) << i;
+  }
+}
+
+TEST(ExactShapleyTest, UnanimityGame) {
+  Coalition carrier = Coalition::FromMembers(5, {1, 3});
+  std::vector<int> players = {0, 1, 2, 3, 4};
+  Result<Vector> v = ExactShapley(5, players, UnanimityGame(carrier));
+  ASSERT_TRUE(v.ok());
+  EXPECT_NEAR(v.value()[1], 0.5, 1e-12);
+  EXPECT_NEAR(v.value()[3], 0.5, 1e-12);
+  EXPECT_NEAR(v.value()[0], 0.0, 1e-12);
+  EXPECT_NEAR(v.value()[2], 0.0, 1e-12);
+  EXPECT_NEAR(v.value()[4], 0.0, 1e-12);
+}
+
+TEST(ExactShapleyTest, EfficiencyBalanceProperty) {
+  // sum_i phi_i == U(full) - U(empty) for any game.
+  std::vector<int> players = {0, 1, 2, 3, 4, 5};
+  UtilityFn game = [](const Coalition& c) {
+    // Arbitrary supermodular-ish game.
+    const double k = static_cast<double>(c.Count());
+    double bonus = c.Contains(2) && c.Contains(4) ? 3.0 : 0.0;
+    return k * k + bonus;
+  };
+  Result<Vector> v = ExactShapley(6, players, game);
+  ASSERT_TRUE(v.ok());
+  const double full = game(Coalition::Full(6));
+  const double empty = game(Coalition(6));
+  EXPECT_NEAR(v.value().Sum(), full - empty, 1e-10);
+}
+
+TEST(ExactShapleyTest, SymmetryProperty) {
+  // Players 0 and 1 are interchangeable: identical values.
+  std::vector<int> players = {0, 1, 2};
+  UtilityFn game = [](const Coalition& c) {
+    const int a = c.Contains(0) ? 1 : 0;
+    const int b = c.Contains(1) ? 1 : 0;
+    const int z = c.Contains(2) ? 1 : 0;
+    return static_cast<double>((a + b) * 2 + z * 5 + a * b);
+  };
+  Result<Vector> v = ExactShapley(3, players, game);
+  ASSERT_TRUE(v.ok());
+  EXPECT_NEAR(v.value()[0], v.value()[1], 1e-12);
+}
+
+TEST(ExactShapleyTest, DummyPlayerGetsZero) {
+  std::vector<int> players = {0, 1, 2};
+  UtilityFn game = [](const Coalition& c) {
+    return c.Contains(1) ? 7.0 : 0.0;  // players 0, 2 are dummies
+  };
+  Result<Vector> v = ExactShapley(3, players, game);
+  ASSERT_TRUE(v.ok());
+  EXPECT_NEAR(v.value()[0], 0.0, 1e-12);
+  EXPECT_NEAR(v.value()[2], 0.0, 1e-12);
+  EXPECT_NEAR(v.value()[1], 7.0, 1e-12);
+}
+
+TEST(ExactShapleyTest, SubsetOfUniversePlayers) {
+  // Only players {1, 3} participate; others must get zero.
+  std::vector<double> weights = {9.0, 2.0, 9.0, 4.0};
+  Result<Vector> v = ExactShapley(4, {1, 3}, AdditiveGame(weights));
+  ASSERT_TRUE(v.ok());
+  EXPECT_NEAR(v.value()[1], 2.0, 1e-12);
+  EXPECT_NEAR(v.value()[3], 4.0, 1e-12);
+  EXPECT_DOUBLE_EQ(v.value()[0], 0.0);
+  EXPECT_DOUBLE_EQ(v.value()[2], 0.0);
+}
+
+TEST(ExactShapleyTest, GuardsAgainstExponentialBlowup) {
+  std::vector<int> players(30);
+  for (int i = 0; i < 30; ++i) players[i] = i;
+  Result<Vector> v =
+      ExactShapley(30, players, AdditiveGame(std::vector<double>(30, 1.0)));
+  EXPECT_FALSE(v.ok());
+  EXPECT_EQ(v.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ExactShapleyTest, EmptyPlayersRejected) {
+  EXPECT_FALSE(ExactShapley(3, {}, AdditiveGame({1, 1, 1})).ok());
+}
+
+TEST(MonteCarloShapleyTest, ConvergesToExactOnRandomGame) {
+  // A fixed nonlinear game; MC with many permutations ~ exact.
+  std::vector<int> players = {0, 1, 2, 3, 4};
+  UtilityFn game = [](const Coalition& c) {
+    double v = 0.0;
+    for (int m : c.Members()) v += std::sqrt(m + 1.0);
+    if (c.Count() >= 3) v += 2.0;
+    return v;
+  };
+  Result<Vector> exact = ExactShapley(5, players, game);
+  ASSERT_TRUE(exact.ok());
+  Rng rng(77);
+  Result<Vector> mc = MonteCarloShapley(5, players, game, 20000, &rng);
+  ASSERT_TRUE(mc.ok());
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_NEAR(mc.value()[i], exact.value()[i], 0.03) << i;
+  }
+}
+
+TEST(MonteCarloShapleyTest, ExactForAdditiveGamesWithOnePermutation) {
+  // For additive games every permutation's marginal is the own weight.
+  std::vector<double> weights = {2.0, -1.0, 0.5};
+  Rng rng(5);
+  Result<Vector> mc =
+      MonteCarloShapley(3, {0, 1, 2}, AdditiveGame(weights), 1, &rng);
+  ASSERT_TRUE(mc.ok());
+  for (int i = 0; i < 3; ++i) EXPECT_NEAR(mc.value()[i], weights[i], 1e-12);
+}
+
+TEST(MonteCarloShapleyTest, BalancePreservedPerSample) {
+  // Telescoping marginals along each permutation sum to U(full) exactly,
+  // so the MC estimate preserves balance for any number of samples.
+  std::vector<int> players = {0, 1, 2, 3};
+  UtilityFn game = [](const Coalition& c) {
+    return static_cast<double>(c.Count() * c.Count());
+  };
+  Rng rng(9);
+  Result<Vector> mc = MonteCarloShapley(4, players, game, 13, &rng);
+  ASSERT_TRUE(mc.ok());
+  EXPECT_NEAR(mc.value().Sum(), 16.0, 1e-10);
+}
+
+TEST(MonteCarloShapleyTest, InvalidArguments) {
+  Rng rng(1);
+  EXPECT_FALSE(
+      MonteCarloShapley(3, {}, AdditiveGame({1, 1, 1}), 10, &rng).ok());
+  EXPECT_FALSE(
+      MonteCarloShapley(3, {0}, AdditiveGame({1, 1, 1}), 0, &rng).ok());
+}
+
+TEST(PermutationBudgetTest, GrowsSuperlinearly) {
+  EXPECT_GE(DefaultPermutationBudget(1), 8);
+  EXPECT_GE(DefaultPermutationBudget(10), 10 * 2);
+  EXPECT_GT(DefaultPermutationBudget(100), DefaultPermutationBudget(10));
+}
+
+}  // namespace
+}  // namespace comfedsv
