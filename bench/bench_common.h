@@ -5,10 +5,15 @@
 #ifndef COMFEDSV_BENCH_BENCH_COMMON_H_
 #define COMFEDSV_BENCH_BENCH_COMMON_H_
 
+#include <cmath>
 #include <cstdio>
 #include <cstring>
+#include <fstream>
 #include <memory>
+#include <sstream>
 #include <string>
+#include <thread>
+#include <utility>
 #include <vector>
 
 #include "core/comfedsv_api.h"
@@ -146,6 +151,107 @@ inline void PrintHeader(const std::string& figure,
               figure.c_str(), description.c_str(),
               full_scale ? "paper (--full)" : "reduced default");
 }
+
+/// Value of an integer flag `--<name>=<v>`, or `fallback` when absent.
+inline int IntFlag(int argc, char** argv, const std::string& name,
+                   int fallback) {
+  const std::string prefix = "--" + name + "=";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], prefix.c_str(), prefix.size()) == 0) {
+      return std::atoi(argv[i] + prefix.size());
+    }
+  }
+  return fallback;
+}
+
+/// The thread count benches compare against single-threaded runs:
+/// --threads=K if given, else 4 (the acceptance point of the perf
+/// trajectory; oversubscription on smaller machines is harmless).
+inline int BenchThreads(int argc, char** argv) {
+  return IntFlag(argc, argv, "threads", 4);
+}
+
+/// Collects flat records of numeric/string fields and writes
+/// machine-readable `BENCH_<name>.json` next to the binary's cwd — the
+/// perf-trajectory artifact consumed by tooling (one file per bench).
+class BenchJsonWriter {
+ public:
+  explicit BenchJsonWriter(std::string name) : name_(std::move(name)) {
+    Meta("bench", name_);
+    Meta("hardware_concurrency",
+         static_cast<double>(std::thread::hardware_concurrency()));
+  }
+
+  void Meta(const std::string& key, const std::string& value) {
+    meta_.emplace_back(key, Quote(value));
+  }
+  void Meta(const std::string& key, double value) {
+    meta_.emplace_back(key, Num(value));
+  }
+
+  /// Starts a new record; subsequent Field() calls attach to it.
+  void BeginRecord() { records_.emplace_back(); }
+  void Field(const std::string& key, double value) {
+    records_.back().emplace_back(key, Num(value));
+  }
+  void Field(const std::string& key, const std::string& value) {
+    records_.back().emplace_back(key, Quote(value));
+  }
+
+  std::string ToJson() const {
+    std::ostringstream out;
+    out << "{\n";
+    for (const auto& [k, v] : meta_) {
+      out << "  " << Quote(k) << ": " << v << ",\n";
+    }
+    out << "  \"results\": [";
+    for (size_t r = 0; r < records_.size(); ++r) {
+      out << (r == 0 ? "\n" : ",\n") << "    {";
+      const auto& fields = records_[r];
+      for (size_t f = 0; f < fields.size(); ++f) {
+        if (f > 0) out << ", ";
+        out << Quote(fields[f].first) << ": " << fields[f].second;
+      }
+      out << "}";
+    }
+    out << "\n  ]\n}\n";
+    return out.str();
+  }
+
+  /// Writes BENCH_<name>.json; returns true on success and logs the path.
+  bool WriteFile() const {
+    const std::string path = "BENCH_" + name_ + ".json";
+    std::ofstream file(path);
+    if (!file) {
+      std::fprintf(stderr, "failed to write %s\n", path.c_str());
+      return false;
+    }
+    file << ToJson();
+    std::printf("wrote %s\n", path.c_str());
+    return true;
+  }
+
+ private:
+  static std::string Num(double v) {
+    if (!std::isfinite(v)) return "null";  // JSON has no inf/nan tokens
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    return buf;
+  }
+  static std::string Quote(const std::string& s) {
+    std::string out = "\"";
+    for (char c : s) {
+      if (c == '"' || c == '\\') out += '\\';
+      out += c;
+    }
+    out += '"';
+    return out;
+  }
+
+  std::string name_;
+  std::vector<std::pair<std::string, std::string>> meta_;
+  std::vector<std::vector<std::pair<std::string, std::string>>> records_;
+};
 
 }  // namespace bench
 }  // namespace comfedsv

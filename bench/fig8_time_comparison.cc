@@ -3,23 +3,105 @@
 // FedSV (Monte-Carlo, O(T K^2 log K) calls) and ComFedSV (Algorithm 1,
 // O(T N K log N) calls), and their ratio — which the paper shows
 // approaching the participation rate K/N.
+//
+// Each method runs twice, on ExecutionContext(1) and ExecutionContext(T)
+// (T from --threads, default 4), seeding the perf trajectory: the run
+// emits machine-readable BENCH_fig8_time_comparison.json with both wall
+// times, the speedup, and a check that the valuation outputs are
+// bit-identical across thread counts.
 #include "bench_common.h"
 
 namespace comfedsv {
+namespace {
+
+struct TimedRun {
+  double fedsv_seconds = 0.0;
+  double comfedsv_seconds = 0.0;
+  int64_t fedsv_calls = 0;
+  int64_t comfedsv_calls = 0;
+  Vector fedsv_values;
+  Vector comfedsv_values;
+};
+
+TimedRun RunBothPipelines(const bench::Workload& w, int rounds, int k,
+                          uint64_t seed, ExecutionContext* ctx) {
+  // The two methods are timed as standalone pipelines, as in the
+  // paper: FedSV runs plain FedAvg (it never needs the everyone-heard
+  // round), while ComFedSV runs with Assumption 1 and pays for the
+  // full first round — that is part of its honest cost.
+  FedAvgConfig fedsv_cfg;
+  fedsv_cfg.num_rounds = rounds;
+  fedsv_cfg.clients_per_round = k;
+  fedsv_cfg.select_all_first_round = false;
+  fedsv_cfg.lr = LearningRateSchedule::Constant(0.3);
+  fedsv_cfg.seed = seed + 1;
+
+  ValuationRequest fedsv_req;
+  fedsv_req.compute_fedsv = true;
+  fedsv_req.fedsv.mode = FedSvConfig::Mode::kMonteCarlo;
+  fedsv_req.fedsv.permutations_per_round = 0;  // O(K log K), VII-D
+  fedsv_req.fedsv.seed = seed + 2;
+  fedsv_req.compute_comfedsv = false;
+
+  Result<ValuationOutcome> fedsv_run =
+      RunValuation(*w.model, w.clients, w.test, fedsv_cfg, fedsv_req, ctx);
+  COMFEDSV_CHECK_OK(fedsv_run.status());
+
+  FedAvgConfig com_cfg = fedsv_cfg;
+  com_cfg.select_all_first_round = true;  // Assumption 1
+  com_cfg.seed = seed + 1;
+
+  ValuationRequest com_req;
+  com_req.compute_fedsv = false;
+  com_req.compute_comfedsv = true;
+  com_req.comfedsv.mode = ComFedSvConfig::Mode::kSampled;
+  com_req.comfedsv.num_permutations = 0;  // O(N log N), Sec. VI-E
+  com_req.comfedsv.completion.rank = 3;
+  com_req.comfedsv.completion.lambda = 1e-4;
+  com_req.comfedsv.completion.temporal_smoothing = 0.1;
+  com_req.comfedsv.completion.max_iters = 60;
+  com_req.comfedsv.seed = seed + 3;
+
+  Result<ValuationOutcome> com_run =
+      RunValuation(*w.model, w.clients, w.test, com_cfg, com_req, ctx);
+  COMFEDSV_CHECK_OK(com_run.status());
+
+  TimedRun out;
+  out.fedsv_seconds = fedsv_run.value().fedsv_seconds;
+  out.comfedsv_seconds = com_run.value().comfedsv->seconds;
+  out.fedsv_calls = fedsv_run.value().fedsv_loss_calls;
+  out.comfedsv_calls = com_run.value().comfedsv->loss_calls;
+  out.fedsv_values = *fedsv_run.value().fedsv_values;
+  out.comfedsv_values = com_run.value().comfedsv->values;
+  return out;
+}
+
+}  // namespace
 
 int Fig8Main(int argc, char** argv) {
   const bool full = bench::FullScale(argc, argv);
+  const int threads = bench::BenchThreads(argc, argv);
   bench::PrintHeader(
       "Figure 8",
       "Valuation time of FedSV vs ComFedSV and their ratio, as the\n"
-      "number of clients grows (30% participation).",
+      "number of clients grows (30% participation). Each method is run\n"
+      "single-threaded and on a shared ExecutionContext.",
       full);
 
   const int max_clients = full ? 100 : 60;
   const int rounds = full ? 10 : 6;
 
+  bench::BenchJsonWriter json("fig8_time_comparison");
+  json.Meta("scale", full ? "paper" : "reduced");
+  json.Meta("threads_compared", static_cast<double>(threads));
+  json.Meta("rounds", static_cast<double>(rounds));
+
+  ExecutionContext threaded(threads);
+  bool all_outputs_identical = true;
+
   Table table({"N", "K", "FedSV secs", "ComFedSV secs", "ratio",
-               "FedSV calls", "ComFedSV calls", "call ratio"});
+               "FedSV calls", "ComFedSV calls", "call ratio",
+               std::to_string(threads) + "t speedup F/C"});
   for (int n = 10; n <= max_clients; n += 10) {
     const int k = std::max(2, n * 30 / 100);
 
@@ -32,66 +114,59 @@ int Fig8Main(int argc, char** argv) {
     bench::Workload w =
         bench::MakeWorkload(bench::PaperDataset::kMnist, opt);
 
-    // The two methods are timed as standalone pipelines, as in the
-    // paper: FedSV runs plain FedAvg (it never needs the everyone-heard
-    // round), while ComFedSV runs with Assumption 1 and pays for the
-    // full first round — that is part of its honest cost.
-    FedAvgConfig fedsv_cfg;
-    fedsv_cfg.num_rounds = rounds;
-    fedsv_cfg.clients_per_round = k;
-    fedsv_cfg.select_all_first_round = false;
-    fedsv_cfg.lr = LearningRateSchedule::Constant(0.3);
-    fedsv_cfg.seed = opt.seed + 1;
+    TimedRun single = RunBothPipelines(w, rounds, k, opt.seed, nullptr);
+    TimedRun multi = RunBothPipelines(w, rounds, k, opt.seed, &threaded);
 
-    ValuationRequest fedsv_req;
-    fedsv_req.compute_fedsv = true;
-    fedsv_req.fedsv.mode = FedSvConfig::Mode::kMonteCarlo;
-    fedsv_req.fedsv.permutations_per_round = 0;  // O(K log K), VII-D
-    fedsv_req.fedsv.seed = opt.seed + 2;
-    fedsv_req.compute_comfedsv = false;
+    const bool identical = single.fedsv_values == multi.fedsv_values &&
+                           single.comfedsv_values == multi.comfedsv_values;
+    all_outputs_identical = all_outputs_identical && identical;
 
-    Result<ValuationOutcome> fedsv_run =
-        RunValuation(*w.model, w.clients, w.test, fedsv_cfg, fedsv_req);
-    COMFEDSV_CHECK_OK(fedsv_run.status());
+    const double fedsv_speedup = single.fedsv_seconds / multi.fedsv_seconds;
+    const double comfedsv_speedup =
+        single.comfedsv_seconds / multi.comfedsv_seconds;
 
-    FedAvgConfig com_cfg = fedsv_cfg;
-    com_cfg.select_all_first_round = true;  // Assumption 1
-    com_cfg.seed = opt.seed + 1;
+    for (const char* method : {"fedsv", "comfedsv"}) {
+      const bool is_fedsv = std::strcmp(method, "fedsv") == 0;
+      json.BeginRecord();
+      json.Field("method", method);
+      json.Field("clients", static_cast<double>(n));
+      json.Field("selected_per_round", static_cast<double>(k));
+      json.Field("seconds_1_thread", is_fedsv ? single.fedsv_seconds
+                                              : single.comfedsv_seconds);
+      json.Field("seconds_n_threads", is_fedsv ? multi.fedsv_seconds
+                                               : multi.comfedsv_seconds);
+      json.Field("speedup", is_fedsv ? fedsv_speedup : comfedsv_speedup);
+      json.Field("loss_calls", static_cast<double>(is_fedsv
+                                                       ? single.fedsv_calls
+                                                       : single.comfedsv_calls));
+      json.Field("outputs_identical_across_threads",
+                 identical ? 1.0 : 0.0);
+    }
 
-    ValuationRequest com_req;
-    com_req.compute_fedsv = false;
-    com_req.compute_comfedsv = true;
-    com_req.comfedsv.mode = ComFedSvConfig::Mode::kSampled;
-    com_req.comfedsv.num_permutations = 0;  // O(N log N), Sec. VI-E
-    com_req.comfedsv.completion.rank = 3;
-    com_req.comfedsv.completion.lambda = 1e-4;
-    com_req.comfedsv.completion.temporal_smoothing = 0.1;
-    com_req.comfedsv.completion.max_iters = 60;
-    com_req.comfedsv.seed = opt.seed + 3;
-
-    Result<ValuationOutcome> com_run =
-        RunValuation(*w.model, w.clients, w.test, com_cfg, com_req);
-    COMFEDSV_CHECK_OK(com_run.status());
-
-    const double fedsv_secs = fedsv_run.value().fedsv_seconds;
-    const double comfedsv_secs = com_run.value().comfedsv->seconds;
-    const int64_t fedsv_calls = fedsv_run.value().fedsv_loss_calls;
-    const int64_t comfedsv_calls = com_run.value().comfedsv->loss_calls;
     table.AddRow({std::to_string(n), std::to_string(k),
-                  Table::Num(fedsv_secs, 3), Table::Num(comfedsv_secs, 3),
-                  Table::Num(fedsv_secs / comfedsv_secs, 3),
-                  std::to_string(fedsv_calls),
-                  std::to_string(comfedsv_calls),
-                  Table::Num(static_cast<double>(fedsv_calls) /
-                                 static_cast<double>(comfedsv_calls),
-                             3)});
+                  Table::Num(single.fedsv_seconds, 3),
+                  Table::Num(single.comfedsv_seconds, 3),
+                  Table::Num(single.fedsv_seconds / single.comfedsv_seconds,
+                             3),
+                  std::to_string(single.fedsv_calls),
+                  std::to_string(single.comfedsv_calls),
+                  Table::Num(static_cast<double>(single.fedsv_calls) /
+                                 static_cast<double>(single.comfedsv_calls),
+                             3),
+                  Table::Num(fedsv_speedup, 2) + "/" +
+                      Table::Num(comfedsv_speedup, 2)});
   }
   std::printf("%s\n", table.ToText().c_str());
   std::printf(
       "Shape check vs paper: both costs grow with N; the FedSV/ComFedSV\n"
       "ratio settles near a constant on the order of the participation\n"
-      "rate (0.3), as in Fig. 8.\n");
-  return 0;
+      "rate (0.3), as in Fig. 8. Valuation outputs across thread counts\n"
+      "identical: %s.\n",
+      all_outputs_identical ? "yes" : "NO — determinism regression");
+  json.Meta("outputs_identical_across_threads",
+            all_outputs_identical ? 1.0 : 0.0);
+  json.WriteFile();
+  return all_outputs_identical ? 0 : 1;
 }
 
 }  // namespace comfedsv

@@ -1,9 +1,14 @@
 // Google-benchmark microbenchmarks for the kernels the experiments
 // stress: dense linear algebra, model gradients, coalition utilities,
 // Shapley enumeration, and completion sweeps.
+//
+// After the registered benchmarks run, main() times the two paper hot
+// paths — Monte-Carlo permutation sampling and the ALS completion solve —
+// at 1 thread and at --threads (default 4) on a shared ExecutionContext,
+// and writes machine-readable BENCH_micro_kernels.json.
 #include <benchmark/benchmark.h>
 
-#include "core/comfedsv_api.h"
+#include "bench_common.h"
 
 namespace comfedsv {
 namespace {
@@ -194,7 +199,98 @@ void BM_FedAvgRound(benchmark::State& state) {
 }
 BENCHMARK(BM_FedAvgRound)->Arg(10)->Arg(50);
 
+// ---------------------------------------------------------------------
+// Thread-scaling section: wall time of the paper's two hot paths at 1
+// and N threads, reduced to machine-readable JSON.
+
+// A loss-backed utility game of fig8-like cost: each coalition utility
+// evaluates one logistic test loss, as RoundUtility does.
+double TimeMonteCarlo(int players, int permutations, ExecutionContext* ctx) {
+  const int dim = 64;
+  LogisticRegression model(dim, 10, 1e-3);
+  Dataset test = RandomData(400, dim, 10, 21);
+  Rng rng(22);
+  Vector params;
+  model.InitializeParams(&params, &rng);
+
+  std::vector<int> ids(players);
+  for (int i = 0; i < players; ++i) ids[i] = i;
+  UtilityFn game = [&](const Coalition& c) {
+    // Perturb one parameter per coalition so evaluations are distinct.
+    Vector p = params;
+    p[c.Count() % p.size()] += 1e-3;
+    return model.Loss(p, test);
+  };
+
+  Rng sample_rng(23);
+  Stopwatch timer;
+  Result<Vector> values =
+      MonteCarloShapley(players, ids, game, permutations, &sample_rng,
+                        ctx != nullptr ? &ctx->pool() : nullptr);
+  COMFEDSV_CHECK_OK(values.status());
+  return timer.ElapsedSeconds();
+}
+
+double TimeAlsCompletion(int rows, int cols, int iters,
+                         ExecutionContext* ctx) {
+  Rng rng(24);
+  Matrix a = RandomMatrix(rows, 3, 25);
+  Matrix b = RandomMatrix(3, cols, 26);
+  Matrix truth = Matrix::Multiply(a, b);
+  ObservationSet obs(rows, cols);
+  for (size_t i = 0; i < truth.rows(); ++i) {
+    for (size_t j = 0; j < truth.cols(); ++j) {
+      if (rng.NextBernoulli(0.2)) {
+        obs.Add(static_cast<int>(i), static_cast<int>(j), truth(i, j));
+      }
+    }
+  }
+  CompletionConfig cfg;
+  cfg.rank = 3;
+  cfg.lambda = 1e-2;
+  cfg.max_iters = iters;
+  cfg.tolerance = 0.0;
+  Stopwatch timer;
+  Result<CompletionResult> result = CompleteMatrix(obs, cfg, ctx);
+  COMFEDSV_CHECK_OK(result.status());
+  return timer.ElapsedSeconds();
+}
+
+void WriteThreadScalingJson(int threads) {
+  bench::BenchJsonWriter json("micro_kernels");
+  json.Meta("threads_compared", static_cast<double>(threads));
+  ExecutionContext ctx(threads);
+
+  struct Kernel {
+    const char* name;
+    double seconds_1t;
+    double seconds_nt;
+  };
+  const Kernel kernels[] = {
+      {"monte_carlo_shapley_30p_60perm",
+       TimeMonteCarlo(30, 60, nullptr), TimeMonteCarlo(30, 60, &ctx)},
+      {"als_completion_40x512_r3_50it",
+       TimeAlsCompletion(40, 512, 50, nullptr),
+       TimeAlsCompletion(40, 512, 50, &ctx)},
+  };
+  for (const Kernel& k : kernels) {
+    json.BeginRecord();
+    json.Field("kernel", k.name);
+    json.Field("seconds_1_thread", k.seconds_1t);
+    json.Field("seconds_n_threads", k.seconds_nt);
+    json.Field("speedup", k.seconds_1t / k.seconds_nt);
+  }
+  json.WriteFile();
+}
+
 }  // namespace
 }  // namespace comfedsv
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  const int threads = comfedsv::bench::BenchThreads(argc, argv);
+  ::benchmark::Initialize(&argc, argv);
+  ::benchmark::RunSpecifiedBenchmarks();
+  ::benchmark::Shutdown();
+  comfedsv::WriteThreadScalingJson(threads);
+  return 0;
+}

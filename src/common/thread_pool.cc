@@ -1,6 +1,8 @@
 #include "common/thread_pool.h"
 
 #include <atomic>
+#include <exception>
+#include <memory>
 
 #include "common/check.h"
 
@@ -51,18 +53,35 @@ void ThreadPool::ParallelFor(int n, const std::function<void(int)>& fn) {
   }
   // Dynamic chunking: workers pull the next index from a shared counter so
   // uneven task costs (e.g. coalition sizes) balance automatically.
-  auto counter = std::make_shared<std::atomic<int>>(0);
+  struct SharedState {
+    std::atomic<int> counter{0};
+    std::atomic<bool> failed{false};
+    std::mutex error_mu;
+    std::exception_ptr first_error;
+  };
+  auto state = std::make_shared<SharedState>();
   int shards = std::min<int>(n, num_threads());
   for (int s = 0; s < shards; ++s) {
-    Submit([counter, n, &fn] {
+    Submit([state, n, &fn] {
       for (;;) {
-        int i = counter->fetch_add(1, std::memory_order_relaxed);
+        if (state->failed.load(std::memory_order_relaxed)) break;
+        int i = state->counter.fetch_add(1, std::memory_order_relaxed);
         if (i >= n) break;
-        fn(i);
+        try {
+          fn(i);
+        } catch (...) {
+          std::lock_guard<std::mutex> lock(state->error_mu);
+          if (!state->failed.exchange(true)) {
+            state->first_error = std::current_exception();
+          }
+        }
       }
     });
   }
   Wait();
+  if (state->failed.load() && state->first_error != nullptr) {
+    std::rethrow_exception(state->first_error);
+  }
 }
 
 void ThreadPool::WorkerLoop() {

@@ -27,7 +27,8 @@ class ThreadPool {
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
-  /// Enqueues a task. Tasks must not throw.
+  /// Enqueues a task. Tasks must not throw; use ParallelFor for work that
+  /// may fail.
   void Submit(std::function<void()> task);
 
   /// Blocks until all submitted tasks have completed.
@@ -37,7 +38,10 @@ class ThreadPool {
   int num_threads() const { return static_cast<int>(workers_.size()); }
 
   /// Runs `fn(i)` for i in [0, n), distributing across the pool, and waits.
-  /// With an inline pool this is a plain loop.
+  /// With an inline pool this is a plain loop. If any invocation throws,
+  /// remaining indices are abandoned as soon as possible and the first
+  /// captured exception is rethrown on the calling thread after all
+  /// in-flight work has drained.
   void ParallelFor(int n, const std::function<void(int)>& fn);
 
  private:

@@ -40,6 +40,11 @@ class ObservationSet {
   /// Indices (into entries()) of the observations in column `c`.
   const std::vector<int>& ColEntries(int c) const;
 
+  /// Builds the row/column adjacency now if it is stale. RowEntries /
+  /// ColEntries build it lazily, which is not safe from several threads;
+  /// parallel solvers call this once before fanning out.
+  void EnsureIndex() const { BuildIndexIfNeeded(); }
+
   /// Fraction of the full matrix that is observed.
   double Density() const;
 

@@ -48,24 +48,28 @@ void RandomInit(Matrix* m, double scale, Rng* rng) {
 //       = sum_j v h_j [+ mu sum_{neighbours} w_nb],
 // where the mu terms implement the optional temporal-smoothness coupling
 // between adjacent round rows (rows side only, Gauss–Seidel style).
+//
+// Without the mu coupling, row solves are mutually independent and run on
+// `pool` when given — each row reads only `fixed` and writes only its own
+// row of `target`, so the sweep is bit-identical for any thread count.
+// The Gauss–Seidel smoothed sweep reads freshly updated neighbour rows
+// and must stay sequential.
 void AlsHalfSweep(const ObservationSet& obs, bool solve_rows_side,
                   const Matrix& fixed, double lambda, double mu,
-                  Matrix* target) {
+                  ThreadPool* pool, Matrix* target) {
   const int rank = static_cast<int>(fixed.cols());
   const int n = solve_rows_side ? obs.num_rows() : obs.num_cols();
-  Matrix normal(rank, rank);
-  Vector rhs(rank);
-  for (int i = 0; i < n; ++i) {
+  const bool smooth = solve_rows_side && mu > 0.0 && n > 1;
+  auto solve_row = [&](int i) {
     const std::vector<int>& idx =
         solve_rows_side ? obs.RowEntries(i) : obs.ColEntries(i);
-    const bool smooth = solve_rows_side && mu > 0.0 && n > 1;
-    if (idx.empty() && !smooth) continue;  // stays at its init
+    if (idx.empty() && !smooth) return;  // stays at its init
     // Build the rank x rank normal equations.
+    Matrix normal(rank, rank);
+    Vector rhs(rank);
     int num_neighbours = 0;
     if (smooth) num_neighbours = (i == 0 || i == n - 1) ? 1 : 2;
     for (int a = 0; a < rank; ++a) {
-      rhs[a] = 0.0;
-      for (int b = 0; b < rank; ++b) normal(a, b) = 0.0;
       normal(a, a) = lambda + mu * num_neighbours;
     }
     for (int e : idx) {
@@ -93,6 +97,12 @@ void AlsHalfSweep(const ObservationSet& obs, bool solve_rows_side,
     Result<Vector> solution = SolveSpd(normal, rhs);
     COMFEDSV_CHECK_OK(solution.status());
     target->SetRow(i, solution.value());
+  };
+  if (smooth || pool == nullptr) {
+    for (int i = 0; i < n; ++i) solve_row(i);
+  } else {
+    obs.EnsureIndex();  // the lazy adjacency build is not thread-safe
+    pool->ParallelFor(n, solve_row);
   }
 }
 
@@ -105,7 +115,7 @@ void CopyLeadingColumns(const Matrix& src, int k, Matrix* dst) {
 
 Result<CompletionResult> SolveAls(const ObservationSet& obs,
                                   const CompletionConfig& cfg, Matrix w,
-                                  Matrix h) {
+                                  Matrix h, ThreadPool* pool) {
   // Staged rank growth: fit one latent dimension at a time, warm-starting
   // each stage from the previous fit. Plain joint ALS from a random init
   // is prone to poor basins when observations are sparse and unevenly
@@ -121,9 +131,9 @@ Result<CompletionResult> SolveAls(const ObservationSet& obs,
     CopyLeadingColumns(h, k, &hk);
     for (int it = 0; it < warm_iters; ++it) {
       AlsHalfSweep(obs, /*solve_rows_side=*/true, hk, cfg.lambda,
-                   cfg.temporal_smoothing, &wk);
+                   cfg.temporal_smoothing, pool, &wk);
       AlsHalfSweep(obs, /*solve_rows_side=*/false, wk, cfg.lambda, 0.0,
-                   &hk);
+                   pool, &hk);
     }
     CopyLeadingColumns(wk, k, &w);
     CopyLeadingColumns(hk, k, &h);
@@ -133,8 +143,9 @@ Result<CompletionResult> SolveAls(const ObservationSet& obs,
   int iters = 0;
   for (; iters < cfg.max_iters; ++iters) {
     AlsHalfSweep(obs, /*solve_rows_side=*/true, h, cfg.lambda,
-                 cfg.temporal_smoothing, &w);
-    AlsHalfSweep(obs, /*solve_rows_side=*/false, w, cfg.lambda, 0.0, &h);
+                 cfg.temporal_smoothing, pool, &w);
+    AlsHalfSweep(obs, /*solve_rows_side=*/false, w, cfg.lambda, 0.0, pool,
+                 &h);
     const double obj = ObjectiveAndRmse(obs, w, h, cfg.lambda, nullptr);
     if (prev_obj - obj <= cfg.tolerance * std::max(1.0, prev_obj)) {
       ++iters;
@@ -299,7 +310,8 @@ double CompletionResult::Predict(int row, int col) const {
 }
 
 Result<CompletionResult> CompleteMatrix(const ObservationSet& observations,
-                                        const CompletionConfig& config) {
+                                        const CompletionConfig& config,
+                                        ExecutionContext* ctx) {
   if (config.rank <= 0) {
     return Status::InvalidArgument("completion rank must be positive");
   }
@@ -339,7 +351,8 @@ Result<CompletionResult> CompleteMatrix(const ObservationSet& observations,
 
   switch (config.solver) {
     case CompletionSolver::kAls:
-      return SolveAls(observations, config, std::move(w), std::move(h));
+      return SolveAls(observations, config, std::move(w), std::move(h),
+                      ctx != nullptr ? &ctx->pool() : nullptr);
     case CompletionSolver::kCcd:
       return SolveCcd(observations, config, std::move(w), std::move(h));
     case CompletionSolver::kSgd:

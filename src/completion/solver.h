@@ -18,6 +18,7 @@
 #include <cstdint>
 #include <string>
 
+#include "common/execution_context.h"
 #include "common/status.h"
 #include "completion/observations.h"
 #include "linalg/matrix.h"
@@ -73,9 +74,18 @@ struct CompletionResult {
   double Predict(int row, int col) const;
 };
 
-/// Solves the completion problem over `observations`.
+/// Solves the completion problem over `observations`. `ctx` (optional)
+/// parallelizes the ALS row solves: every factor row's ridge system is
+/// independent given the other factor, so rows are solved concurrently
+/// and written to disjoint slots — bit-identical for any thread count.
+/// The one exception is the W-side sweep under temporal smoothing
+/// (mu > 0), whose Gauss–Seidel neighbour coupling is order-dependent and
+/// stays sequential; the (typically much larger) H-side sweep still runs
+/// in parallel. CCD++ and SGD maintain running residuals and remain
+/// sequential.
 Result<CompletionResult> CompleteMatrix(const ObservationSet& observations,
-                                        const CompletionConfig& config);
+                                        const CompletionConfig& config,
+                                        ExecutionContext* ctx = nullptr);
 
 }  // namespace comfedsv
 

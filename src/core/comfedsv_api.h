@@ -17,6 +17,7 @@
 #define COMFEDSV_CORE_COMFEDSV_API_H_
 
 #include "common/combinatorics.h"
+#include "common/execution_context.h"
 #include "common/logging.h"
 #include "common/rng.h"
 #include "common/status.h"

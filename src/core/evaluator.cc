@@ -9,23 +9,25 @@ namespace comfedsv {
 
 ComFedSvEvaluator::ComFedSvEvaluator(const Model* model,
                                      const Dataset* test_data,
-                                     int num_clients, ComFedSvConfig config)
+                                     int num_clients, ComFedSvConfig config,
+                                     ExecutionContext* ctx)
     : model_(model),
       test_data_(test_data),
       num_clients_(num_clients),
-      config_(config) {
+      config_(config),
+      ctx_(ctx) {
   COMFEDSV_CHECK(model_ != nullptr);
   COMFEDSV_CHECK(test_data_ != nullptr);
   COMFEDSV_CHECK_GT(num_clients_, 0);
   if (config_.mode == ComFedSvConfig::Mode::kFull) {
     full_recorder_ = std::make_unique<ObservedUtilityRecorder>(
-        model_, test_data_, num_clients_);
+        model_, test_data_, num_clients_, ctx_);
   } else {
     const int budget = config_.num_permutations > 0
                            ? config_.num_permutations
                            : DefaultPermutationBudget(num_clients_);
     sampled_recorder_ = std::make_unique<SampledUtilityRecorder>(
-        model_, test_data_, num_clients_, budget, config_.seed);
+        model_, test_data_, num_clients_, budget, config_.seed, ctx_);
   }
 }
 
@@ -48,7 +50,7 @@ Result<ComFedSvOutput> ComFedSvEvaluator::Finalize() const {
     out.observed_density = obs.Density();
     out.num_columns = obs.num_cols();
     Result<CompletionResult> completion =
-        CompleteMatrix(obs, config_.completion);
+        CompleteMatrix(obs, config_.completion, ctx_);
     if (!completion.ok()) return completion.status();
     Result<Vector> values =
         ComFedSvFromFactors(completion.value().w, completion.value().h,
@@ -68,7 +70,7 @@ Result<ComFedSvOutput> ComFedSvEvaluator::Finalize() const {
   out.observed_density = obs.Density();
   out.num_columns = obs.num_cols();
   Result<CompletionResult> completion =
-      CompleteMatrix(obs, config_.completion);
+      CompleteMatrix(obs, config_.completion, ctx_);
   if (!completion.ok()) return completion.status();
   Result<Vector> values = ComFedSvSampled(
       completion.value().w, completion.value().h,
@@ -84,9 +86,10 @@ Result<ComFedSvOutput> ComFedSvEvaluator::Finalize() const {
 
 GroundTruthEvaluator::GroundTruthEvaluator(const Model* model,
                                            const Dataset* test_data,
-                                           int num_clients)
+                                           int num_clients,
+                                           ExecutionContext* ctx)
     : num_clients_(num_clients),
-      recorder_(model, test_data, num_clients) {}
+      recorder_(model, test_data, num_clients, ctx) {}
 
 Result<Vector> GroundTruthEvaluator::Finalize() const {
   return ComFedSvFromFullMatrix(recorder_.ToMatrix(), num_clients_);

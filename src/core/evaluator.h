@@ -14,6 +14,7 @@
 #include <memory>
 #include <optional>
 
+#include "common/execution_context.h"
 #include "completion/solver.h"
 #include "core/recorders.h"
 #include "fl/round_record.h"
@@ -51,8 +52,12 @@ struct ComFedSvOutput {
 /// Observer-plus-finalizer implementing ComFedSV end to end.
 class ComFedSvEvaluator : public RoundObserver {
  public:
+  /// `ctx` (optional; must outlive the evaluator) parallelizes both
+  /// phases — per-round utility recording and the ALS completion solve —
+  /// with outputs identical for any thread count.
   ComFedSvEvaluator(const Model* model, const Dataset* test_data,
-                    int num_clients, ComFedSvConfig config);
+                    int num_clients, ComFedSvConfig config,
+                    ExecutionContext* ctx = nullptr);
 
   void OnRound(const RoundRecord& record) override;
 
@@ -67,6 +72,7 @@ class ComFedSvEvaluator : public RoundObserver {
   const Dataset* test_data_;
   int num_clients_;
   ComFedSvConfig config_;
+  ExecutionContext* ctx_;  // not owned; null = inline execution
   // Exactly one of these is active, per config_.mode.
   std::unique_ptr<ObservedUtilityRecorder> full_recorder_;
   std::unique_ptr<SampledUtilityRecorder> sampled_recorder_;
@@ -75,8 +81,10 @@ class ComFedSvEvaluator : public RoundObserver {
 /// Ground-truth ComFedSV (Eq. 14) via exhaustive utility recording.
 class GroundTruthEvaluator : public RoundObserver {
  public:
+  /// `ctx` (optional) parallelizes the exhaustive per-round utility
+  /// recording.
   GroundTruthEvaluator(const Model* model, const Dataset* test_data,
-                       int num_clients);
+                       int num_clients, ExecutionContext* ctx = nullptr);
 
   void OnRound(const RoundRecord& record) override {
     recorder_.OnRound(record);

@@ -10,7 +10,8 @@ Result<ValuationOutcome> RunValuation(const Model& model,
                                       std::vector<Dataset> client_data,
                                       Dataset test_data,
                                       const FedAvgConfig& fed_config,
-                                      const ValuationRequest& request) {
+                                      const ValuationRequest& request,
+                                      ExecutionContext* ctx) {
   const int n = static_cast<int>(client_data.size());
   if (n == 0) return Status::InvalidArgument("no clients");
 
@@ -25,7 +26,7 @@ Result<ValuationOutcome> RunValuation(const Model& model,
   }
 
   FedAvgTrainer trainer(&model, std::move(client_data),
-                        std::move(test_data), fed_config);
+                        std::move(test_data), fed_config, ctx);
 
   std::unique_ptr<FedSvEvaluator> fedsv;
   std::unique_ptr<ComFedSvEvaluator> comfedsv;
@@ -46,18 +47,18 @@ Result<ValuationOutcome> RunValuation(const Model& model,
 
   if (request.compute_fedsv) {
     fedsv = std::make_unique<FedSvEvaluator>(
-        &model, &trainer.test_data(), n, request.fedsv);
+        &model, &trainer.test_data(), n, request.fedsv, ctx);
     fedsv_timed.inner = fedsv.get();
     fanout.Register(&fedsv_timed);
   }
   if (request.compute_comfedsv) {
     comfedsv = std::make_unique<ComFedSvEvaluator>(
-        &model, &trainer.test_data(), n, request.comfedsv);
+        &model, &trainer.test_data(), n, request.comfedsv, ctx);
     fanout.Register(comfedsv.get());
   }
   if (request.compute_ground_truth) {
     ground_truth = std::make_unique<GroundTruthEvaluator>(
-        &model, &trainer.test_data(), n);
+        &model, &trainer.test_data(), n, ctx);
     fanout.Register(ground_truth.get());
   }
 

@@ -8,6 +8,7 @@
 #include <optional>
 #include <vector>
 
+#include "common/execution_context.h"
 #include "core/evaluator.h"
 #include "fl/fedavg.h"
 #include "shapley/fedsv.h"
@@ -44,11 +45,17 @@ struct ValuationOutcome {
 /// `model` must outlive the call. When the request includes ComFedSV in
 /// kFull mode or the ground truth, `fed_config.select_all_first_round`
 /// must be true (Assumption 1).
+///
+/// `ctx` (optional) parallelizes the whole pipeline — local client
+/// updates, per-round Shapley sampling and utility recording, and the
+/// completion solve. All valuation outputs are bit-identical for any
+/// thread count (tests/determinism_test.cc).
 Result<ValuationOutcome> RunValuation(const Model& model,
                                       std::vector<Dataset> client_data,
                                       Dataset test_data,
                                       const FedAvgConfig& fed_config,
-                                      const ValuationRequest& request);
+                                      const ValuationRequest& request,
+                                      ExecutionContext* ctx = nullptr);
 
 }  // namespace comfedsv
 

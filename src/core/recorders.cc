@@ -1,6 +1,6 @@
 #include "core/recorders.h"
 
-#include <unordered_map>
+#include <unordered_set>
 
 #include "common/check.h"
 #include "common/stopwatch.h"
@@ -13,8 +13,12 @@ constexpr int kMaxFullClients = 16;
 
 FullUtilityRecorder::FullUtilityRecorder(const Model* model,
                                          const Dataset* test_data,
-                                         int num_clients)
-    : model_(model), test_data_(test_data), num_clients_(num_clients) {
+                                         int num_clients,
+                                         ExecutionContext* ctx)
+    : model_(model),
+      test_data_(test_data),
+      num_clients_(num_clients),
+      ctx_(ctx) {
   COMFEDSV_CHECK(model_ != nullptr);
   COMFEDSV_CHECK(test_data_ != nullptr);
   COMFEDSV_CHECK_GT(num_clients_, 0);
@@ -26,13 +30,15 @@ void FullUtilityRecorder::OnRound(const RoundRecord& record) {
   RoundUtility utility(model_, test_data_, &record, &loss_calls_);
   const uint32_t num_cols = 1u << num_clients_;
   std::vector<double> row(num_cols, 0.0);
-  for (uint32_t mask = 1; mask < num_cols; ++mask) {
+  // Every coalition writes its own slot: identical for any thread count.
+  ParallelFor(ctx_, static_cast<int>(num_cols) - 1, [&](int i) {
+    const uint32_t mask = static_cast<uint32_t>(i) + 1;
     Coalition c(num_clients_);
-    for (int i = 0; i < num_clients_; ++i) {
-      if (mask & (1u << i)) c.Add(i);
+    for (int k = 0; k < num_clients_; ++k) {
+      if (mask & (1u << k)) c.Add(k);
     }
     row[mask] = utility.Utility(c);
-  }
+  });
   rows_.push_back(std::move(row));
   seconds_ += timer.ElapsedSeconds();
 }
@@ -50,8 +56,12 @@ Matrix FullUtilityRecorder::ToMatrix() const {
 
 ObservedUtilityRecorder::ObservedUtilityRecorder(const Model* model,
                                                  const Dataset* test_data,
-                                                 int num_clients)
-    : model_(model), test_data_(test_data), num_clients_(num_clients) {
+                                                 int num_clients,
+                                                 ExecutionContext* ctx)
+    : model_(model),
+      test_data_(test_data),
+      num_clients_(num_clients),
+      ctx_(ctx) {
   COMFEDSV_CHECK(model_ != nullptr);
   COMFEDSV_CHECK(test_data_ != nullptr);
   COMFEDSV_CHECK_GT(num_clients_, 0);
@@ -66,15 +76,31 @@ void ObservedUtilityRecorder::OnRound(const RoundRecord& record) {
   COMFEDSV_CHECK_LE(m, 20);  // 2^m utility evaluations below
   RoundUtility utility(model_, test_data_, &record, &loss_calls_);
 
-  // The empty coalition is observed at 0 every round (u_t(w^t) = 0).
-  triplets_.push_back({t, 0, 0.0});
-  for (uint32_t mask = 1; mask < (1u << m); ++mask) {
+  auto observed_coalition = [&](uint32_t mask) {
     Coalition c(num_clients_);
     for (int p = 0; p < m; ++p) {
       if (mask & (1u << p)) c.Add(record.selected[p]);
     }
-    const int col = interner_.Intern(c);
-    triplets_.push_back({t, col, utility.Utility(c)});
+    return c;
+  };
+
+  // Evaluate all 2^m - 1 non-empty observable utilities (the expensive
+  // part — one test loss each) into per-mask slots, then intern and
+  // append sequentially in mask order so column ids never depend on
+  // thread scheduling.
+  const int num_masks = (1 << m) - 1;
+  std::vector<double> mask_utility(num_masks);
+  ParallelFor(ctx_, num_masks, [&](int i) {
+    mask_utility[i] =
+        utility.Utility(observed_coalition(static_cast<uint32_t>(i) + 1));
+  });
+
+  // The empty coalition is observed at 0 every round (u_t(w^t) = 0).
+  triplets_.push_back({t, 0, 0.0});
+  for (int i = 0; i < num_masks; ++i) {
+    const int col =
+        interner_.Intern(observed_coalition(static_cast<uint32_t>(i) + 1));
+    triplets_.push_back({t, col, mask_utility[i]});
   }
   ++rounds_recorded_;
   seconds_ += timer.ElapsedSeconds();
@@ -91,8 +117,12 @@ SampledUtilityRecorder::SampledUtilityRecorder(const Model* model,
                                                const Dataset* test_data,
                                                int num_clients,
                                                int num_permutations,
-                                               uint64_t seed)
-    : model_(model), test_data_(test_data), num_clients_(num_clients) {
+                                               uint64_t seed,
+                                               ExecutionContext* ctx)
+    : model_(model),
+      test_data_(test_data),
+      num_clients_(num_clients),
+      ctx_(ctx) {
   COMFEDSV_CHECK(model_ != nullptr);
   COMFEDSV_CHECK(test_data_ != nullptr);
   COMFEDSV_CHECK_GT(num_clients_, 0);
@@ -126,10 +156,17 @@ void SampledUtilityRecorder::OnRound(const RoundRecord& record) {
   const Coalition selected =
       Coalition::FromMembers(num_clients_, record.selected);
 
-  // Per-round dedup: several permutations share short prefixes.
-  std::unordered_map<int, double> recorded;
-  recorded.emplace(prefix_columns_[0][0], 0.0);  // empty prefix
-
+  // Discover the distinct observable prefixes first (cheap — no loss
+  // evaluations), deduped in permutation order: several permutations
+  // share short prefixes. The discovery order is sequential, so the
+  // recorded triplet order is deterministic for any thread count.
+  struct PendingPrefix {
+    int col = 0;
+    Coalition coalition;
+  };
+  std::vector<PendingPrefix> pending;
+  std::unordered_set<int> seen;
+  seen.insert(prefix_columns_[0][0]);  // empty prefix, recorded at 0
   for (size_t m = 0; m < permutations_.size(); ++m) {
     Coalition prefix(num_clients_);
     for (int l = 0; l < num_clients_; ++l) {
@@ -137,12 +174,19 @@ void SampledUtilityRecorder::OnRound(const RoundRecord& record) {
       if (!selected.Contains(member)) break;  // longer prefixes fail too
       prefix.Add(member);
       const int col = prefix_columns_[m][l + 1];
-      if (recorded.count(col)) continue;
-      recorded.emplace(col, utility.Utility(prefix));
+      if (seen.insert(col).second) pending.push_back({col, prefix});
     }
   }
-  for (const auto& [col, value] : recorded) {
-    triplets_.push_back({t, col, value});
+
+  // Evaluate the distinct prefixes (one test loss each) in parallel.
+  std::vector<double> values(pending.size());
+  ParallelFor(ctx_, static_cast<int>(pending.size()), [&](int i) {
+    values[i] = utility.Utility(pending[i].coalition);
+  });
+
+  triplets_.push_back({t, prefix_columns_[0][0], 0.0});
+  for (size_t i = 0; i < pending.size(); ++i) {
+    triplets_.push_back({t, pending[i].col, values[i]});
   }
   ++rounds_recorded_;
   seconds_ += timer.ElapsedSeconds();

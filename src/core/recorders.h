@@ -15,6 +15,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/execution_context.h"
 #include "completion/interner.h"
 #include "completion/observations.h"
 #include "data/dataset.h"
@@ -33,8 +34,11 @@ namespace comfedsv {
 /// (bit i set <=> client i in S); column 0 is the empty coalition.
 class FullUtilityRecorder : public RoundObserver {
  public:
+  /// `ctx` (optional) parallelizes each round's 2^N - 1 coalition-utility
+  /// evaluations; every coalition fills its own matrix slot, so the
+  /// recording is identical for any thread count.
   FullUtilityRecorder(const Model* model, const Dataset* test_data,
-                      int num_clients);
+                      int num_clients, ExecutionContext* ctx = nullptr);
 
   void OnRound(const RoundRecord& record) override;
 
@@ -49,6 +53,7 @@ class FullUtilityRecorder : public RoundObserver {
   const Model* model_;
   const Dataset* test_data_;
   int num_clients_;
+  ExecutionContext* ctx_;
   std::vector<std::vector<double>> rows_;
   int64_t loss_calls_ = 0;
   double seconds_ = 0.0;
@@ -60,8 +65,11 @@ class FullUtilityRecorder : public RoundObserver {
 /// round interns all 2^N coalitions.
 class ObservedUtilityRecorder : public RoundObserver {
  public:
+  /// `ctx` (optional) parallelizes each round's 2^|I_t| - 1 observable
+  /// utility evaluations; interning stays sequential in mask order, so
+  /// column ids and triplet order are identical for any thread count.
   ObservedUtilityRecorder(const Model* model, const Dataset* test_data,
-                          int num_clients);
+                          int num_clients, ExecutionContext* ctx = nullptr);
 
   void OnRound(const RoundRecord& record) override;
 
@@ -77,6 +85,7 @@ class ObservedUtilityRecorder : public RoundObserver {
   const Model* model_;
   const Dataset* test_data_;
   int num_clients_;
+  ExecutionContext* ctx_;
   CoalitionInterner interner_;
   std::vector<Observation> triplets_;
   int rounds_recorded_ = 0;
@@ -90,9 +99,13 @@ class ObservedUtilityRecorder : public RoundObserver {
 /// of the prefixes contained in I_t.
 class SampledUtilityRecorder : public RoundObserver {
  public:
+  /// `ctx` (optional) parallelizes each round's prefix-utility
+  /// evaluations. The prefixes to evaluate are discovered sequentially
+  /// (deduped in permutation order) before fanning out, so the recorded
+  /// triplets are identical for any thread count.
   SampledUtilityRecorder(const Model* model, const Dataset* test_data,
                          int num_clients, int num_permutations,
-                         uint64_t seed);
+                         uint64_t seed, ExecutionContext* ctx = nullptr);
 
   void OnRound(const RoundRecord& record) override;
 
@@ -115,6 +128,7 @@ class SampledUtilityRecorder : public RoundObserver {
   const Model* model_;
   const Dataset* test_data_;
   int num_clients_;
+  ExecutionContext* ctx_;
   std::vector<std::vector<int>> permutations_;
   /// prefix_columns_[m][l] is the column id of the length-l prefix of
   /// permutation m (l in [0, N]).

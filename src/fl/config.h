@@ -65,8 +65,8 @@ struct FedAvgConfig {
   /// Assumption 1 ("Everyone Being Heard"): select every client in the
   /// first round. Required by the ComFedSV completion path.
   bool select_all_first_round = true;
-  /// Worker threads for per-client updates (<= 1 means single-threaded).
-  int num_threads = 0;
+  /// Parallelism is no longer configured here: pass an ExecutionContext
+  /// (common/execution_context.h) to FedAvgTrainer / RunValuation instead.
   uint64_t seed = 0;
 };
 

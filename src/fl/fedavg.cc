@@ -4,17 +4,18 @@
 #include <numeric>
 
 #include "common/check.h"
-#include "common/thread_pool.h"
 
 namespace comfedsv {
 
 FedAvgTrainer::FedAvgTrainer(const Model* model,
                              std::vector<Dataset> client_data,
-                             Dataset test_data, FedAvgConfig config)
+                             Dataset test_data, FedAvgConfig config,
+                             ExecutionContext* ctx)
     : model_(model),
       client_data_(std::move(client_data)),
       test_data_(std::move(test_data)),
-      config_(config) {
+      config_(config),
+      ctx_(ctx) {
   COMFEDSV_CHECK(model_ != nullptr);
   COMFEDSV_CHECK(!client_data_.empty());
   for (const Dataset& d : client_data_) {
@@ -76,7 +77,6 @@ Result<TrainingResult> FedAvgTrainer::Train(RoundObserver* observer,
   Vector params;
   model_->InitializeParams(&params, &init_rng);
 
-  ThreadPool pool(config_.num_threads);
   const int n = num_clients();
 
   TrainingResult result;
@@ -99,7 +99,7 @@ Result<TrainingResult> FedAvgTrainer::Train(RoundObserver* observer,
     for (int i = 0; i < n; ++i) {
       client_rngs.push_back(round_rng.Split(static_cast<uint64_t>(i)));
     }
-    pool.ParallelFor(n, [&](int i) {
+    ParallelFor(ctx_, n, [&](int i) {
       record.local_models[i] = LocalUpdate(i, params, lr, &client_rngs[i]);
     });
 

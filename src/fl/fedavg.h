@@ -10,6 +10,7 @@
 
 #include <vector>
 
+#include "common/execution_context.h"
 #include "common/status.h"
 #include "data/dataset.h"
 #include "fl/config.h"
@@ -34,9 +35,14 @@ struct TrainingResult {
 class FedAvgTrainer {
  public:
   /// `model` must outlive the trainer. `client_data` entry i is client i's
-  /// local dataset D_i; `test_data` is the server's test set D_c.
+  /// local dataset D_i; `test_data` is the server's test set D_c. `ctx`
+  /// (optional; must outlive the trainer) parallelizes per-client local
+  /// updates; results are identical for any thread count because every
+  /// client draws from its own pre-split RNG stream and writes its own
+  /// slot of the round record.
   FedAvgTrainer(const Model* model, std::vector<Dataset> client_data,
-                Dataset test_data, FedAvgConfig config);
+                Dataset test_data, FedAvgConfig config,
+                ExecutionContext* ctx = nullptr);
 
   /// Runs the configured number of rounds. `observer` may be null; when
   /// given, OnRound fires once per round with all local updates.
@@ -59,6 +65,7 @@ class FedAvgTrainer {
   std::vector<Dataset> client_data_;
   Dataset test_data_;
   FedAvgConfig config_;
+  ExecutionContext* ctx_;  // not owned; null = inline execution
 };
 
 }  // namespace comfedsv

@@ -7,10 +7,12 @@
 namespace comfedsv {
 
 FedSvEvaluator::FedSvEvaluator(const Model* model, const Dataset* test_data,
-                               int num_clients, FedSvConfig config)
+                               int num_clients, FedSvConfig config,
+                               ExecutionContext* ctx)
     : model_(model),
       test_data_(test_data),
       config_(config),
+      ctx_(ctx),
       values_(num_clients),
       rng_(config.seed) {
   COMFEDSV_CHECK(model_ != nullptr);
@@ -25,15 +27,18 @@ void FedSvEvaluator::OnRound(const RoundRecord& record) {
     return utility.Utility(c);
   };
 
+  ThreadPool* pool = ctx_ != nullptr ? &ctx_->pool() : nullptr;
   Result<Vector> round_values = Status::Internal("unset");
   if (config_.mode == FedSvConfig::Mode::kExact) {
-    round_values = ExactShapley(n, record.selected, fn);
+    round_values = ExactShapley(n, record.selected, fn,
+                                kDefaultMaxExactPlayers, pool);
   } else {
     int budget = config_.permutations_per_round > 0
                      ? config_.permutations_per_round
                      : DefaultPermutationBudget(
                            static_cast<int>(record.selected.size()));
-    round_values = MonteCarloShapley(n, record.selected, fn, budget, &rng_);
+    round_values =
+        MonteCarloShapley(n, record.selected, fn, budget, &rng_, pool);
   }
   COMFEDSV_CHECK_OK(round_values.status());
   values_ += round_values.value();

@@ -10,6 +10,7 @@
 
 #include <cstdint>
 
+#include "common/execution_context.h"
 #include "common/rng.h"
 #include "data/dataset.h"
 #include "fl/round_record.h"
@@ -35,8 +36,13 @@ struct FedSvConfig {
 /// as the RoundObserver, then read values().
 class FedSvEvaluator : public RoundObserver {
  public:
+  /// `ctx` (optional; must outlive the evaluator) parallelizes each
+  /// round's Shapley computation — permutation walks in kMonteCarlo mode,
+  /// subset enumeration in kExact mode — with values bit-identical to the
+  /// single-threaded evaluation for any thread count.
   FedSvEvaluator(const Model* model, const Dataset* test_data,
-                 int num_clients, FedSvConfig config);
+                 int num_clients, FedSvConfig config,
+                 ExecutionContext* ctx = nullptr);
 
   void OnRound(const RoundRecord& record) override;
 
@@ -50,6 +56,7 @@ class FedSvEvaluator : public RoundObserver {
   const Model* model_;
   const Dataset* test_data_;
   FedSvConfig config_;
+  ExecutionContext* ctx_;  // not owned; null = inline execution
   Vector values_;
   Rng rng_;
   int64_t loss_calls_ = 0;

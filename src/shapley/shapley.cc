@@ -11,7 +11,8 @@ namespace comfedsv {
 
 Result<Vector> ExactShapley(int universe_size,
                             const std::vector<int>& players,
-                            const UtilityFn& utility, int max_players) {
+                            const UtilityFn& utility, int max_players,
+                            ThreadPool* pool) {
   const int m = static_cast<int>(players.size());
   if (m == 0) return Status::InvalidArgument("no players");
   if (m > max_players) {
@@ -20,15 +21,24 @@ Result<Vector> ExactShapley(int universe_size,
   }
 
   // Evaluate the utility of every subset of `players`, indexed by the
-  // local bitmask over positions in `players`.
+  // local bitmask over positions in `players`. Each subset writes its own
+  // slot, so the parallel and sequential evaluations agree bit for bit.
   const uint32_t num_subsets = 1u << m;
   std::vector<double> subset_utility(num_subsets);
-  for (uint32_t mask = 0; mask < num_subsets; ++mask) {
+  auto eval_subset = [&](int mask_index) {
+    const uint32_t mask = static_cast<uint32_t>(mask_index);
     Coalition c(universe_size);
     for (int p = 0; p < m; ++p) {
       if (mask & (1u << p)) c.Add(players[p]);
     }
     subset_utility[mask] = utility(c);
+  };
+  if (pool != nullptr) {
+    pool->ParallelFor(static_cast<int>(num_subsets), eval_subset);
+  } else {
+    for (uint32_t mask = 0; mask < num_subsets; ++mask) {
+      eval_subset(static_cast<int>(mask));
+    }
   }
 
   // phi_i = (1/m) sum_{S not containing i} [1 / C(m-1, |S|)]
@@ -51,7 +61,8 @@ Result<Vector> ExactShapley(int universe_size,
 Result<Vector> MonteCarloShapley(int universe_size,
                                  const std::vector<int>& players,
                                  const UtilityFn& utility,
-                                 int num_permutations, Rng* rng) {
+                                 int num_permutations, Rng* rng,
+                                 ThreadPool* pool) {
   if (players.empty()) return Status::InvalidArgument("no players");
   if (num_permutations <= 0) {
     return Status::InvalidArgument("num_permutations must be positive");
@@ -59,18 +70,44 @@ Result<Vector> MonteCarloShapley(int universe_size,
   COMFEDSV_CHECK(rng != nullptr);
 
   const int m = static_cast<int>(players.size());
-  Vector values(universe_size);
+
+  // Draw every permutation sequentially first: the sampled orderings (and
+  // so the estimate) depend only on `rng`, never on thread scheduling.
+  std::vector<std::vector<int>> orders;
+  orders.reserve(num_permutations);
   std::vector<int> order(players);
   for (int sample = 0; sample < num_permutations; ++sample) {
     rng->Shuffle(&order);
+    orders.push_back(order);
+  }
+
+  // Each permutation's marginal-contribution walk fills its own delta
+  // vector (one entry per player); the deltas are then reduced in
+  // permutation order, which reproduces the single-threaded accumulation
+  // order exactly.
+  std::vector<Vector> deltas(num_permutations);
+  auto walk = [&](int sample) {
+    const std::vector<int>& ord = orders[sample];
+    Vector delta(universe_size);
     Coalition prefix(universe_size);
     double prev_utility = 0.0;  // U(empty) = 0 by convention
     for (int pos = 0; pos < m; ++pos) {
-      prefix.Add(order[pos]);
+      prefix.Add(ord[pos]);
       const double cur_utility = utility(prefix);
-      values[order[pos]] += cur_utility - prev_utility;
+      delta[ord[pos]] = cur_utility - prev_utility;
       prev_utility = cur_utility;
     }
+    deltas[sample] = std::move(delta);
+  };
+  if (pool != nullptr) {
+    pool->ParallelFor(num_permutations, walk);
+  } else {
+    for (int sample = 0; sample < num_permutations; ++sample) walk(sample);
+  }
+
+  Vector values(universe_size);
+  for (int sample = 0; sample < num_permutations; ++sample) {
+    values += deltas[sample];
   }
   values.Scale(1.0 / static_cast<double>(num_permutations));
   return values;

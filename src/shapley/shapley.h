@@ -10,33 +10,49 @@
 
 #include "common/rng.h"
 #include "common/status.h"
+#include "common/thread_pool.h"
 #include "linalg/vector.h"
 #include "shapley/coalition.h"
 
 namespace comfedsv {
 
 /// Black-box coalition utility. Implementations should memoize internally
-/// if evaluations are expensive (RoundUtility does).
+/// if evaluations are expensive (RoundUtility does). When a ThreadPool is
+/// passed to the estimators below, the utility must be safe to call from
+/// several threads at once (RoundUtility is).
 using UtilityFn = std::function<double(const Coalition&)>;
 
+/// Default cap on |players| for exact enumeration (the 2^m blowup guard).
+inline constexpr int kDefaultMaxExactPlayers = 25;
+
 /// Exact Shapley values of `players` (a subset of the universe) by full
-/// subset enumeration: 2^|players| utility evaluations.
+/// subset enumeration: 2^|players| utility evaluations. With `pool`, the
+/// subset evaluations run in parallel; each subset writes its own slot,
+/// so the result is bit-identical for any thread count.
 ///
 /// Returns a vector indexed by universe client id; non-players get 0.
 /// Fails with kInvalidArgument if |players| > max_players (the 2^m blowup
 /// guard).
 Result<Vector> ExactShapley(int universe_size,
                             const std::vector<int>& players,
-                            const UtilityFn& utility, int max_players = 25);
+                            const UtilityFn& utility,
+                            int max_players = kDefaultMaxExactPlayers,
+                            ThreadPool* pool = nullptr);
 
 /// Permutation-sampling Monte-Carlo Shapley estimate (Castro et al. /
 /// Maleki et al., the estimator in Sec. VI-E): averages marginal
 /// contributions along `num_permutations` random orderings of `players`.
 /// Unbiased; O(num_permutations * |players|) utility evaluations.
+///
+/// All permutations are drawn from `rng` up front on the calling thread;
+/// with `pool`, their marginal-contribution walks then run in parallel
+/// and per-permutation deltas are reduced in permutation order — the
+/// estimate is bit-identical to the single-threaded one.
 Result<Vector> MonteCarloShapley(int universe_size,
                                  const std::vector<int>& players,
                                  const UtilityFn& utility,
-                                 int num_permutations, Rng* rng);
+                                 int num_permutations, Rng* rng,
+                                 ThreadPool* pool = nullptr);
 
 /// The paper's default permutation budget O(K log K) for a K-player game
 /// (Maleki et al. bound referenced in Sec. VI-E), floored at 8.

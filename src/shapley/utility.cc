@@ -17,10 +17,14 @@ RoundUtility::RoundUtility(const Model* model, const Dataset* test_data,
 
 double RoundUtility::Utility(const Coalition& coalition) {
   if (coalition.IsEmpty()) return 0.0;
-  auto it = cache_.find(coalition);
-  if (it != cache_.end()) return it->second;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = cache_.find(coalition);
+    if (it != cache_.end()) return it->second;
+  }
 
-  // Average the coalition members' local models.
+  // Average the coalition members' local models. Computed outside the
+  // lock: the test-set loss below dominates every caller's runtime.
   const std::vector<int> members = coalition.Members();
   Vector aggregate(record_->global_before.size());
   for (int k : members) {
@@ -30,11 +34,15 @@ double RoundUtility::Utility(const Coalition& coalition) {
   aggregate.Scale(1.0 / static_cast<double>(members.size()));
 
   const double loss = model_->Loss(aggregate, *test_data_);
-  if (loss_calls_ != nullptr) ++(*loss_calls_);
-  ++distinct_evaluations_;
   const double utility = record_->test_loss_before - loss;
-  cache_.emplace(coalition, utility);
-  return utility;
+
+  std::lock_guard<std::mutex> lock(mu_);
+  auto [it, inserted] = cache_.emplace(coalition, utility);
+  if (inserted) {
+    if (loss_calls_ != nullptr) ++(*loss_calls_);
+    ++distinct_evaluations_;
+  }
+  return it->second;
 }
 
 }  // namespace comfedsv

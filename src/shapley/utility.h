@@ -10,6 +10,7 @@
 #define COMFEDSV_SHAPLEY_UTILITY_H_
 
 #include <cstdint>
+#include <mutex>
 #include <unordered_map>
 
 #include "data/dataset.h"
@@ -23,6 +24,13 @@ namespace comfedsv {
 /// repeated queries (e.g. shared Monte-Carlo prefixes) cost one test-loss
 /// evaluation each. Holds references; the record, model and test set must
 /// outlive it.
+///
+/// Thread-safe: concurrent Utility() calls from a ThreadPool are allowed.
+/// The expensive test-loss evaluation runs outside the cache lock, so two
+/// threads may race to compute the same coalition; the loss-call and
+/// distinct-evaluation counters are incremented once per distinct
+/// coalition (matching single-threaded accounting exactly), and the
+/// cached value is deterministic either way.
 class RoundUtility {
  public:
   /// `loss_calls` is an optional shared counter of test-loss evaluations,
@@ -35,7 +43,10 @@ class RoundUtility {
   double Utility(const Coalition& coalition);
 
   /// Number of distinct coalitions evaluated so far this round.
-  int64_t distinct_evaluations() const { return distinct_evaluations_; }
+  int64_t distinct_evaluations() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return distinct_evaluations_;
+  }
 
  private:
   const Model* model_;
@@ -43,6 +54,7 @@ class RoundUtility {
   const RoundRecord* record_;
   int64_t* loss_calls_;
   int64_t distinct_evaluations_ = 0;
+  mutable std::mutex mu_;  // guards cache_ and the counters
   std::unordered_map<Coalition, double, CoalitionHash> cache_;
 };
 

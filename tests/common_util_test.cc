@@ -72,7 +72,7 @@ TEST(StopwatchTest, MeasuresNonNegativeIncreasingTime) {
   const double t1 = sw.ElapsedSeconds();
   EXPECT_GE(t1, 0.0);
   volatile double sink = 0.0;
-  for (int i = 0; i < 100000; ++i) sink += i;
+  for (int i = 0; i < 100000; ++i) sink = sink + i;
   const double t2 = sw.ElapsedSeconds();
   EXPECT_GE(t2, t1);
   sw.Reset();

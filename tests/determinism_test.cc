@@ -1,0 +1,189 @@
+// Determinism regression: the full valuation pipeline must produce
+// bit-identical FedSV / ComFedSV / ground-truth vectors whether it runs
+// inline (no context), on a single-threaded context, or on a
+// multi-threaded one. This is the contract that makes the
+// ExecutionContext parallelism safe to enable everywhere.
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <vector>
+
+#include "common/execution_context.h"
+#include "core/pipeline.h"
+#include "data/image_sim.h"
+#include "data/partition.h"
+#include "models/logistic.h"
+
+namespace comfedsv {
+namespace {
+
+struct Workload {
+  std::vector<Dataset> clients;
+  Dataset test;
+};
+
+Workload MakeWorkload(int num_clients, uint64_t seed) {
+  SimulatedImageConfig cfg;
+  cfg.num_samples = 40 * num_clients + 120;
+  cfg.seed = seed;
+  Dataset pool = GenerateSimulatedImages(cfg);
+  Rng rng(seed + 1);
+  auto [train_pool, test] = pool.RandomSplit(0.25, &rng);
+  return {PartitionIid(train_pool, num_clients, &rng), std::move(test)};
+}
+
+void ExpectBitIdentical(const Vector& a, const Vector& b,
+                        const char* what) {
+  ASSERT_EQ(a.size(), b.size()) << what;
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i], b[i]) << what << " diverges at client " << i;
+  }
+}
+
+ValuationOutcome RunWith(const Workload& w, const Model& model,
+                         const FedAvgConfig& fed_cfg,
+                         const ValuationRequest& request,
+                         ExecutionContext* ctx) {
+  Result<ValuationOutcome> run =
+      RunValuation(model, w.clients, w.test, fed_cfg, request, ctx);
+  EXPECT_TRUE(run.ok()) << run.status().ToString();
+  return std::move(run).value();
+}
+
+TEST(DeterminismTest, SampledPipelineIsThreadCountInvariant) {
+  const int n = 5;
+  Workload w = MakeWorkload(n, 321);
+  LogisticRegression model(w.test.dim(), 10);
+
+  FedAvgConfig fed_cfg;
+  fed_cfg.num_rounds = 4;
+  fed_cfg.clients_per_round = 3;
+  fed_cfg.seed = 11;
+
+  ValuationRequest request;
+  request.compute_fedsv = true;
+  request.fedsv.mode = FedSvConfig::Mode::kMonteCarlo;
+  request.fedsv.permutations_per_round = 8;
+  request.fedsv.seed = 12;
+  request.compute_comfedsv = true;
+  request.comfedsv.mode = ComFedSvConfig::Mode::kSampled;
+  request.comfedsv.num_permutations = 6;
+  request.comfedsv.completion.rank = 2;
+  request.comfedsv.completion.lambda = 1e-3;
+  request.comfedsv.completion.max_iters = 40;
+  request.comfedsv.seed = 13;
+
+  ValuationOutcome inline_run = RunWith(w, model, fed_cfg, request, nullptr);
+  ExecutionContext single(1, 99);
+  ValuationOutcome single_run = RunWith(w, model, fed_cfg, request, &single);
+  ExecutionContext threaded(4, 99);
+  ValuationOutcome threaded_run =
+      RunWith(w, model, fed_cfg, request, &threaded);
+
+  ASSERT_TRUE(inline_run.fedsv_values.has_value());
+  ASSERT_TRUE(threaded_run.fedsv_values.has_value());
+  ExpectBitIdentical(*inline_run.fedsv_values, *single_run.fedsv_values,
+                     "FedSV inline vs threads=1");
+  ExpectBitIdentical(*inline_run.fedsv_values, *threaded_run.fedsv_values,
+                     "FedSV inline vs threads=4");
+
+  ASSERT_TRUE(inline_run.comfedsv.has_value());
+  ASSERT_TRUE(threaded_run.comfedsv.has_value());
+  ExpectBitIdentical(inline_run.comfedsv->values,
+                     single_run.comfedsv->values,
+                     "ComFedSV inline vs threads=1");
+  ExpectBitIdentical(inline_run.comfedsv->values,
+                     threaded_run.comfedsv->values,
+                     "ComFedSV inline vs threads=4");
+
+  // Loss-call accounting counts distinct coalitions, which is also
+  // thread-count invariant.
+  EXPECT_EQ(inline_run.fedsv_loss_calls, threaded_run.fedsv_loss_calls);
+  EXPECT_EQ(inline_run.comfedsv->loss_calls,
+            threaded_run.comfedsv->loss_calls);
+
+  // Training itself must match too (pre-split per-client RNG streams).
+  ExpectBitIdentical(inline_run.training.final_params,
+                     threaded_run.training.final_params,
+                     "final params inline vs threads=4");
+}
+
+TEST(DeterminismTest, SmoothedAlsCompletionIsThreadCountInvariant) {
+  // Temporal smoothing forces the W-side Gauss–Seidel sweep down its
+  // sequential path while the H-side still fans out; the mix must stay
+  // deterministic.
+  const int n = 5;
+  Workload w = MakeWorkload(n, 654);
+  LogisticRegression model(w.test.dim(), 10);
+
+  FedAvgConfig fed_cfg;
+  fed_cfg.num_rounds = 3;
+  fed_cfg.clients_per_round = 3;
+  fed_cfg.seed = 21;
+
+  ValuationRequest request;
+  request.compute_fedsv = false;
+  request.compute_comfedsv = true;
+  request.comfedsv.mode = ComFedSvConfig::Mode::kSampled;
+  request.comfedsv.num_permutations = 5;
+  request.comfedsv.completion.rank = 2;
+  request.comfedsv.completion.lambda = 1e-3;
+  request.comfedsv.completion.temporal_smoothing = 0.1;
+  request.comfedsv.completion.max_iters = 30;
+  request.comfedsv.seed = 22;
+
+  ValuationOutcome inline_run = RunWith(w, model, fed_cfg, request, nullptr);
+  ExecutionContext threaded(4);
+  ValuationOutcome threaded_run =
+      RunWith(w, model, fed_cfg, request, &threaded);
+
+  ASSERT_TRUE(inline_run.comfedsv.has_value());
+  ASSERT_TRUE(threaded_run.comfedsv.has_value());
+  ExpectBitIdentical(inline_run.comfedsv->values,
+                     threaded_run.comfedsv->values,
+                     "smoothed ComFedSV inline vs threads=4");
+}
+
+TEST(DeterminismTest, FullModeAndGroundTruthAreThreadCountInvariant) {
+  // kFull exercises ObservedUtilityRecorder (parallel subset evaluation +
+  // sequential interning) and the ground truth exercises
+  // FullUtilityRecorder and the exact per-round Shapley.
+  const int n = 4;
+  Workload w = MakeWorkload(n, 987);
+  LogisticRegression model(w.test.dim(), 10);
+
+  FedAvgConfig fed_cfg;
+  fed_cfg.num_rounds = 3;
+  fed_cfg.clients_per_round = 2;
+  fed_cfg.select_all_first_round = true;
+  fed_cfg.seed = 31;
+
+  ValuationRequest request;
+  request.compute_fedsv = true;
+  request.fedsv.mode = FedSvConfig::Mode::kExact;
+  request.fedsv.seed = 32;
+  request.compute_comfedsv = true;
+  request.comfedsv.mode = ComFedSvConfig::Mode::kFull;
+  request.comfedsv.completion.rank = 2;
+  request.comfedsv.completion.lambda = 1e-3;
+  request.comfedsv.completion.max_iters = 30;
+  request.comfedsv.seed = 33;
+  request.compute_ground_truth = true;
+
+  ValuationOutcome inline_run = RunWith(w, model, fed_cfg, request, nullptr);
+  ExecutionContext threaded(4);
+  ValuationOutcome threaded_run =
+      RunWith(w, model, fed_cfg, request, &threaded);
+
+  ExpectBitIdentical(*inline_run.fedsv_values, *threaded_run.fedsv_values,
+                     "exact FedSV inline vs threads=4");
+  ExpectBitIdentical(inline_run.comfedsv->values,
+                     threaded_run.comfedsv->values,
+                     "full ComFedSV inline vs threads=4");
+  ExpectBitIdentical(*inline_run.ground_truth_values,
+                     *threaded_run.ground_truth_values,
+                     "ground truth inline vs threads=4");
+}
+
+}  // namespace
+}  // namespace comfedsv

@@ -110,10 +110,9 @@ TEST(FedAvgTest, ThreadedMatchesSingleThreaded) {
   cfg.num_rounds = 4;
   cfg.clients_per_round = 3;
   cfg.seed = 7;
-  cfg.num_threads = 0;
   FedAvgTrainer single(&model, w.clients, w.test, cfg);
-  cfg.num_threads = 4;
-  FedAvgTrainer threaded(&model, w.clients, w.test, cfg);
+  ExecutionContext ctx(4);
+  FedAvgTrainer threaded(&model, w.clients, w.test, cfg, &ctx);
   Result<TrainingResult> r1 = single.Train();
   Result<TrainingResult> r2 = threaded.Train();
   ASSERT_TRUE(r1.ok() && r2.ok());

@@ -185,13 +185,12 @@ TEST_P(ThreadSweep, TrainingIsThreadCountInvariant) {
   cfg.num_rounds = 3;
   cfg.clients_per_round = 2;
   cfg.seed = 79;
-  cfg.num_threads = 0;
   FedAvgTrainer reference(&model, clients, test, cfg);
   Result<TrainingResult> ref = reference.Train();
   ASSERT_TRUE(ref.ok());
 
-  cfg.num_threads = GetParam();
-  FedAvgTrainer threaded(&model, clients, test, cfg);
+  ExecutionContext ctx(GetParam());
+  FedAvgTrainer threaded(&model, clients, test, cfg, &ctx);
   Result<TrainingResult> got = threaded.Train();
   ASSERT_TRUE(got.ok());
   EXPECT_TRUE(ref.value().final_params == got.value().final_params);
