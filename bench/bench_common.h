@@ -197,6 +197,13 @@ class BenchJsonWriter {
   void Field(const std::string& key, const std::string& value) {
     records_.back().emplace_back(key, Quote(value));
   }
+  void Field(const std::string& key, bool value) {
+    records_.back().emplace_back(key, value ? "true" : "false");
+  }
+  // Without this overload a string literal would convert to bool above.
+  void Field(const std::string& key, const char* value) {
+    records_.back().emplace_back(key, Quote(value));
+  }
 
   std::string ToJson() const {
     std::ostringstream out;

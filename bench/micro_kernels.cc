@@ -8,6 +8,8 @@
 // and writes machine-readable BENCH_micro_kernels.json.
 #include <benchmark/benchmark.h>
 
+#include <cstdlib>
+
 #include "bench_common.h"
 
 namespace comfedsv {
@@ -103,6 +105,65 @@ void BM_CnnGradient(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_CnnGradient)->Arg(50)->Arg(200);
+
+void BM_MatrixMultiplyTransposedB(benchmark::State& state) {
+  const size_t n = state.range(0);
+  Matrix a = RandomMatrix(n, 512, 41);
+  Matrix b = RandomMatrix(n, 512, 42);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Matrix::MultiplyTransposedB(a, b));
+  }
+}
+BENCHMARK(BM_MatrixMultiplyTransposedB)->Arg(32)->Arg(128);
+
+void BM_PackRowSlices(benchmark::State& state) {
+  const size_t batch = state.range(0);
+  Matrix params = RandomMatrix(batch, 64 * 10 + 10, 43);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        Matrix::PackRowSlices(params, 0, batch, 0, 10, 64));
+  }
+}
+BENCHMARK(BM_PackRowSlices)->Arg(8)->Arg(64);
+
+Matrix StackedParams(const Model& model, int batch, uint64_t seed) {
+  Rng rng(seed);
+  Matrix rows(batch, model.num_params());
+  Vector params;
+  for (int b = 0; b < batch; ++b) {
+    model.InitializeParams(&params, &rng);
+    rows.SetRow(b, params);
+  }
+  return rows;
+}
+
+void BM_BatchLossLogistic(benchmark::State& state) {
+  const int batch = state.range(0);
+  const int dim = 64;
+  LogisticRegression model(dim, 10, 1e-3);
+  Dataset data = RandomData(256, dim, 10, 44);
+  Matrix rows = StackedParams(model, batch, 45);
+  std::vector<double> out;
+  for (auto _ : state) {
+    model.BatchLoss(rows, data, &out);
+    benchmark::DoNotOptimize(out.data());
+  }
+}
+BENCHMARK(BM_BatchLossLogistic)->Arg(1)->Arg(8)->Arg(64);
+
+void BM_ScalarLossLoopLogistic(benchmark::State& state) {
+  const int batch = state.range(0);
+  const int dim = 64;
+  LogisticRegression model(dim, 10, 1e-3);
+  Dataset data = RandomData(256, dim, 10, 44);
+  Matrix rows = StackedParams(model, batch, 45);
+  std::vector<double> out(batch);
+  for (auto _ : state) {
+    for (int b = 0; b < batch; ++b) out[b] = model.Loss(rows.Row(b), data);
+    benchmark::DoNotOptimize(out.data());
+  }
+}
+BENCHMARK(BM_ScalarLossLoopLogistic)->Arg(1)->Arg(8)->Arg(64);
 
 void BM_ExactShapley(benchmark::State& state) {
   const int m = state.range(0);
@@ -256,6 +317,111 @@ double TimeAlsCompletion(int rows, int cols, int iters,
   return timer.ElapsedSeconds();
 }
 
+// ---------------------------------------------------------------------
+// Batched coalition-loss engine: amortized per-coalition cost of
+// Model::BatchLoss vs the pre-batching scalar loop (one Model::Loss per
+// coalition), single-threaded — the Fig. 8 unit cost. Emitted as
+// batch_loss_* records in BENCH_micro_kernels.json.
+
+struct BatchLossResult {
+  double seconds_scalar = 0.0;
+  double seconds_batched = 0.0;
+  bool bit_identical = true;
+};
+
+BatchLossResult TimeBatchLoss(const Model& model, const Dataset& data,
+                              int batch, uint64_t seed) {
+  Matrix rows = StackedParams(model, batch, seed);
+  std::vector<double> scalar_out(batch);
+  std::vector<double> batched_out;
+  auto scalar_pass = [&] {
+    for (int b = 0; b < batch; ++b) {
+      scalar_out[b] = model.Loss(rows.Row(b), data);
+    }
+  };
+  auto batched_pass = [&] { model.BatchLoss(rows, data, &batched_out); };
+
+  BatchLossResult result;
+  result.seconds_scalar = 1e30;
+  result.seconds_batched = 1e30;
+  scalar_pass();
+  batched_pass();  // warm both paths
+  for (int rep = 0; rep < 3; ++rep) {
+    Stopwatch scalar_timer;
+    scalar_pass();
+    result.seconds_scalar =
+        std::min(result.seconds_scalar, scalar_timer.ElapsedSeconds());
+    Stopwatch batched_timer;
+    batched_pass();
+    result.seconds_batched =
+        std::min(result.seconds_batched, batched_timer.ElapsedSeconds());
+  }
+  for (int b = 0; b < batch; ++b) {
+    if (batched_out[b] != scalar_out[b]) result.bit_identical = false;
+  }
+  return result;
+}
+
+// Returns false if any batched result diverged from the scalar loop —
+// the bit-identity contract; the bench exits nonzero so CI fails.
+bool AppendBatchLossRecords(bench::BenchJsonWriter* json) {
+  struct Config {
+    const char* kernel;
+    const char* model;
+    int dim;
+    int batch;
+  };
+  // d >= 64 throughout; the large-d rows are where the GEMM dominates
+  // the (identical-by-contract) softmax tail.
+  const Config configs[] = {
+      {"batch_loss_logistic_d64_b64", "logistic", 64, 64},
+      {"batch_loss_logistic_d256_b64", "logistic", 256, 64},
+      {"batch_loss_logistic_d1024_b64", "logistic", 1024, 64},
+      {"batch_loss_logistic_d256_b8", "logistic", 256, 8},
+      {"batch_loss_mlp_d192_b64", "mlp", 192, 64},
+  };
+  const int samples = 256;
+  const int classes = 10;
+  bool all_identical = true;
+  for (const Config& cfg : configs) {
+    Dataset data = RandomData(samples, cfg.dim, classes, 51);
+    std::unique_ptr<Model> model;
+    if (std::string(cfg.model) == "logistic") {
+      model = std::make_unique<LogisticRegression>(cfg.dim, classes, 1e-3);
+    } else {
+      model = std::make_unique<Mlp>(
+          std::vector<size_t>{static_cast<size_t>(cfg.dim), 32,
+                              static_cast<size_t>(classes)},
+          1e-4);
+    }
+    BatchLossResult r = TimeBatchLoss(*model, data, cfg.batch, 52);
+    json->BeginRecord();
+    json->Field("kernel", cfg.kernel);
+    json->Field("model", cfg.model);
+    json->Field("dim", static_cast<double>(cfg.dim));
+    json->Field("classes", static_cast<double>(classes));
+    json->Field("samples", static_cast<double>(samples));
+    json->Field("batch", static_cast<double>(cfg.batch));
+    json->Field("threads", 1.0);
+    json->Field("seconds_scalar_loop", r.seconds_scalar);
+    json->Field("seconds_batched", r.seconds_batched);
+    json->Field("speedup", r.seconds_scalar / r.seconds_batched);
+    json->Field("us_per_coalition_scalar",
+                r.seconds_scalar / cfg.batch * 1e6);
+    json->Field("us_per_coalition_batched",
+                r.seconds_batched / cfg.batch * 1e6);
+    json->Field("bit_identical", r.bit_identical);
+    std::printf(
+        "batch_loss %-32s scalar %8.3f ms  batched %8.3f ms  "
+        "speedup %5.2fx  identical=%s\n",
+        cfg.kernel, r.seconds_scalar * 1e3, r.seconds_batched * 1e3,
+        r.seconds_scalar / r.seconds_batched,
+        r.bit_identical ? "yes" : "NO");
+    all_identical = all_identical && r.bit_identical;
+  }
+  return all_identical;
+}
+
 void WriteThreadScalingJson(int threads) {
   bench::BenchJsonWriter json("micro_kernels");
   json.Meta("threads_compared", static_cast<double>(threads));
@@ -280,7 +446,13 @@ void WriteThreadScalingJson(int threads) {
     json.Field("seconds_n_threads", k.seconds_nt);
     json.Field("speedup", k.seconds_1t / k.seconds_nt);
   }
+  const bool identical = AppendBatchLossRecords(&json);
   json.WriteFile();
+  if (!identical) {
+    std::fprintf(stderr,
+                 "FATAL: batched loss diverged from the scalar loop\n");
+    std::exit(1);
+  }
 }
 
 }  // namespace

@@ -17,6 +17,18 @@ void ObservationSet::Add(int row, int col, double value) {
   index_built_ = false;
 }
 
+void ObservationSet::AddAll(const std::vector<Observation>& observations) {
+  Reserve(observations.size());
+  for (const Observation& o : observations) {
+    COMFEDSV_CHECK_GE(o.row, 0);
+    COMFEDSV_CHECK_LT(o.row, num_rows_);
+    COMFEDSV_CHECK_GE(o.col, 0);
+    COMFEDSV_CHECK_LT(o.col, num_cols_);
+    entries_.push_back(o);
+  }
+  index_built_ = false;
+}
+
 void ObservationSet::BuildIndexIfNeeded() const {
   if (index_built_) return;
   by_row_.assign(num_rows_, {});

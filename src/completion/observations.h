@@ -27,6 +27,12 @@ class ObservationSet {
 
   void Add(int row, int col, double value);
 
+  /// Reserves capacity for `n` additional observations.
+  void Reserve(size_t n) { entries_.reserve(entries_.size() + n); }
+
+  /// Bulk append: reserves once and validates each entry like Add.
+  void AddAll(const std::vector<Observation>& observations);
+
   int num_rows() const { return num_rows_; }
   int num_cols() const { return num_cols_; }
   size_t size() const { return entries_.size(); }

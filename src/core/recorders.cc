@@ -1,5 +1,6 @@
 #include "core/recorders.h"
 
+#include <algorithm>
 #include <unordered_set>
 
 #include "common/check.h"
@@ -27,18 +28,25 @@ FullUtilityRecorder::FullUtilityRecorder(const Model* model,
 
 void FullUtilityRecorder::OnRound(const RoundRecord& record) {
   Stopwatch timer;
-  RoundUtility utility(model_, test_data_, &record, &loss_calls_);
+  RoundUtility utility(model_, test_data_, &record, &loss_calls_, ctx_);
   const uint32_t num_cols = 1u << num_clients_;
-  std::vector<double> row(num_cols, 0.0);
-  // Every coalition writes its own slot: identical for any thread count.
-  ParallelFor(ctx_, static_cast<int>(num_cols) - 1, [&](int i) {
-    const uint32_t mask = static_cast<uint32_t>(i) + 1;
+  // Submit all 2^N - 1 coalitions in mask order: the batched engine
+  // evaluates whole chunks per pass over the test set (parallelized over
+  // fixed sub-blocks), and the reads below are cache hits.
+  std::vector<Coalition> coalitions;
+  coalitions.reserve(num_cols - 1);
+  for (uint32_t mask = 1; mask < num_cols; ++mask) {
     Coalition c(num_clients_);
     for (int k = 0; k < num_clients_; ++k) {
       if (mask & (1u << k)) c.Add(k);
     }
-    row[mask] = utility.Utility(c);
-  });
+    coalitions.push_back(std::move(c));
+  }
+  utility.EvaluateBatch(coalitions);
+  std::vector<double> row(num_cols, 0.0);
+  for (uint32_t mask = 1; mask < num_cols; ++mask) {
+    row[mask] = utility.Utility(coalitions[mask - 1]);
+  }
   rows_.push_back(std::move(row));
   seconds_ += timer.ElapsedSeconds();
 }
@@ -48,8 +56,8 @@ Matrix FullUtilityRecorder::ToMatrix() const {
   const size_t cols = rows_[0].size();
   Matrix out(rows_.size(), cols);
   for (size_t t = 0; t < rows_.size(); ++t) {
-    double* dst = out.RowPtr(t);
-    for (size_t c = 0; c < cols; ++c) dst[c] = rows_[t][c];
+    COMFEDSV_CHECK_EQ(rows_[t].size(), cols);
+    std::copy(rows_[t].begin(), rows_[t].end(), out.RowPtr(t));
   }
   return out;
 }
@@ -74,33 +82,31 @@ void ObservedUtilityRecorder::OnRound(const RoundRecord& record) {
   const int t = rounds_recorded_;
   const int m = static_cast<int>(record.selected.size());
   COMFEDSV_CHECK_LE(m, 20);  // 2^m utility evaluations below
-  RoundUtility utility(model_, test_data_, &record, &loss_calls_);
+  RoundUtility utility(model_, test_data_, &record, &loss_calls_, ctx_);
 
-  auto observed_coalition = [&](uint32_t mask) {
+  // Evaluate all 2^m - 1 non-empty observable utilities through the
+  // batched engine (a few test-set passes instead of one per coalition),
+  // then intern and append sequentially in mask order so column ids
+  // never depend on thread scheduling.
+  const int num_masks = (1 << m) - 1;
+  std::vector<Coalition> coalitions;
+  coalitions.reserve(num_masks);
+  for (int i = 0; i < num_masks; ++i) {
+    const uint32_t mask = static_cast<uint32_t>(i) + 1;
     Coalition c(num_clients_);
     for (int p = 0; p < m; ++p) {
       if (mask & (1u << p)) c.Add(record.selected[p]);
     }
-    return c;
-  };
-
-  // Evaluate all 2^m - 1 non-empty observable utilities (the expensive
-  // part — one test loss each) into per-mask slots, then intern and
-  // append sequentially in mask order so column ids never depend on
-  // thread scheduling.
-  const int num_masks = (1 << m) - 1;
-  std::vector<double> mask_utility(num_masks);
-  ParallelFor(ctx_, num_masks, [&](int i) {
-    mask_utility[i] =
-        utility.Utility(observed_coalition(static_cast<uint32_t>(i) + 1));
-  });
+    coalitions.push_back(std::move(c));
+  }
+  utility.EvaluateBatch(coalitions);
 
   // The empty coalition is observed at 0 every round (u_t(w^t) = 0).
+  triplets_.reserve(triplets_.size() + static_cast<size_t>(num_masks) + 1);
   triplets_.push_back({t, 0, 0.0});
   for (int i = 0; i < num_masks; ++i) {
-    const int col =
-        interner_.Intern(observed_coalition(static_cast<uint32_t>(i) + 1));
-    triplets_.push_back({t, col, mask_utility[i]});
+    const int col = interner_.Intern(coalitions[i]);
+    triplets_.push_back({t, col, utility.Utility(coalitions[i])});
   }
   ++rounds_recorded_;
   seconds_ += timer.ElapsedSeconds();
@@ -109,7 +115,7 @@ void ObservedUtilityRecorder::OnRound(const RoundRecord& record) {
 ObservationSet ObservedUtilityRecorder::BuildObservations() const {
   COMFEDSV_CHECK_GT(rounds_recorded_, 0);
   ObservationSet obs(rounds_recorded_, interner_.size());
-  for (const Observation& o : triplets_) obs.Add(o.row, o.col, o.value);
+  obs.AddAll(triplets_);
   return obs;
 }
 
@@ -152,7 +158,7 @@ SampledUtilityRecorder::SampledUtilityRecorder(const Model* model,
 void SampledUtilityRecorder::OnRound(const RoundRecord& record) {
   Stopwatch timer;
   const int t = rounds_recorded_;
-  RoundUtility utility(model_, test_data_, &record, &loss_calls_);
+  RoundUtility utility(model_, test_data_, &record, &loss_calls_, ctx_);
   const Coalition selected =
       Coalition::FromMembers(num_clients_, record.selected);
 
@@ -178,15 +184,17 @@ void SampledUtilityRecorder::OnRound(const RoundRecord& record) {
     }
   }
 
-  // Evaluate the distinct prefixes (one test loss each) in parallel.
-  std::vector<double> values(pending.size());
-  ParallelFor(ctx_, static_cast<int>(pending.size()), [&](int i) {
-    values[i] = utility.Utility(pending[i].coalition);
-  });
+  // Evaluate the distinct prefixes through the batched engine: a few
+  // test-set passes instead of one per prefix.
+  std::vector<Coalition> coalitions;
+  coalitions.reserve(pending.size());
+  for (const PendingPrefix& p : pending) coalitions.push_back(p.coalition);
+  utility.EvaluateBatch(coalitions);
 
+  triplets_.reserve(triplets_.size() + pending.size() + 1);
   triplets_.push_back({t, prefix_columns_[0][0], 0.0});
   for (size_t i = 0; i < pending.size(); ++i) {
-    triplets_.push_back({t, pending[i].col, values[i]});
+    triplets_.push_back({t, pending[i].col, utility.Utility(coalitions[i])});
   }
   ++rounds_recorded_;
   seconds_ += timer.ElapsedSeconds();
@@ -195,7 +203,7 @@ void SampledUtilityRecorder::OnRound(const RoundRecord& record) {
 ObservationSet SampledUtilityRecorder::BuildObservations() const {
   COMFEDSV_CHECK_GT(rounds_recorded_, 0);
   ObservationSet obs(rounds_recorded_, interner_.size());
-  for (const Observation& o : triplets_) obs.Add(o.row, o.col, o.value);
+  obs.AddAll(triplets_);
   return obs;
 }
 

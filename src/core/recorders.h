@@ -34,9 +34,11 @@ namespace comfedsv {
 /// (bit i set <=> client i in S); column 0 is the empty coalition.
 class FullUtilityRecorder : public RoundObserver {
  public:
-  /// `ctx` (optional) parallelizes each round's 2^N - 1 coalition-utility
-  /// evaluations; every coalition fills its own matrix slot, so the
-  /// recording is identical for any thread count.
+  /// Each round's 2^N - 1 coalitions are submitted to the batched
+  /// utility engine in one shot (mask order), which evaluates them with
+  /// a few Model::BatchLoss passes over the test set. `ctx` (optional)
+  /// parallelizes those passes over fixed sub-blocks, so the recording
+  /// is identical for any thread count.
   FullUtilityRecorder(const Model* model, const Dataset* test_data,
                       int num_clients, ExecutionContext* ctx = nullptr);
 
@@ -65,9 +67,10 @@ class FullUtilityRecorder : public RoundObserver {
 /// round interns all 2^N coalitions.
 class ObservedUtilityRecorder : public RoundObserver {
  public:
-  /// `ctx` (optional) parallelizes each round's 2^|I_t| - 1 observable
-  /// utility evaluations; interning stays sequential in mask order, so
-  /// column ids and triplet order are identical for any thread count.
+  /// Each round's 2^|I_t| - 1 observable coalitions go through the
+  /// batched utility engine (`ctx` parallelizes its fixed sub-blocks);
+  /// interning stays sequential in mask order, so column ids and triplet
+  /// order are identical for any thread count.
   ObservedUtilityRecorder(const Model* model, const Dataset* test_data,
                           int num_clients, ExecutionContext* ctx = nullptr);
 
@@ -99,10 +102,11 @@ class ObservedUtilityRecorder : public RoundObserver {
 /// of the prefixes contained in I_t.
 class SampledUtilityRecorder : public RoundObserver {
  public:
-  /// `ctx` (optional) parallelizes each round's prefix-utility
-  /// evaluations. The prefixes to evaluate are discovered sequentially
-  /// (deduped in permutation order) before fanning out, so the recorded
-  /// triplets are identical for any thread count.
+  /// Each round's distinct observable prefixes are discovered
+  /// sequentially (deduped in permutation order) and then evaluated
+  /// through the batched utility engine (`ctx` parallelizes its fixed
+  /// sub-blocks), so the recorded triplets are identical for any thread
+  /// count.
   SampledUtilityRecorder(const Model* model, const Dataset* test_data,
                          int num_clients, int num_permutations,
                          uint64_t seed, ExecutionContext* ctx = nullptr);

@@ -38,16 +38,79 @@ void Matrix::SetRow(size_t i, const Vector& v) {
 Matrix Matrix::Multiply(const Matrix& a, const Matrix& b) {
   COMFEDSV_CHECK_EQ(a.cols(), b.rows());
   Matrix out(a.rows(), b.cols());
-  // i-k-j loop order: streams through b's rows, cache-friendly for
-  // row-major storage.
+  // k-blocked i-k-j order: the active panel of b (kKBlock rows) is reused
+  // across every row of a before moving on, instead of streaming all of b
+  // once per output row. Each out(i, j) still receives its terms in
+  // ascending-k order (k blocks ascend, k ascends within a block), so the
+  // result is bit-identical to the unblocked loop.
+  constexpr size_t kKBlock = 64;
+  for (size_t k0 = 0; k0 < a.cols(); k0 += kKBlock) {
+    const size_t k1 = std::min(k0 + kKBlock, a.cols());
+    for (size_t i = 0; i < a.rows(); ++i) {
+      double* out_row = out.RowPtr(i);
+      const double* a_row = a.RowPtr(i);
+      for (size_t k = k0; k < k1; ++k) {
+        const double aik = a_row[k];
+        if (aik == 0.0) continue;
+        const double* b_row = b.RowPtr(k);
+        for (size_t j = 0; j < b.cols(); ++j) out_row[j] += aik * b_row[j];
+      }
+    }
+  }
+  return out;
+}
+
+Matrix Matrix::MultiplyTransposedB(const Matrix& a, const Matrix& b) {
+  COMFEDSV_CHECK_EQ(a.cols(), b.cols());
+  const size_t inner = a.cols();
+  Matrix out(a.rows(), b.rows());
+  // Four independent dot-product accumulators per pass share one stream
+  // over a's row; each out(i, j) is its own ascending-k chain.
+  constexpr size_t kJBlock = 4;
   for (size_t i = 0; i < a.rows(); ++i) {
-    double* out_row = out.RowPtr(i);
     const double* a_row = a.RowPtr(i);
-    for (size_t k = 0; k < a.cols(); ++k) {
-      const double aik = a_row[k];
-      if (aik == 0.0) continue;
-      const double* b_row = b.RowPtr(k);
-      for (size_t j = 0; j < b.cols(); ++j) out_row[j] += aik * b_row[j];
+    double* out_row = out.RowPtr(i);
+    size_t j = 0;
+    for (; j + kJBlock <= b.rows(); j += kJBlock) {
+      const double* b0 = b.RowPtr(j);
+      const double* b1 = b.RowPtr(j + 1);
+      const double* b2 = b.RowPtr(j + 2);
+      const double* b3 = b.RowPtr(j + 3);
+      double acc0 = 0.0, acc1 = 0.0, acc2 = 0.0, acc3 = 0.0;
+      for (size_t k = 0; k < inner; ++k) {
+        const double aik = a_row[k];
+        acc0 += aik * b0[k];
+        acc1 += aik * b1[k];
+        acc2 += aik * b2[k];
+        acc3 += aik * b3[k];
+      }
+      out_row[j] = acc0;
+      out_row[j + 1] = acc1;
+      out_row[j + 2] = acc2;
+      out_row[j + 3] = acc3;
+    }
+    for (; j < b.rows(); ++j) {
+      const double* b_row = b.RowPtr(j);
+      double acc = 0.0;
+      for (size_t k = 0; k < inner; ++k) acc += a_row[k] * b_row[k];
+      out_row[j] = acc;
+    }
+  }
+  return out;
+}
+
+Matrix Matrix::PackRowSlices(const Matrix& src, size_t row_begin,
+                             size_t row_count, size_t offset,
+                             size_t slice_len, size_t num_slices) {
+  COMFEDSV_CHECK_LE(row_begin + row_count, src.rows());
+  COMFEDSV_CHECK_LE(offset + num_slices * slice_len, src.cols());
+  Matrix out(num_slices, row_count * slice_len);
+  for (size_t s = 0; s < num_slices; ++s) {
+    double* dst = out.RowPtr(s);
+    for (size_t r = 0; r < row_count; ++r) {
+      const double* piece =
+          src.RowPtr(row_begin + r) + offset + s * slice_len;
+      std::copy(piece, piece + slice_len, dst + r * slice_len);
     }
   }
   return out;

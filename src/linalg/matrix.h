@@ -47,8 +47,35 @@ class Matrix {
   /// Overwrites row `i`. `v.size()` must equal cols().
   void SetRow(size_t i, const Vector& v);
 
-  /// this = A * B (sizes must conform).
+  /// this = A * B (sizes must conform). Blocked over the inner dimension
+  /// so B's active row panel stays cache-resident; every output entry
+  /// still accumulates its terms in ascending-k order, so the result is
+  /// bit-identical to the naive triple loop.
   static Matrix Multiply(const Matrix& a, const Matrix& b);
+
+  /// A * B^T for row-major A (m x k) and B (n x k) — the GEMM shape of
+  /// a batched logits computation (logits = X * W^T). Row-times-row dot
+  /// products are naturally cache-friendly for row-major storage; each
+  /// output entry accumulates in ascending-k order. Reference/bench
+  /// kernel: the production coalition-loss engine uses the specialized
+  /// tile kernels in src/models/batch_kernels*.
+  static Matrix MultiplyTransposedB(const Matrix& a, const Matrix& b);
+
+  /// Row-major pack helper. Treats each of the `row_count` source rows
+  /// starting at `row_begin` as containing `num_slices` contiguous
+  /// slices of length `slice_len` beginning at column `offset`, and
+  /// interleaves them slice-major:
+  ///
+  ///   out(s, r * slice_len + t) = src(row_begin + r, offset + s * slice_len + t)
+  ///
+  /// For B stacked parameter rows with layout [W row-major (d x C) | b],
+  /// PackRowSlices(src, 0, B, 0, C, d) yields a d x (B*C) matrix whose
+  /// row j holds the j-th weight row of every batch member back to back.
+  /// Reference/bench form of the pack; the engine's hot path fuses this
+  /// re-tiling into internal::PackAffineBlock (models/batch_kernels.cc).
+  static Matrix PackRowSlices(const Matrix& src, size_t row_begin,
+                              size_t row_count, size_t offset,
+                              size_t slice_len, size_t num_slices);
 
   /// y = this * x.
   Vector MultiplyVec(const Vector& x) const;

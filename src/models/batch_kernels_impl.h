@@ -1,0 +1,76 @@
+// Template body of the batched affine tile pass, included by each
+// per-ISA translation unit (batch_kernels.cc baseline, and
+// batch_kernels_avx2.cc compiled with -mavx2). The instantiating TU picks
+// the tile width; the arithmetic — ascending-feature accumulation with
+// exact-zero skips, no FMA — is identical everywhere, so every ISA
+// produces the same doubles.
+#ifndef COMFEDSV_MODELS_BATCH_KERNELS_IMPL_H_
+#define COMFEDSV_MODELS_BATCH_KERNELS_IMPL_H_
+
+#include "common/check.h"
+#include "models/batch_kernels.h"
+
+namespace comfedsv {
+namespace internal {
+
+template <int kT>
+inline void AffinePairImpl(const PackedAffineBlock& pack, const double* x0,
+                           const double* x1, double* z0, double* z1) {
+  COMFEDSV_CHECK_EQ(pack.tile_cols, static_cast<size_t>(kT));
+  const size_t d = pack.dim;
+  for (size_t tile = 0; tile < pack.num_tiles; ++tile) {
+    const double* pt = pack.tiles.data() + tile * d * kT;
+    const double* bt = pack.bias.data() + tile * kT;
+    double a0[kT], a1[kT];
+    for (int t = 0; t < kT; ++t) a0[t] = bt[t];
+    if (x1 != nullptr) {
+      for (int t = 0; t < kT; ++t) a1[t] = bt[t];
+      for (size_t j = 0; j < d; ++j) {
+        const double* pr = pt + j * kT;
+        const double u = x0[j];
+        const double v = x1[j];
+        if (u != 0.0) {
+          for (int t = 0; t < kT; ++t) a0[t] += u * pr[t];
+        }
+        if (v != 0.0) {
+          for (int t = 0; t < kT; ++t) a1[t] += v * pr[t];
+        }
+      }
+      for (int t = 0; t < kT; ++t) z1[tile * kT + t] = a1[t];
+    } else {
+      for (size_t j = 0; j < d; ++j) {
+        const double u = x0[j];
+        if (u == 0.0) continue;
+        const double* pr = pt + j * kT;
+        for (int t = 0; t < kT; ++t) a0[t] += u * pr[t];
+      }
+    }
+    for (int t = 0; t < kT; ++t) z0[tile * kT + t] = a0[t];
+  }
+
+  for (size_t r = 0; r < pack.rem; ++r) {
+    const size_t col = pack.num_tiles * kT + r;
+    const double* pc = pack.rem_pack.data() + r * d;
+    double acc0 = pack.bias[col];
+    for (size_t j = 0; j < d; ++j) {
+      const double u = x0[j];
+      if (u == 0.0) continue;
+      acc0 += u * pc[j];
+    }
+    z0[col] = acc0;
+    if (x1 != nullptr) {
+      double acc1 = pack.bias[col];
+      for (size_t j = 0; j < d; ++j) {
+        const double v = x1[j];
+        if (v == 0.0) continue;
+        acc1 += v * pc[j];
+      }
+      z1[col] = acc1;
+    }
+  }
+}
+
+}  // namespace internal
+}  // namespace comfedsv
+
+#endif  // COMFEDSV_MODELS_BATCH_KERNELS_IMPL_H_

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "common/check.h"
+#include "models/batch_kernels.h"
 
 namespace comfedsv {
 
@@ -59,6 +60,73 @@ double LogisticRegression::Loss(const Vector& params,
   double mean = data.empty() ? 0.0
                              : total / static_cast<double>(data.num_samples());
   return mean + 0.5 * l2_penalty_ * params.Dot(params);
+}
+
+void LogisticRegression::BatchLoss(const Matrix& param_rows,
+                                   const Dataset& data,
+                                   std::vector<double>* out,
+                                   ExecutionContext* ctx) const {
+  COMFEDSV_CHECK(out != nullptr);
+  COMFEDSV_CHECK_EQ(param_rows.cols(), num_params());
+  COMFEDSV_CHECK_EQ(data.dim(), dim_);
+  const size_t batch = param_rows.rows();
+  out->assign(batch, 0.0);
+  if (batch == 0) return;
+
+  const size_t block = internal::kCoalitionBlock;
+  const size_t num_blocks = (batch + block - 1) / block;
+  const size_t classes = static_cast<size_t>(classes_);
+  // Sub-blocks write disjoint out-slots; identical for any thread count.
+  ParallelFor(ctx, static_cast<int>(num_blocks), [&](int blk) {
+    const size_t b0 = static_cast<size_t>(blk) * block;
+    const size_t nb = std::min(b0 + block, batch) - b0;
+    const internal::PackedAffineBlock pack = internal::PackAffineBlock(
+        param_rows, b0, nb, /*weight_offset=*/0,
+        /*bias_offset=*/dim_ * classes, dim_, classes);
+
+    const size_t cols = pack.cols;
+    std::vector<double> logits(2 * cols);
+    std::vector<double> totals(nb, 0.0);
+    std::vector<double> probs(classes);
+    for (size_t i = 0; i < data.num_samples(); i += 2) {
+      const bool pair = i + 1 < data.num_samples();
+      internal::BatchedAffinePair(pack, data.sample(i),
+                                  pair ? data.sample(i + 1) : nullptr,
+                                  logits.data(), logits.data() + cols);
+      const size_t ns = pair ? 2 : 1;
+      for (size_t s = 0; s < ns; ++s) {
+        const int label = data.label(i + s);
+        for (size_t b = 0; b < nb; ++b) {
+          // Same softmax-loss arithmetic as ForwardSample, fed by the
+          // batched logits: identical accumulation, identical result.
+          const double* lg = logits.data() + s * cols + b * classes;
+          double max_logit = lg[0];
+          for (size_t c = 1; c < classes; ++c) {
+            max_logit = std::max(max_logit, lg[c]);
+          }
+          double sum = 0.0;
+          for (size_t c = 0; c < classes; ++c) {
+            probs[c] = std::exp(lg[c] - max_logit);
+            sum += probs[c];
+          }
+          totals[b] +=
+              -std::log(std::max(probs[static_cast<size_t>(label)] / sum,
+                                 1e-300));
+        }
+      }
+    }
+    for (size_t b = 0; b < nb; ++b) {
+      // Same mean and regularizer arithmetic as Loss (ascending-order
+      // dot product, division by the sample count).
+      const double mean =
+          data.empty() ? 0.0
+                       : totals[b] / static_cast<double>(data.num_samples());
+      const double* p = param_rows.RowPtr(b0 + b);
+      double dot = 0.0;
+      for (size_t k = 0; k < param_rows.cols(); ++k) dot += p[k] * p[k];
+      (*out)[b0 + b] = mean + 0.5 * l2_penalty_ * dot;
+    }
+  });
 }
 
 double LogisticRegression::LossAndGradient(const Vector& params,

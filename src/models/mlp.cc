@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/check.h"
+#include "models/batch_kernels.h"
 
 namespace comfedsv {
 
@@ -28,23 +29,47 @@ Mlp::Mlp(std::vector<size_t> layer_sizes, double l2_penalty)
 double Mlp::ForwardSample(
     const Vector& params, const double* x, int label,
     std::vector<std::vector<double>>* activations) const {
+  activations->resize(num_layers());
+  // Layer-0 pre-activation; the shared tail applies its activation and
+  // runs the remaining layers.
+  const LayerOffsets& off0 = offsets_[0];
+  std::vector<double>& out0 = (*activations)[0];
+  out0.assign(off0.out, 0.0);
+  const double* w = params.data() + off0.weights;  // in x out, row-major
+  const double* b = params.data() + off0.bias;
+  for (size_t c = 0; c < off0.out; ++c) out0[c] = b[c];
+  for (size_t j = 0; j < off0.in; ++j) {
+    const double xj = x[j];
+    if (xj == 0.0) continue;
+    const double* wrow = w + j * off0.out;
+    for (size_t c = 0; c < off0.out; ++c) out0[c] += xj * wrow[c];
+  }
+  return ForwardTail(params.data(), label, activations);
+}
+
+double Mlp::ForwardTail(const double* params, int label,
+                        std::vector<std::vector<double>>* activations) const {
   const int layers = num_layers();
-  activations->resize(layers);
-  const double* input = x;
-  size_t input_len = layer_sizes_[0];
+  const double* input = nullptr;
+  size_t input_len = 0;
   for (int l = 0; l < layers; ++l) {
     const LayerOffsets& off = offsets_[l];
-    COMFEDSV_CHECK_EQ(input_len, off.in);
     std::vector<double>& out = (*activations)[l];
-    out.assign(off.out, 0.0);
-    const double* w = params.data() + off.weights;  // in x out, row-major
-    const double* b = params.data() + off.bias;
-    for (size_t c = 0; c < off.out; ++c) out[c] = b[c];
-    for (size_t j = 0; j < off.in; ++j) {
-      const double xj = input[j];
-      if (xj == 0.0) continue;
-      const double* wrow = w + j * off.out;
-      for (size_t c = 0; c < off.out; ++c) out[c] += xj * wrow[c];
+    if (l == 0) {
+      // (*activations)[0] already holds the pre-activation.
+      COMFEDSV_CHECK_EQ(out.size(), off.out);
+    } else {
+      COMFEDSV_CHECK_EQ(input_len, off.in);
+      out.assign(off.out, 0.0);
+      const double* w = params + off.weights;  // in x out, row-major
+      const double* b = params + off.bias;
+      for (size_t c = 0; c < off.out; ++c) out[c] = b[c];
+      for (size_t j = 0; j < off.in; ++j) {
+        const double xj = input[j];
+        if (xj == 0.0) continue;
+        const double* wrow = w + j * off.out;
+        for (size_t c = 0; c < off.out; ++c) out[c] += xj * wrow[c];
+      }
     }
     if (l + 1 < layers) {
       for (double& v : out) v = std::max(0.0, v);  // ReLU
@@ -77,6 +102,60 @@ double Mlp::Loss(const Vector& params, const Dataset& data) const {
   double mean = data.empty() ? 0.0
                              : total / static_cast<double>(data.num_samples());
   return mean + 0.5 * l2_penalty_ * params.Dot(params);
+}
+
+void Mlp::BatchLoss(const Matrix& param_rows, const Dataset& data,
+                    std::vector<double>* out, ExecutionContext* ctx) const {
+  COMFEDSV_CHECK(out != nullptr);
+  COMFEDSV_CHECK_EQ(param_rows.cols(), num_params());
+  COMFEDSV_CHECK_EQ(data.dim(), input_dim());
+  const size_t batch = param_rows.rows();
+  out->assign(batch, 0.0);
+  if (batch == 0) return;
+
+  const size_t block = internal::kCoalitionBlock;
+  const size_t num_blocks = (batch + block - 1) / block;
+  const LayerOffsets& off0 = offsets_[0];
+  // Sub-blocks write disjoint out-slots; identical for any thread count.
+  ParallelFor(ctx, static_cast<int>(num_blocks), [&](int blk) {
+    const size_t b0 = static_cast<size_t>(blk) * block;
+    const size_t nb = std::min(b0 + block, batch) - b0;
+    const internal::PackedAffineBlock pack = internal::PackAffineBlock(
+        param_rows, b0, nb, off0.weights, off0.bias, off0.in, off0.out);
+    const size_t cols = pack.cols;
+
+    std::vector<std::vector<std::vector<double>>> acts(nb);
+    std::vector<double> z(2 * cols);
+    std::vector<double> totals(nb, 0.0);
+    for (size_t i = 0; i < data.num_samples(); i += 2) {
+      const bool pair = i + 1 < data.num_samples();
+      internal::BatchedAffinePair(pack, data.sample(i),
+                                  pair ? data.sample(i + 1) : nullptr,
+                                  z.data(), z.data() + cols);
+      const size_t ns = pair ? 2 : 1;
+      for (size_t s = 0; s < ns; ++s) {
+        const int label = data.label(i + s);
+        const double* zs = z.data() + s * cols;
+        for (size_t b = 0; b < nb; ++b) {
+          acts[b].resize(num_layers());
+          acts[b][0].assign(zs + b * off0.out, zs + (b + 1) * off0.out);
+          totals[b] +=
+              ForwardTail(param_rows.RowPtr(b0 + b), label, &acts[b]);
+        }
+      }
+    }
+    for (size_t b = 0; b < nb; ++b) {
+      // Same mean and regularizer arithmetic as Loss (ascending-order
+      // dot product, division by the sample count).
+      const double mean =
+          data.empty() ? 0.0
+                       : totals[b] / static_cast<double>(data.num_samples());
+      const double* p = param_rows.RowPtr(b0 + b);
+      double dot = 0.0;
+      for (size_t k = 0; k < param_rows.cols(); ++k) dot += p[k] * p[k];
+      (*out)[b0 + b] = mean + 0.5 * l2_penalty_ * dot;
+    }
+  });
 }
 
 double Mlp::LossAndGradient(const Vector& params, const Dataset& data,

@@ -30,6 +30,17 @@ class Mlp : public Model {
   std::string name() const override { return "mlp"; }
 
   double Loss(const Vector& params, const Dataset& data) const override;
+
+  /// Batched losses in one blocked pass over `data`. The first layer —
+  /// the only one whose input is shared across the batch — runs through
+  /// the packed register-tile kernel (all block members' layer-0
+  /// pre-activations from one pass over each sample); the remaining
+  /// layers reuse the scalar forward tail per member. Bit-identical to
+  /// looping Loss; sub-blocks fan out over `ctx`.
+  void BatchLoss(const Matrix& param_rows, const Dataset& data,
+                 std::vector<double>* out,
+                 ExecutionContext* ctx = nullptr) const override;
+
   double LossAndGradient(const Vector& params, const Dataset& data,
                          Vector* grad) const override;
   int Predict(const Vector& params, const double* x) const override;
@@ -49,6 +60,15 @@ class Mlp : public Model {
   // probabilities). Returns the cross-entropy loss for `label` (>= 0) or 0.
   double ForwardSample(const Vector& params, const double* x, int label,
                        std::vector<std::vector<double>>* activations) const;
+
+  // Forward pass from precomputed layer-0 *pre*-activations (already in
+  // (*activations)[0]): applies layer 0's activation in place, runs the
+  // remaining layers, and returns the loss like ForwardSample. Shared by
+  // the scalar path and the batched kernel so both execute the same
+  // arithmetic. `params` points at the flat parameter vector (raw so the
+  // batched path can use stacked matrix rows without copying).
+  double ForwardTail(const double* params, int label,
+                     std::vector<std::vector<double>>* activations) const;
 
   std::vector<size_t> layer_sizes_;
   std::vector<LayerOffsets> offsets_;

@@ -4,6 +4,18 @@
 
 namespace comfedsv {
 
+void Model::BatchLoss(const Matrix& param_rows, const Dataset& data,
+                      std::vector<double>* out,
+                      ExecutionContext* ctx) const {
+  COMFEDSV_CHECK(out != nullptr);
+  COMFEDSV_CHECK_EQ(param_rows.cols(), num_params());
+  out->assign(param_rows.rows(), 0.0);
+  // Each row writes its own slot: identical for any thread count.
+  ParallelFor(ctx, static_cast<int>(param_rows.rows()), [&](int i) {
+    (*out)[i] = Loss(param_rows.Row(i), data);
+  });
+}
+
 double Model::Accuracy(const Vector& params, const Dataset& data) const {
   COMFEDSV_CHECK_EQ(data.dim(), input_dim());
   if (data.empty()) return 0.0;

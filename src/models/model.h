@@ -4,14 +4,29 @@
 // substrate can average, perturb, and evaluate parameters without knowing
 // the architecture. Gradients are analytic; tests validate them against
 // finite differences (models/gradient_check.h).
+//
+// BatchLoss contract: given B parameter vectors stacked as the rows of a
+// Matrix, BatchLoss fills out[i] with exactly the double Loss(row i,
+// data) would return — bit-identical, not merely close. Overrides may
+// reorder *which* (sample, batch-member) pair is visited when, and may
+// fan out over an ExecutionContext, but each member's loss must keep the
+// sequential accumulation chain of Loss (samples in ascending order, one
+// chain per member), so the output never depends on batch composition or
+// thread count. This is what lets the coalition-utility engine batch
+// thousands of coalition evaluations per pass over the test set while
+// valuation outputs stay reproducible (tests/models_batch_loss_test.cc
+// enforces the equivalence).
 #ifndef COMFEDSV_MODELS_MODEL_H_
 #define COMFEDSV_MODELS_MODEL_H_
 
 #include <memory>
 #include <string>
+#include <vector>
 
+#include "common/execution_context.h"
 #include "common/rng.h"
 #include "data/dataset.h"
+#include "linalg/matrix.h"
 #include "linalg/vector.h"
 
 namespace comfedsv {
@@ -35,6 +50,17 @@ class Model {
 
   /// Mean loss over `data` (plus any built-in L2 regularizer).
   virtual double Loss(const Vector& params, const Dataset& data) const = 0;
+
+  /// Losses of many parameter vectors at once: row i of `param_rows` is
+  /// one flat parameter vector, and `out` (resized to param_rows.rows())
+  /// receives out[i] == Loss(row i, data) bit for bit (see the contract
+  /// at the top of this header). The default implementation loops Loss,
+  /// parallelized over rows via `ctx`; LogisticRegression and Mlp
+  /// override it with blocked kernels that amortize the test-set
+  /// traversal across the whole batch.
+  virtual void BatchLoss(const Matrix& param_rows, const Dataset& data,
+                         std::vector<double>* out,
+                         ExecutionContext* ctx = nullptr) const;
 
   /// Mean loss and its gradient; `grad` is resized and overwritten.
   virtual double LossAndGradient(const Vector& params, const Dataset& data,

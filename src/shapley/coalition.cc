@@ -62,14 +62,7 @@ bool Coalition::IsSubsetOf(const Coalition& other) const {
 std::vector<int> Coalition::Members() const {
   std::vector<int> out;
   out.reserve(Count());
-  for (size_t w = 0; w < words_.size(); ++w) {
-    uint64_t bits = words_[w];
-    while (bits) {
-      const int bit = std::countr_zero(bits);
-      out.push_back(static_cast<int>(w * 64 + bit));
-      bits &= bits - 1;
-    }
-  }
+  ForEachMember([&out](int member) { out.push_back(member); });
   return out;
 }
 

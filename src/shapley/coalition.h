@@ -4,6 +4,7 @@
 #ifndef COMFEDSV_SHAPLEY_COALITION_H_
 #define COMFEDSV_SHAPLEY_COALITION_H_
 
+#include <bit>
 #include <cstdint>
 #include <functional>
 #include <vector>
@@ -40,6 +41,21 @@ class Coalition {
 
   /// Sorted member list.
   std::vector<int> Members() const;
+
+  /// Visits every member in ascending order without allocating — the
+  /// utility/recorder hot paths call this once per coalition evaluation,
+  /// where a Members() vector per call would churn the heap.
+  template <typename Fn>
+  void ForEachMember(Fn&& fn) const {
+    for (size_t w = 0; w < words_.size(); ++w) {
+      uint64_t bits = words_[w];
+      while (bits) {
+        const int bit = std::countr_zero(bits);
+        fn(static_cast<int>(w * 64 + bit));
+        bits &= bits - 1;
+      }
+    }
+  }
 
   /// Copy with `client` added / removed.
   Coalition With(int client) const;

@@ -22,23 +22,29 @@ FedSvEvaluator::FedSvEvaluator(const Model* model, const Dataset* test_data,
 
 void FedSvEvaluator::OnRound(const RoundRecord& record) {
   const int n = static_cast<int>(values_.size());
-  RoundUtility utility(model_, test_data_, &record, &loss_calls_);
+  RoundUtility utility(model_, test_data_, &record, &loss_calls_, ctx_);
   UtilityFn fn = [&utility](const Coalition& c) {
     return utility.Utility(c);
+  };
+  // The estimators announce their coalition sets up front; the batched
+  // engine evaluates them in a few passes over the test set and the
+  // per-coalition calls below become cache hits.
+  UtilityPrefetchFn prefetch = [&utility](const std::vector<Coalition>& cs) {
+    utility.EvaluateBatch(cs);
   };
 
   ThreadPool* pool = ctx_ != nullptr ? &ctx_->pool() : nullptr;
   Result<Vector> round_values = Status::Internal("unset");
   if (config_.mode == FedSvConfig::Mode::kExact) {
     round_values = ExactShapley(n, record.selected, fn,
-                                kDefaultMaxExactPlayers, pool);
+                                kDefaultMaxExactPlayers, pool, prefetch);
   } else {
     int budget = config_.permutations_per_round > 0
                      ? config_.permutations_per_round
                      : DefaultPermutationBudget(
                            static_cast<int>(record.selected.size()));
-    round_values =
-        MonteCarloShapley(n, record.selected, fn, budget, &rng_, pool);
+    round_values = MonteCarloShapley(n, record.selected, fn, budget, &rng_,
+                                     pool, prefetch);
   }
   COMFEDSV_CHECK_OK(round_values.status());
   values_ += round_values.value();

@@ -9,10 +9,19 @@
 
 namespace comfedsv {
 
+namespace {
+
+// Chunk size for prefetch submissions: bounds transient Coalition
+// storage while keeping BatchLoss chunks full.
+constexpr size_t kPrefetchChunk = 8192;
+
+}  // namespace
+
 Result<Vector> ExactShapley(int universe_size,
                             const std::vector<int>& players,
                             const UtilityFn& utility, int max_players,
-                            ThreadPool* pool) {
+                            ThreadPool* pool,
+                            const UtilityPrefetchFn& prefetch) {
   const int m = static_cast<int>(players.size());
   if (m == 0) return Status::InvalidArgument("no players");
   if (m > max_players) {
@@ -24,14 +33,35 @@ Result<Vector> ExactShapley(int universe_size,
   // local bitmask over positions in `players`. Each subset writes its own
   // slot, so the parallel and sequential evaluations agree bit for bit.
   const uint32_t num_subsets = 1u << m;
-  std::vector<double> subset_utility(num_subsets);
-  auto eval_subset = [&](int mask_index) {
-    const uint32_t mask = static_cast<uint32_t>(mask_index);
+  auto subset_coalition = [&](uint32_t mask) {
     Coalition c(universe_size);
     for (int p = 0; p < m; ++p) {
       if (mask & (1u << p)) c.Add(players[p]);
     }
-    subset_utility[mask] = utility(c);
+    return c;
+  };
+
+  // Hand the whole subset lattice to the batched evaluator first (in
+  // ascending-mask chunks): consecutive masks share ascending prefixes,
+  // which is exactly the access pattern the incremental aggregator and
+  // the BatchLoss engine amortize best.
+  if (prefetch != nullptr) {
+    std::vector<Coalition> batch;
+    batch.reserve(std::min<size_t>(num_subsets - 1, kPrefetchChunk));
+    for (uint32_t mask = 1; mask < num_subsets; ++mask) {
+      batch.push_back(subset_coalition(mask));
+      if (batch.size() == kPrefetchChunk) {
+        prefetch(batch);
+        batch.clear();
+      }
+    }
+    if (!batch.empty()) prefetch(batch);
+  }
+
+  std::vector<double> subset_utility(num_subsets);
+  auto eval_subset = [&](int mask_index) {
+    const uint32_t mask = static_cast<uint32_t>(mask_index);
+    subset_utility[mask] = utility(subset_coalition(mask));
   };
   if (pool != nullptr) {
     pool->ParallelFor(static_cast<int>(num_subsets), eval_subset);
@@ -62,7 +92,8 @@ Result<Vector> MonteCarloShapley(int universe_size,
                                  const std::vector<int>& players,
                                  const UtilityFn& utility,
                                  int num_permutations, Rng* rng,
-                                 ThreadPool* pool) {
+                                 ThreadPool* pool,
+                                 const UtilityPrefetchFn& prefetch) {
   if (players.empty()) return Status::InvalidArgument("no players");
   if (num_permutations <= 0) {
     return Status::InvalidArgument("num_permutations must be positive");
@@ -79,6 +110,27 @@ Result<Vector> MonteCarloShapley(int universe_size,
   for (int sample = 0; sample < num_permutations; ++sample) {
     rng->Shuffle(&order);
     orders.push_back(order);
+  }
+
+  // Submit every permutation prefix to the batched evaluator up front
+  // (deduping happens there); the marginal-contribution walks below then
+  // read utilities from its cache.
+  if (prefetch != nullptr) {
+    std::vector<Coalition> batch;
+    batch.reserve(std::min(static_cast<size_t>(num_permutations) * m,
+                           kPrefetchChunk));
+    for (const std::vector<int>& ord : orders) {
+      Coalition prefix(universe_size);
+      for (int member : ord) {
+        prefix.Add(member);
+        batch.push_back(prefix);
+        if (batch.size() == kPrefetchChunk) {
+          prefetch(batch);
+          batch.clear();
+        }
+      }
+    }
+    if (!batch.empty()) prefetch(batch);
   }
 
   // Each permutation's marginal-contribution walk fills its own delta

@@ -22,6 +22,15 @@ namespace comfedsv {
 /// several threads at once (RoundUtility is).
 using UtilityFn = std::function<double(const Coalition&)>;
 
+/// Optional batch-prefetch hook: the estimators call it with the
+/// coalitions they are about to query (in chunks, in deterministic
+/// submission order) before any per-coalition utility call, so a batched
+/// evaluator (RoundUtility::EvaluateBatch) can compute them all with a
+/// few passes over the test set and serve the per-coalition calls from
+/// cache. Purely an acceleration hint: results must be identical with or
+/// without it.
+using UtilityPrefetchFn = std::function<void(const std::vector<Coalition>&)>;
+
 /// Default cap on |players| for exact enumeration (the 2^m blowup guard).
 inline constexpr int kDefaultMaxExactPlayers = 25;
 
@@ -37,7 +46,8 @@ Result<Vector> ExactShapley(int universe_size,
                             const std::vector<int>& players,
                             const UtilityFn& utility,
                             int max_players = kDefaultMaxExactPlayers,
-                            ThreadPool* pool = nullptr);
+                            ThreadPool* pool = nullptr,
+                            const UtilityPrefetchFn& prefetch = nullptr);
 
 /// Permutation-sampling Monte-Carlo Shapley estimate (Castro et al. /
 /// Maleki et al., the estimator in Sec. VI-E): averages marginal
@@ -52,7 +62,8 @@ Result<Vector> MonteCarloShapley(int universe_size,
                                  const std::vector<int>& players,
                                  const UtilityFn& utility,
                                  int num_permutations, Rng* rng,
-                                 ThreadPool* pool = nullptr);
+                                 ThreadPool* pool = nullptr,
+                                 const UtilityPrefetchFn& prefetch = nullptr);
 
 /// The paper's default permutation budget O(K log K) for a K-player game
 /// (Maleki et al. bound referenced in Sec. VI-E), floored at 8.

@@ -1,15 +1,85 @@
 #include "shapley/utility.h"
 
+#include <algorithm>
+#include <unordered_set>
+
 #include "common/check.h"
+#include "linalg/matrix.h"
 
 namespace comfedsv {
+namespace {
+
+// Coalitions per BatchLoss chunk. Capped so a chunk's stacked parameter
+// matrix stays around 16M doubles even for very large models; the bound
+// depends only on the model, never on thread count, so chunk boundaries
+// (and therefore results and counter order) are deterministic.
+size_t ChunkSize(size_t params_per_coalition) {
+  constexpr size_t kTargetDoubles = size_t{16} << 20;
+  constexpr size_t kMaxChunk = 256;
+  if (params_per_coalition == 0) return kMaxChunk;
+  return std::clamp<size_t>(kTargetDoubles / params_per_coalition, 16,
+                            kMaxChunk);
+}
+
+}  // namespace
+
+CoalitionAggregator::CoalitionAggregator(const RoundRecord* record)
+    : record_(record), dim_(record->global_before.size()) {
+  COMFEDSV_CHECK(record_ != nullptr);
+}
+
+void CoalitionAggregator::MeanInto(const Coalition& coalition, double* out) {
+  members_scratch_.clear();
+  coalition.ForEachMember([this](int member) {
+    COMFEDSV_CHECK_LT(static_cast<size_t>(member),
+                      record_->local_models.size());
+    members_scratch_.push_back(member);
+  });
+  const size_t count = members_scratch_.size();
+  COMFEDSV_CHECK_GT(count, 0u);
+
+  // Longest shared ascending prefix with the previous coalition's chain.
+  size_t keep = 0;
+  while (keep < depth_ && keep < count &&
+         chain_[keep] == members_scratch_[keep]) {
+    ++keep;
+  }
+  depth_ = keep;
+  chain_.resize(std::max(chain_.size(), count));
+  // Extend the chain: one Axpy per member beyond the shared prefix.
+  for (size_t k = depth_; k < count; ++k) {
+    if (partials_.size() <= k) partials_.emplace_back(dim_);
+    std::vector<double>& dst = partials_[k];
+    const int member = members_scratch_[k];
+    const Vector& local = record_->local_models[member];
+    COMFEDSV_CHECK_EQ(local.size(), dim_);
+    if (k == 0) {
+      // 0.0 + x, not x: the sequential path Axpys into a zero vector,
+      // which flips -0.0 inputs to +0.0 — reproduce that exactly.
+      const double* lp = local.data();
+      for (size_t i = 0; i < dim_; ++i) dst[i] = 0.0 + lp[i];
+    } else {
+      const std::vector<double>& prev = partials_[k - 1];
+      const double* lp = local.data();
+      for (size_t i = 0; i < dim_; ++i) dst[i] = prev[i] + lp[i];
+    }
+    chain_[k] = member;
+    ++depth_;
+  }
+
+  const double inv = 1.0 / static_cast<double>(count);
+  const std::vector<double>& sum = partials_[count - 1];
+  for (size_t i = 0; i < dim_; ++i) out[i] = sum[i] * inv;
+}
 
 RoundUtility::RoundUtility(const Model* model, const Dataset* test_data,
-                           const RoundRecord* record, int64_t* loss_calls)
+                           const RoundRecord* record, int64_t* loss_calls,
+                           ExecutionContext* ctx)
     : model_(model),
       test_data_(test_data),
       record_(record),
-      loss_calls_(loss_calls) {
+      loss_calls_(loss_calls),
+      ctx_(ctx) {
   COMFEDSV_CHECK(model_ != nullptr);
   COMFEDSV_CHECK(test_data_ != nullptr);
   COMFEDSV_CHECK(record_ != nullptr);
@@ -25,13 +95,14 @@ double RoundUtility::Utility(const Coalition& coalition) {
 
   // Average the coalition members' local models. Computed outside the
   // lock: the test-set loss below dominates every caller's runtime.
-  const std::vector<int> members = coalition.Members();
   Vector aggregate(record_->global_before.size());
-  for (int k : members) {
+  int count = 0;
+  coalition.ForEachMember([this, &aggregate, &count](int k) {
     COMFEDSV_CHECK_LT(static_cast<size_t>(k), record_->local_models.size());
     aggregate.Axpy(1.0, record_->local_models[k]);
-  }
-  aggregate.Scale(1.0 / static_cast<double>(members.size()));
+    ++count;
+  });
+  aggregate.Scale(1.0 / static_cast<double>(count));
 
   const double loss = model_->Loss(aggregate, *test_data_);
   const double utility = record_->test_loss_before - loss;
@@ -43,6 +114,50 @@ double RoundUtility::Utility(const Coalition& coalition) {
     ++distinct_evaluations_;
   }
   return it->second;
+}
+
+void RoundUtility::EvaluateBatch(const std::vector<Coalition>& coalitions) {
+  // Dedup against the cache and within the batch, preserving submission
+  // order so counters and cache fills are deterministic.
+  std::vector<Coalition> pending;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    std::unordered_set<Coalition, CoalitionHash> seen;
+    seen.reserve(coalitions.size());
+    for (const Coalition& c : coalitions) {
+      if (c.IsEmpty()) continue;
+      if (cache_.find(c) != cache_.end()) continue;
+      if (seen.insert(c).second) pending.push_back(c);
+    }
+  }
+  if (pending.empty()) return;
+
+  const size_t params = record_->global_before.size();
+  const size_t chunk = ChunkSize(params);
+  CoalitionAggregator aggregator(record_);
+  Matrix stacked;
+  std::vector<double> losses;
+  for (size_t c0 = 0; c0 < pending.size(); c0 += chunk) {
+    const size_t n = std::min(c0 + chunk, pending.size()) - c0;
+    if (stacked.rows() != n) stacked = Matrix(n, params);
+    // Aggregates are formed sequentially (the incremental chain reuses
+    // the previous coalition's prefix); the loss pass fans out inside
+    // BatchLoss over fixed-size sub-blocks.
+    for (size_t r = 0; r < n; ++r) {
+      aggregator.MeanInto(pending[c0 + r], stacked.RowPtr(r));
+    }
+    model_->BatchLoss(stacked, *test_data_, &losses, ctx_);
+
+    std::lock_guard<std::mutex> lock(mu_);
+    for (size_t r = 0; r < n; ++r) {
+      auto [it, inserted] = cache_.emplace(
+          pending[c0 + r], record_->test_loss_before - losses[r]);
+      if (inserted) {
+        if (loss_calls_ != nullptr) ++(*loss_calls_);
+        ++distinct_evaluations_;
+      }
+    }
+  }
 }
 
 }  // namespace comfedsv

@@ -6,13 +6,22 @@
 // Evaluating u_t — one test-set loss — is the dominant cost of every
 // valuation method, so the evaluator counts calls; the paper's complexity
 // discussion (Sec. VII-D) and Fig. 8 are in units of these calls.
+//
+// Batched engine: callers that know their coalition set up front (the
+// recorders, ExactShapley / MonteCarloShapley via the prefetch hook)
+// submit it to EvaluateBatch, which dedups, forms coalition aggregates
+// incrementally, and evaluates whole chunks with one Model::BatchLoss
+// pass over the test set instead of one Model::Loss per coalition —
+// the wall-clock bottleneck behind the paper's Fig. 8 comparison.
 #ifndef COMFEDSV_SHAPLEY_UTILITY_H_
 #define COMFEDSV_SHAPLEY_UTILITY_H_
 
 #include <cstdint>
 #include <mutex>
 #include <unordered_map>
+#include <vector>
 
+#include "common/execution_context.h"
 #include "data/dataset.h"
 #include "fl/round_record.h"
 #include "models/model.h"
@@ -20,10 +29,40 @@
 
 namespace comfedsv {
 
+/// Forms coalition parameter averages incrementally. Keeps the ascending
+/// chain of partial sums of the previous coalition's members; a new
+/// coalition reuses the longest shared ascending prefix and extends it
+/// with one Axpy per remaining member, instead of re-summing all |S|
+/// local models. Because every partial sum adds members in ascending
+/// order — the order RoundUtility::Utility sums them in — the produced
+/// aggregates are bit-identical to the sequential path.
+///
+/// Consecutive queries in subset-mask or sorted order share long
+/// prefixes, so amortized cost per coalition is O(1) Axpys.
+class CoalitionAggregator {
+ public:
+  /// `record` must outlive the aggregator.
+  explicit CoalitionAggregator(const RoundRecord* record);
+
+  /// Writes the member mean (ascending-order sum scaled by 1/|S|) into
+  /// `out`, a buffer of record->global_before.size() doubles. The
+  /// coalition must be non-empty.
+  void MeanInto(const Coalition& coalition, double* out);
+
+ private:
+  const RoundRecord* record_;
+  size_t dim_;
+  std::vector<int> chain_;     // ascending member chain of the last query
+  size_t depth_ = 0;           // live prefix length of chain_/partials_
+  std::vector<std::vector<double>> partials_;  // partials_[k]: sum of
+                                               // chain_[0..k]
+  std::vector<int> members_scratch_;
+};
+
 /// Evaluates coalition utilities for one round, memoizing by coalition so
 /// repeated queries (e.g. shared Monte-Carlo prefixes) cost one test-loss
-/// evaluation each. Holds references; the record, model and test set must
-/// outlive it.
+/// evaluation each. Holds references; the record, model, test set and
+/// context must outlive it.
 ///
 /// Thread-safe: concurrent Utility() calls from a ThreadPool are allowed.
 /// The expensive test-loss evaluation runs outside the cache lock, so two
@@ -34,13 +73,27 @@ namespace comfedsv {
 class RoundUtility {
  public:
   /// `loss_calls` is an optional shared counter of test-loss evaluations,
-  /// accumulated across rounds by the callers that own it.
+  /// accumulated across rounds by the callers that own it. `ctx`
+  /// (optional) parallelizes EvaluateBatch; a null context evaluates
+  /// batches inline.
   RoundUtility(const Model* model, const Dataset* test_data,
-               const RoundRecord* record, int64_t* loss_calls = nullptr);
+               const RoundRecord* record, int64_t* loss_calls = nullptr,
+               ExecutionContext* ctx = nullptr);
 
   /// U_t(S). The empty coalition has utility 0 by convention
   /// (u_t(w^t) = 0).
   double Utility(const Coalition& coalition);
+
+  /// Evaluates (and caches) every coalition in `coalitions` through the
+  /// batched engine: dedups against the cache and within the batch
+  /// (preserving submission order), forms aggregates incrementally, and
+  /// computes whole chunks with one Model::BatchLoss pass over the test
+  /// set each. Subsequent Utility() calls are cache hits. Counters
+  /// advance once per distinct coalition, exactly as if each had been
+  /// evaluated singly; cached values are bit-identical to the unbatched
+  /// path for any thread count. Call from one thread (typically before
+  /// fanning out readers).
+  void EvaluateBatch(const std::vector<Coalition>& coalitions);
 
   /// Number of distinct coalitions evaluated so far this round.
   int64_t distinct_evaluations() const {
@@ -53,6 +106,7 @@ class RoundUtility {
   const Dataset* test_data_;
   const RoundRecord* record_;
   int64_t* loss_calls_;
+  ExecutionContext* ctx_;  // not owned; null = inline batch evaluation
   int64_t distinct_evaluations_ = 0;
   mutable std::mutex mu_;  // guards cache_ and the counters
   std::unordered_map<Coalition, double, CoalitionHash> cache_;

@@ -13,6 +13,7 @@
 #include "data/image_sim.h"
 #include "data/partition.h"
 #include "models/logistic.h"
+#include "models/mlp.h"
 
 namespace comfedsv {
 namespace {
@@ -106,6 +107,54 @@ TEST(DeterminismTest, SampledPipelineIsThreadCountInvariant) {
   ExpectBitIdentical(inline_run.training.final_params,
                      threaded_run.training.final_params,
                      "final params inline vs threads=4");
+}
+
+TEST(DeterminismTest, BatchedEngineMlpPipelineIsThreadCountInvariant) {
+  // Runs the full pipeline through the batched coalition-loss engine
+  // with the Mlp override (packed layer-0 kernel + shared forward tail):
+  // exact FedSV prefetches the subset lattice, the sampled recorder
+  // batches its permutation prefixes, and every output must stay
+  // bit-identical across thread counts.
+  const int n = 4;
+  Workload w = MakeWorkload(n, 432);
+  Mlp model({w.test.dim(), 12, 10}, 1e-4);
+
+  FedAvgConfig fed_cfg;
+  fed_cfg.num_rounds = 3;
+  fed_cfg.clients_per_round = 3;
+  fed_cfg.seed = 41;
+
+  ValuationRequest request;
+  request.compute_fedsv = true;
+  request.fedsv.mode = FedSvConfig::Mode::kExact;
+  request.fedsv.seed = 42;
+  request.compute_comfedsv = true;
+  request.comfedsv.mode = ComFedSvConfig::Mode::kSampled;
+  request.comfedsv.num_permutations = 5;
+  request.comfedsv.completion.rank = 2;
+  request.comfedsv.completion.lambda = 1e-3;
+  request.comfedsv.completion.max_iters = 30;
+  request.comfedsv.seed = 43;
+
+  ValuationOutcome inline_run = RunWith(w, model, fed_cfg, request, nullptr);
+  ExecutionContext single(1, 44);
+  ValuationOutcome single_run = RunWith(w, model, fed_cfg, request, &single);
+  ExecutionContext threaded(4, 44);
+  ValuationOutcome threaded_run =
+      RunWith(w, model, fed_cfg, request, &threaded);
+
+  ASSERT_TRUE(inline_run.fedsv_values.has_value());
+  ExpectBitIdentical(*inline_run.fedsv_values, *single_run.fedsv_values,
+                     "MLP FedSV inline vs threads=1");
+  ExpectBitIdentical(*inline_run.fedsv_values, *threaded_run.fedsv_values,
+                     "MLP FedSV inline vs threads=4");
+  ASSERT_TRUE(inline_run.comfedsv.has_value());
+  ExpectBitIdentical(inline_run.comfedsv->values,
+                     threaded_run.comfedsv->values,
+                     "MLP ComFedSV inline vs threads=4");
+  EXPECT_EQ(inline_run.fedsv_loss_calls, threaded_run.fedsv_loss_calls);
+  EXPECT_EQ(inline_run.comfedsv->loss_calls,
+            threaded_run.comfedsv->loss_calls);
 }
 
 TEST(DeterminismTest, SmoothedAlsCompletionIsThreadCountInvariant) {

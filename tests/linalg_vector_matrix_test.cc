@@ -181,5 +181,87 @@ TEST(MatrixTest, AddScaleFrobeniusDistance) {
   EXPECT_DOUBLE_EQ(a(1, 1), 5.0);
 }
 
+TEST(MatrixTest, MultiplyTransposedBMatchesExplicitTranspose) {
+  // Sizes straddle the 4-row accumulator block (7 = 4 + 3 remainder).
+  Matrix a(5, 9);
+  Matrix b(7, 9);
+  for (size_t i = 0; i < a.rows(); ++i) {
+    for (size_t j = 0; j < a.cols(); ++j) {
+      a(i, j) = std::sin(static_cast<double>(i * 9 + j));
+    }
+  }
+  for (size_t i = 0; i < b.rows(); ++i) {
+    for (size_t j = 0; j < b.cols(); ++j) {
+      b(i, j) = std::cos(static_cast<double>(i * 9 + j));
+    }
+  }
+  Matrix direct = Matrix::MultiplyTransposedB(a, b);
+  Matrix via_transpose = Matrix::Multiply(a, b.Transpose());
+  ASSERT_EQ(direct.rows(), 5u);
+  ASSERT_EQ(direct.cols(), 7u);
+  for (size_t i = 0; i < direct.rows(); ++i) {
+    for (size_t j = 0; j < direct.cols(); ++j) {
+      // Same ascending-k accumulation order in both kernels.
+      EXPECT_EQ(direct(i, j), via_transpose(i, j)) << i << "," << j;
+    }
+  }
+}
+
+TEST(MatrixTest, BlockedMultiplyCrossesKBlockBoundary) {
+  // 130 inner columns exercise the k-blocking (two full 64-blocks plus a
+  // remainder); validate against a plain triple loop.
+  Matrix a(3, 130);
+  Matrix b(130, 4);
+  for (size_t i = 0; i < a.rows(); ++i) {
+    for (size_t k = 0; k < a.cols(); ++k) {
+      a(i, k) = (k % 17 == 0) ? 0.0 : std::sin(static_cast<double>(i + k));
+    }
+  }
+  for (size_t k = 0; k < b.rows(); ++k) {
+    for (size_t j = 0; j < b.cols(); ++j) {
+      b(k, j) = std::cos(static_cast<double>(k * 4 + j));
+    }
+  }
+  Matrix fast = Matrix::Multiply(a, b);
+  for (size_t i = 0; i < a.rows(); ++i) {
+    for (size_t j = 0; j < b.cols(); ++j) {
+      double acc = 0.0;
+      for (size_t k = 0; k < a.cols(); ++k) {
+        const double aik = a(i, k);
+        if (aik == 0.0) continue;
+        acc += aik * b(k, j);
+      }
+      EXPECT_EQ(fast(i, j), acc) << i << "," << j;
+    }
+  }
+}
+
+TEST(MatrixTest, PackRowSlicesInterleavesMemberSlices) {
+  // 3 member rows, layout [W row-major (4 x 2) | bias (2)].
+  const size_t dim = 4, width = 2, members = 3;
+  Matrix src(members, dim * width + width);
+  for (size_t m = 0; m < members; ++m) {
+    for (size_t c = 0; c < src.cols(); ++c) {
+      src(m, c) = static_cast<double>(m * 100 + c);
+    }
+  }
+  Matrix packed = Matrix::PackRowSlices(src, 0, members, 0, width, dim);
+  ASSERT_EQ(packed.rows(), dim);
+  ASSERT_EQ(packed.cols(), members * width);
+  for (size_t j = 0; j < dim; ++j) {
+    for (size_t m = 0; m < members; ++m) {
+      for (size_t u = 0; u < width; ++u) {
+        EXPECT_EQ(packed(j, m * width + u), src(m, j * width + u));
+      }
+    }
+  }
+  // Sub-range of rows with a column offset (the bias block).
+  Matrix bias = Matrix::PackRowSlices(src, 1, 2, dim * width, width, 1);
+  ASSERT_EQ(bias.rows(), 1u);
+  ASSERT_EQ(bias.cols(), 2 * width);
+  EXPECT_EQ(bias(0, 0), src(1, dim * width));
+  EXPECT_EQ(bias(0, 3), src(2, dim * width + 1));
+}
+
 }  // namespace
 }  // namespace comfedsv

@@ -1,0 +1,258 @@
+// BatchLoss equivalence: the batched coalition-loss engine must return
+// exactly the doubles the sequential Loss path returns — bit-identical,
+// not approximately — for every model, batch size, and thread count
+// (the model.h BatchLoss contract). The same holds one level up for
+// RoundUtility::EvaluateBatch vs the unbatched Utility path.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/execution_context.h"
+#include "models/batch_kernels.h"
+#include "models/cnn.h"
+#include "models/logistic.h"
+#include "models/mlp.h"
+#include "shapley/utility.h"
+
+namespace comfedsv {
+namespace {
+
+Dataset MakeData(int samples, int dim, int classes, uint64_t seed,
+                 bool with_zeros) {
+  Rng rng(seed);
+  Matrix feats(samples, dim);
+  std::vector<int> labels(samples);
+  for (int i = 0; i < samples; ++i) {
+    for (int j = 0; j < dim; ++j) {
+      // Exact zeros exercise the skip-zero branch both paths share.
+      const bool zero = with_zeros && rng.NextBernoulli(0.3);
+      feats(i, j) = zero ? 0.0 : rng.NextGaussian();
+    }
+    labels[i] = static_cast<int>(rng.NextUint64(classes));
+  }
+  return Dataset(std::move(feats), std::move(labels), classes);
+}
+
+Matrix RandomParams(const Model& model, int batch, uint64_t seed) {
+  Rng rng(seed);
+  Matrix rows(batch, model.num_params());
+  Vector params;
+  for (int b = 0; b < batch; ++b) {
+    model.InitializeParams(&params, &rng, 0.2);
+    rows.SetRow(b, params);
+  }
+  return rows;
+}
+
+void ExpectBatchMatchesLoss(const Model& model, const Dataset& data,
+                            uint64_t seed) {
+  for (int batch : {1, 7, 64}) {
+    const Matrix rows = RandomParams(model, batch, seed + batch);
+    std::vector<double> sequential(batch);
+    for (int b = 0; b < batch; ++b) {
+      sequential[b] = model.Loss(rows.Row(b), data);
+    }
+    for (int threads : {1, 4}) {
+      ExecutionContext ctx(threads);
+      std::vector<double> batched;
+      model.BatchLoss(rows, data, &batched, threads == 1 ? nullptr : &ctx);
+      ASSERT_EQ(batched.size(), sequential.size());
+      for (int b = 0; b < batch; ++b) {
+        EXPECT_EQ(batched[b], sequential[b])
+            << model.name() << " batch=" << batch << " threads=" << threads
+            << " row=" << b;
+      }
+    }
+  }
+}
+
+TEST(BatchLossTest, LogisticBitIdenticalToSequentialLoss) {
+  const int dim = 67;  // awkward size: exercises tile remainder columns
+  LogisticRegression model(dim, 10, 1e-3);
+  ExpectBatchMatchesLoss(model, MakeData(101, dim, 10, 5, true), 11);
+}
+
+TEST(BatchLossTest, LogisticDenseNoRegularizer) {
+  LogisticRegression model(64, 3, 0.0);
+  ExpectBatchMatchesLoss(model, MakeData(64, 64, 3, 6, false), 12);
+}
+
+TEST(BatchLossTest, MlpBitIdenticalToSequentialLoss) {
+  Mlp model({33, 17, 10}, 1e-4);  // odd widths: remainder paths
+  ExpectBatchMatchesLoss(model, MakeData(75, 33, 10, 7, true), 13);
+}
+
+TEST(BatchLossTest, DeepMlpBitIdenticalToSequentialLoss) {
+  Mlp model({24, 16, 8, 5}, 0.0);
+  ExpectBatchMatchesLoss(model, MakeData(49, 24, 5, 8, true), 14);
+}
+
+TEST(BatchLossTest, SingleLayerMlpIsPureSoftmax) {
+  Mlp model({20, 4}, 1e-3);  // no hidden layer: tail is softmax only
+  ExpectBatchMatchesLoss(model, MakeData(31, 20, 4, 9, true), 15);
+}
+
+TEST(BatchLossTest, DefaultImplementationCoversCnn) {
+  CnnConfig cfg;
+  cfg.image_side = 6;
+  cfg.channels = 1;
+  cfg.num_filters = 3;
+  cfg.num_classes = 4;
+  Cnn model(cfg);
+  ExpectBatchMatchesLoss(model, MakeData(20, 36, 4, 10, false), 16);
+}
+
+TEST(BatchLossTest, EmptyDatasetYieldsRegularizerOnly) {
+  LogisticRegression model(16, 3, 1e-2);
+  Dataset empty;
+  Matrix feats(0, 16);
+  empty = Dataset(std::move(feats), {}, 3);
+  const Matrix rows = RandomParams(model, 7, 17);
+  std::vector<double> batched;
+  model.BatchLoss(rows, empty, &batched);
+  for (int b = 0; b < 7; ++b) {
+    EXPECT_EQ(batched[b], model.Loss(rows.Row(b), empty)) << b;
+  }
+}
+
+// --- Tile kernels: every compiled width must agree with the scalar
+// reference (the widths available depend on the build/CPU) ---
+
+TEST(BatchLossTest, AllTileWidthsMatchScalarAffine) {
+  const size_t dim = 37, width = 10, members = 8;
+  const size_t pcols = dim * width + width;
+  Rng rng(71);
+  Matrix rows(members, pcols);
+  for (size_t b = 0; b < members; ++b) {
+    for (size_t k = 0; k < pcols; ++k) {
+      rows(b, k) = rng.NextBernoulli(0.1) ? 0.0 : rng.NextGaussian();
+    }
+  }
+  std::vector<double> x0(dim), x1(dim);
+  for (size_t j = 0; j < dim; ++j) {
+    x0[j] = rng.NextBernoulli(0.2) ? 0.0 : rng.NextGaussian();
+    x1[j] = rng.NextBernoulli(0.2) ? 0.0 : rng.NextGaussian();
+  }
+
+  // Scalar reference: bias + ascending-j accumulation with zero skips.
+  const size_t cols = members * width;
+  auto reference = [&](const std::vector<double>& x) {
+    std::vector<double> z(cols);
+    for (size_t m = 0; m < members; ++m) {
+      for (size_t u = 0; u < width; ++u) {
+        double acc = rows(m, dim * width + u);
+        for (size_t j = 0; j < dim; ++j) {
+          const double xj = x[j];
+          if (xj == 0.0) continue;
+          acc += xj * rows(m, j * width + u);
+        }
+        z[m * width + u] = acc;
+      }
+    }
+    return z;
+  };
+  const std::vector<double> ref0 = reference(x0);
+  const std::vector<double> ref1 = reference(x1);
+
+  for (size_t tile_cols : internal::SupportedTileCols()) {
+    const internal::PackedAffineBlock pack = internal::PackAffineBlock(
+        rows, 0, members, 0, dim * width, dim, width, tile_cols);
+    ASSERT_EQ(pack.tile_cols, tile_cols);
+    std::vector<double> z0(cols, -1.0), z1(cols, -1.0);
+    internal::BatchedAffinePair(pack, x0.data(), x1.data(), z0.data(),
+                                z1.data());
+    for (size_t c = 0; c < cols; ++c) {
+      EXPECT_EQ(z0[c], ref0[c]) << "tile_cols=" << tile_cols << " col=" << c;
+      EXPECT_EQ(z1[c], ref1[c]) << "tile_cols=" << tile_cols << " col=" << c;
+    }
+    // Odd tail: x1 == nullptr writes only z0.
+    std::vector<double> z0_only(cols, -1.0);
+    internal::BatchedAffinePair(pack, x0.data(), nullptr, z0_only.data(),
+                                nullptr);
+    for (size_t c = 0; c < cols; ++c) {
+      EXPECT_EQ(z0_only[c], ref0[c]) << "tile_cols=" << tile_cols;
+    }
+  }
+}
+
+// --- RoundUtility: batched engine vs the unbatched single path ---
+
+RoundRecord MakeRoundRecord(const Model& model, const Dataset& test,
+                            int num_clients, uint64_t seed) {
+  RoundRecord rec;
+  rec.round = 0;
+  Rng rng(seed);
+  Vector params;
+  model.InitializeParams(&params, &rng, 0.2);
+  rec.global_before = params;
+  for (int k = 0; k < num_clients; ++k) {
+    Vector local;
+    model.InitializeParams(&local, &rng, 0.2);
+    rec.local_models.push_back(std::move(local));
+    rec.selected.push_back(k);
+  }
+  rec.test_loss_before = model.Loss(rec.global_before, test);
+  return rec;
+}
+
+TEST(BatchLossTest, EvaluateBatchMatchesUnbatchedUtility) {
+  const int n = 6;
+  const int dim = 23;
+  LogisticRegression model(dim, 5, 1e-3);
+  Dataset test = MakeData(40, dim, 5, 21, true);
+  RoundRecord rec = MakeRoundRecord(model, test, n, 22);
+
+  // All non-empty coalitions of 6 clients, in mask order.
+  std::vector<Coalition> coalitions;
+  for (uint32_t mask = 1; mask < (1u << n); ++mask) {
+    Coalition c(n);
+    for (int k = 0; k < n; ++k) {
+      if (mask & (1u << k)) c.Add(k);
+    }
+    coalitions.push_back(c);
+  }
+
+  int64_t unbatched_calls = 0;
+  RoundUtility unbatched(&model, &test, &rec, &unbatched_calls);
+  for (int threads : {1, 4}) {
+    ExecutionContext ctx(threads);
+    int64_t batched_calls = 0;
+    RoundUtility batched(&model, &test, &rec, &batched_calls,
+                         threads == 1 ? nullptr : &ctx);
+    batched.EvaluateBatch(coalitions);
+    for (const Coalition& c : coalitions) {
+      EXPECT_EQ(batched.Utility(c), unbatched.Utility(c)) << "threads="
+                                                          << threads;
+    }
+    // One loss call per distinct coalition, exactly like the single path.
+    EXPECT_EQ(batched_calls, static_cast<int64_t>(coalitions.size()));
+    EXPECT_EQ(batched.distinct_evaluations(),
+              static_cast<int64_t>(coalitions.size()));
+  }
+  EXPECT_EQ(unbatched_calls, static_cast<int64_t>(coalitions.size()));
+}
+
+TEST(BatchLossTest, EvaluateBatchDedupsResubmissions) {
+  const int n = 4;
+  LogisticRegression model(8, 3, 0.0);
+  Dataset test = MakeData(20, 8, 3, 31, false);
+  RoundRecord rec = MakeRoundRecord(model, test, n, 32);
+
+  std::vector<Coalition> batch;
+  Coalition a = Coalition::FromMembers(n, {0, 2});
+  Coalition b = Coalition::FromMembers(n, {1, 2, 3});
+  batch.push_back(a);
+  batch.push_back(b);
+  batch.push_back(a);               // duplicate within the batch
+  batch.push_back(Coalition(n));    // empty: skipped, utility 0
+  int64_t calls = 0;
+  RoundUtility utility(&model, &test, &rec, &calls);
+  utility.EvaluateBatch(batch);
+  EXPECT_EQ(calls, 2);
+  utility.EvaluateBatch(batch);     // fully cached: no new calls
+  EXPECT_EQ(calls, 2);
+  EXPECT_EQ(utility.Utility(Coalition(n)), 0.0);
+}
+
+}  // namespace
+}  // namespace comfedsv
