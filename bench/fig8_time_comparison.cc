@@ -17,6 +17,9 @@ namespace {
 struct TimedRun {
   double fedsv_seconds = 0.0;
   double comfedsv_seconds = 0.0;
+  double completion_seconds = 0.0;
+  double completion_entries = 0.0;
+  int completion_iterations = 0;
   int64_t fedsv_calls = 0;
   int64_t comfedsv_calls = 0;
   Vector fedsv_values;
@@ -69,6 +72,12 @@ TimedRun RunBothPipelines(const bench::Workload& w, int rounds, int k,
   TimedRun out;
   out.fedsv_seconds = fedsv_run.value().fedsv_seconds;
   out.comfedsv_seconds = com_run.value().comfedsv->seconds;
+  const ComFedSvOutput& com = *com_run.value().comfedsv;
+  out.completion_seconds = com.completion_seconds;
+  out.completion_entries = com.observed_density *
+                           static_cast<double>(rounds) *
+                           static_cast<double>(com.num_columns);
+  out.completion_iterations = com.completion.iterations;
   out.fedsv_calls = fedsv_run.value().fedsv_loss_calls;
   out.comfedsv_calls = com_run.value().comfedsv->loss_calls;
   out.fedsv_values = *fedsv_run.value().fedsv_values;
@@ -141,6 +150,22 @@ int Fig8Main(int argc, char** argv) {
                                                        : single.comfedsv_calls));
       json.Field("outputs_identical_across_threads",
                  identical ? 1.0 : 0.0);
+      if (!is_fedsv) {
+        // The completion-engine datapoint of the perf trajectory: time
+        // spent inside CompleteMatrix and its observed-entry throughput.
+        json.Field("completion_seconds_1_thread",
+                   single.completion_seconds);
+        json.Field("completion_seconds_n_threads",
+                   multi.completion_seconds);
+        json.Field("completion_observed_entries",
+                   single.completion_entries);
+        json.Field("completion_iterations",
+                   static_cast<double>(single.completion_iterations));
+        json.Field("completion_entries_per_sec_1_thread",
+                   single.completion_entries *
+                       single.completion_iterations /
+                       std::max(1e-12, single.completion_seconds));
+      }
     }
 
     table.AddRow({std::to_string(n), std::to_string(k),

@@ -207,6 +207,7 @@ void BM_CompletionAls(benchmark::State& state) {
       }
     }
   }
+  obs.Finalize();
   CompletionConfig cfg;
   cfg.rank = 3;
   cfg.lambda = 1e-2;
@@ -306,6 +307,7 @@ double TimeAlsCompletion(int rows, int cols, int iters,
       }
     }
   }
+  obs.Finalize();
   CompletionConfig cfg;
   cfg.rank = 3;
   cfg.lambda = 1e-2;

@@ -84,6 +84,18 @@ void ThreadPool::ParallelFor(int n, const std::function<void(int)>& fn) {
   }
 }
 
+void ThreadPool::ParallelForBlocked(int n, int block_size,
+                                    const std::function<void(int, int)>& fn) {
+  COMFEDSV_CHECK_GT(block_size, 0);
+  if (n <= 0) return;
+  const int num_blocks = (n + block_size - 1) / block_size;
+  ParallelFor(num_blocks, [&](int b) {
+    const int begin = b * block_size;
+    const int end = begin + block_size < n ? begin + block_size : n;
+    fn(begin, end);
+  });
+}
+
 void ThreadPool::WorkerLoop() {
   for (;;) {
     std::function<void()> task;

@@ -44,6 +44,15 @@ class ThreadPool {
   /// in-flight work has drained.
   void ParallelFor(int n, const std::function<void(int)>& fn);
 
+  /// Runs `fn(begin, end)` over a fixed partition of [0, n) into
+  /// contiguous blocks of `block_size` indices (the last block may be
+  /// shorter) and waits. The partition depends only on n and block_size —
+  /// never on the thread count — so per-block scratch reuse and
+  /// per-block accumulation stay deterministic. Exceptions propagate as
+  /// in ParallelFor.
+  void ParallelForBlocked(int n, int block_size,
+                          const std::function<void(int, int)>& fn);
+
  private:
   void WorkerLoop();
 

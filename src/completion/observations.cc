@@ -9,12 +9,12 @@ ObservationSet::ObservationSet(int num_rows, int num_cols)
 }
 
 void ObservationSet::Add(int row, int col, double value) {
+  COMFEDSV_CHECK_MSG(!finalized_, "ObservationSet mutated after Finalize()");
   COMFEDSV_CHECK_GE(row, 0);
   COMFEDSV_CHECK_LT(row, num_rows_);
   COMFEDSV_CHECK_GE(col, 0);
   COMFEDSV_CHECK_LT(col, num_cols_);
   entries_.push_back({row, col, value});
-  index_built_ = false;
 }
 
 void ObservationSet::AddAll(const std::vector<Observation>& observations) {
@@ -26,32 +26,54 @@ void ObservationSet::AddAll(const std::vector<Observation>& observations) {
     COMFEDSV_CHECK_LT(o.col, num_cols_);
     entries_.push_back(o);
   }
-  index_built_ = false;
 }
 
-void ObservationSet::BuildIndexIfNeeded() const {
-  if (index_built_) return;
-  by_row_.assign(num_rows_, {});
-  by_col_.assign(num_cols_, {});
-  for (size_t i = 0; i < entries_.size(); ++i) {
-    by_row_[entries_[i].row].push_back(static_cast<int>(i));
-    by_col_[entries_[i].col].push_back(static_cast<int>(i));
+void ObservationSet::Finalize() {
+  if (finalized_) return;
+  const size_t nnz = entries_.size();
+
+  // CSR: stable counting sort by row.
+  row_offsets_.assign(num_rows_ + 1, 0);
+  for (const Observation& o : entries_) ++row_offsets_[o.row + 1];
+  for (int r = 0; r < num_rows_; ++r) {
+    row_offsets_[r + 1] += row_offsets_[r];
   }
-  index_built_ = true;
-}
+  csr_cols_.resize(nnz);
+  csr_values_.resize(nnz);
+  csr_entry_.resize(nnz);
+  std::vector<int> cursor(row_offsets_.begin(), row_offsets_.end() - 1);
+  for (size_t e = 0; e < nnz; ++e) {
+    const Observation& o = entries_[e];
+    const int p = cursor[o.row]++;
+    csr_cols_[p] = o.col;
+    csr_values_[p] = o.value;
+    csr_entry_[p] = static_cast<int>(e);
+  }
 
-const std::vector<int>& ObservationSet::RowEntries(int r) const {
-  COMFEDSV_CHECK_GE(r, 0);
-  COMFEDSV_CHECK_LT(r, num_rows_);
-  BuildIndexIfNeeded();
-  return by_row_[r];
-}
+  // CSC: stable counting sort by column, remembering each entry's CSR
+  // position so column sweeps can address CSR-ordered per-entry state.
+  col_offsets_.assign(num_cols_ + 1, 0);
+  for (const Observation& o : entries_) ++col_offsets_[o.col + 1];
+  for (int c = 0; c < num_cols_; ++c) {
+    col_offsets_[c + 1] += col_offsets_[c];
+  }
+  csc_rows_.resize(nnz);
+  csc_values_.resize(nnz);
+  csc_to_csr_.resize(nnz);
+  std::vector<int> csr_of_entry(nnz);
+  for (size_t p = 0; p < nnz; ++p) {
+    csr_of_entry[csr_entry_[p]] = static_cast<int>(p);
+  }
+  cursor.assign(col_offsets_.begin(), col_offsets_.end() - 1);
+  for (size_t e = 0; e < nnz; ++e) {
+    const Observation& o = entries_[e];
+    const int p = cursor[o.col]++;
+    csc_rows_[p] = o.row;
+    csc_values_[p] = o.value;
+    csc_to_csr_[p] = csr_of_entry[e];
+  }
 
-const std::vector<int>& ObservationSet::ColEntries(int c) const {
-  COMFEDSV_CHECK_GE(c, 0);
-  COMFEDSV_CHECK_LT(c, num_cols_);
-  BuildIndexIfNeeded();
-  return by_col_[c];
+  finalized_ = true;
 }
 
 double ObservationSet::Density() const {

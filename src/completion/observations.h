@@ -1,7 +1,7 @@
 // Sparse observation set for matrix completion: the observed entries
-// (t, S) -> U_t(S) of the utility matrix, indexed both by row (round) and
-// by column (coalition id) so the alternating solvers can sweep either
-// side.
+// (t, S) -> U_t(S) of the utility matrix, stored as raw triplets during
+// recording and compiled into immutable compressed-sparse views (CSR and
+// CSC) by Finalize() for the solver sweeps.
 #ifndef COMFEDSV_COMPLETION_OBSERVATIONS_H_
 #define COMFEDSV_COMPLETION_OBSERVATIONS_H_
 
@@ -19,52 +19,135 @@ struct Observation {
   double value = 0.0;
 };
 
-/// An append-only set of observed entries of a rows x cols matrix, with
-/// per-row and per-column adjacency built lazily on first use.
+/// A set of observed entries of a rows x cols matrix with a two-phase
+/// lifecycle:
+///
+///   1. *Recording*: Add / AddAll append triplets (duplicates allowed —
+///      the same (row, col) may be observed in several permutations).
+///   2. *Finalized*: Finalize() compiles the triplets, once, into flat
+///      CSR and CSC arrays (offsets / index / value, plus the CSC -> CSR
+///      position map that lets column sweeps address CSR-ordered
+///      per-entry state such as CCD++ residuals). After Finalize() the
+///      set is immutable: Add / AddAll / Reserve CHECK-fail, and the
+///      compressed views never go stale. Finalize() is idempotent.
+///
+/// The solvers (CompleteMatrix) require a finalized set; the compressed
+/// accessors CHECK that Finalize() has run. Within one row the CSR view
+/// preserves insertion order, and likewise for columns in the CSC view,
+/// so sweeps accumulate in the same entry order as a scalar pass over
+/// entries() filtered to that row/column.
 class ObservationSet {
  public:
   ObservationSet(int num_rows, int num_cols);
 
+  /// Appends one observation. CHECK-fails after Finalize().
   void Add(int row, int col, double value);
 
-  /// Reserves capacity for `n` additional observations.
-  void Reserve(size_t n) { entries_.reserve(entries_.size() + n); }
+  /// Reserves capacity for `n` additional observations. CHECK-fails
+  /// after Finalize().
+  void Reserve(size_t n) {
+    COMFEDSV_CHECK(!finalized_);
+    entries_.reserve(entries_.size() + n);
+  }
 
   /// Bulk append: reserves once and validates each entry like Add.
+  /// CHECK-fails after Finalize().
   void AddAll(const std::vector<Observation>& observations);
+
+  /// Compiles the CSR and CSC views from the recorded triplets. Stable:
+  /// within a row (column), entries keep their insertion order. May be
+  /// called on an empty set; calling it again is a no-op.
+  void Finalize();
+
+  bool finalized() const { return finalized_; }
 
   int num_rows() const { return num_rows_; }
   int num_cols() const { return num_cols_; }
   size_t size() const { return entries_.size(); }
   bool empty() const { return entries_.empty(); }
 
+  /// The raw triplets in insertion order (valid in both phases). CSR
+  /// position p corresponds to entry csr_entry()[p] of this list.
   const std::vector<Observation>& entries() const { return entries_; }
 
-  /// Indices (into entries()) of the observations in row `r`.
-  const std::vector<int>& RowEntries(int r) const;
+  // CSR view (all CHECK that Finalize() has run). Row r's entries live
+  // at CSR positions [row_offsets()[r], row_offsets()[r + 1]).
+  const std::vector<int>& row_offsets() const {
+    COMFEDSV_CHECK(finalized_);
+    return row_offsets_;
+  }
+  /// Column of the entry at each CSR position.
+  const std::vector<int>& csr_cols() const {
+    COMFEDSV_CHECK(finalized_);
+    return csr_cols_;
+  }
+  /// Value of the entry at each CSR position.
+  const std::vector<double>& csr_values() const {
+    COMFEDSV_CHECK(finalized_);
+    return csr_values_;
+  }
+  /// Index into entries() of the entry at each CSR position.
+  const std::vector<int>& csr_entry() const {
+    COMFEDSV_CHECK(finalized_);
+    return csr_entry_;
+  }
 
-  /// Indices (into entries()) of the observations in column `c`.
-  const std::vector<int>& ColEntries(int c) const;
+  // CSC view. Column c's entries live at CSC positions
+  // [col_offsets()[c], col_offsets()[c + 1]).
+  const std::vector<int>& col_offsets() const {
+    COMFEDSV_CHECK(finalized_);
+    return col_offsets_;
+  }
+  /// Row of the entry at each CSC position.
+  const std::vector<int>& csc_rows() const {
+    COMFEDSV_CHECK(finalized_);
+    return csc_rows_;
+  }
+  /// Value of the entry at each CSC position.
+  const std::vector<double>& csc_values() const {
+    COMFEDSV_CHECK(finalized_);
+    return csc_values_;
+  }
+  /// CSR position of the entry at each CSC position — column sweeps use
+  /// this to read/write per-entry state kept in CSR order (e.g. the
+  /// CCD++ residual array).
+  const std::vector<int>& csc_to_csr() const {
+    COMFEDSV_CHECK(finalized_);
+    return csc_to_csr_;
+  }
 
-  /// Builds the row/column adjacency now if it is stale. RowEntries /
-  /// ColEntries build it lazily, which is not safe from several threads;
-  /// parallel solvers call this once before fanning out.
-  void EnsureIndex() const { BuildIndexIfNeeded(); }
+  /// Number of observations in row `r` / column `c` (finalized only).
+  int RowNnz(int r) const {
+    COMFEDSV_CHECK(finalized_);
+    COMFEDSV_CHECK_GE(r, 0);
+    COMFEDSV_CHECK_LT(r, num_rows_);
+    return row_offsets_[r + 1] - row_offsets_[r];
+  }
+  int ColNnz(int c) const {
+    COMFEDSV_CHECK(finalized_);
+    COMFEDSV_CHECK_GE(c, 0);
+    COMFEDSV_CHECK_LT(c, num_cols_);
+    return col_offsets_[c + 1] - col_offsets_[c];
+  }
 
   /// Fraction of the full matrix that is observed.
   double Density() const;
 
  private:
-  void BuildIndexIfNeeded() const;
-
   int num_rows_;
   int num_cols_;
   std::vector<Observation> entries_;
-  // Lazily built adjacency. Mutable: building the index does not change
-  // the logical state.
-  mutable bool index_built_ = false;
-  mutable std::vector<std::vector<int>> by_row_;
-  mutable std::vector<std::vector<int>> by_col_;
+  bool finalized_ = false;
+  // CSR: entries sorted by row, insertion order within a row.
+  std::vector<int> row_offsets_;     // num_rows + 1
+  std::vector<int> csr_cols_;        // nnz
+  std::vector<double> csr_values_;   // nnz
+  std::vector<int> csr_entry_;       // nnz, CSR position -> entries() index
+  // CSC: entries sorted by column, insertion order within a column.
+  std::vector<int> col_offsets_;     // num_cols + 1
+  std::vector<int> csc_rows_;        // nnz
+  std::vector<double> csc_values_;   // nnz
+  std::vector<int> csc_to_csr_;      // nnz, CSC position -> CSR position
 };
 
 }  // namespace comfedsv

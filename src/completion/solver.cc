@@ -2,26 +2,70 @@
 
 #include <algorithm>
 #include <cmath>
+#include <functional>
+#include <vector>
 
 #include "common/check.h"
 #include "common/rng.h"
 #include "linalg/cholesky.h"
+#include "linalg/gram_kernels.h"
 #include "linalg/vector.h"
 
 namespace comfedsv {
 namespace {
 
+// Rows (or columns) per parallel task of a solver sweep. Each task reuses
+// one scratch allocation across its block; fixed (never derived from the
+// thread count) so block-local state stays schedule-independent.
+constexpr int kSolveBlock = 64;
+
+// Grid dimension B of the SGD stratified schedule: entries are bucketed
+// into a B x B grid of (row-block, column-block) cells and each epoch
+// sweeps the B diagonal strata; the cells of one stratum touch disjoint
+// factor rows. Fixed so the update sequence never depends on threads.
+constexpr int kSgdGrid = 8;
+
+// Runs fn(begin, end) over fixed blocks of [0, n): on the pool when one
+// is supplied, as a single inline range otherwise.
+void RunBlocked(ThreadPool* pool, int n, int block,
+                const std::function<void(int, int)>& fn) {
+  if (n <= 0) return;
+  if (pool == nullptr) {
+    fn(0, n);
+    return;
+  }
+  pool->ParallelForBlocked(n, block, fn);
+}
+
+bool VerifyFusedObjective(const CompletionConfig& cfg) {
+#ifndef NDEBUG
+  (void)cfg;
+  return true;
+#else
+  return cfg.verify_fused_objective;
+#endif
+}
+
+// Direct objective: one pass over the CSR arrays. The solvers call this
+// once up front and once at termination (plus per iteration when the
+// fused-objective cross-check is on); iteration-loop objectives come from
+// sweep-maintained state instead.
 double ObjectiveAndRmse(const ObservationSet& obs, const Matrix& w,
                         const Matrix& h, double lambda, double* rmse) {
   const int rank = static_cast<int>(w.cols());
+  const std::vector<int>& offsets = obs.row_offsets();
+  const std::vector<int>& cols = obs.csr_cols();
+  const std::vector<double>& values = obs.csr_values();
   double sq_err = 0.0;
-  for (const Observation& e : obs.entries()) {
-    const double* wr = w.RowPtr(e.row);
-    const double* hr = h.RowPtr(e.col);
-    double pred = 0.0;
-    for (int k = 0; k < rank; ++k) pred += wr[k] * hr[k];
-    const double d = e.value - pred;
-    sq_err += d * d;
+  for (int i = 0; i < obs.num_rows(); ++i) {
+    const double* wr = w.RowPtr(i);
+    for (int p = offsets[i]; p < offsets[i + 1]; ++p) {
+      const double* hr = h.RowPtr(cols[p]);
+      double pred = 0.0;
+      for (int k = 0; k < rank; ++k) pred += wr[k] * hr[k];
+      const double d = values[p] - pred;
+      sq_err += d * d;
+    }
   }
   if (rmse != nullptr) {
     *rmse = obs.empty() ? 0.0
@@ -30,6 +74,18 @@ double ObjectiveAndRmse(const ObservationSet& obs, const Matrix& w,
   const double wf = w.FrobeniusNorm();
   const double hf = h.FrobeniusNorm();
   return sq_err + lambda * (wf * wf + hf * hf);
+}
+
+// Fused objectives accumulate in a different (but fixed) order than the
+// direct pass and, for CCD++, against an incrementally maintained
+// residual — so the cross-check allows accumulated-rounding slack.
+void CrossCheckObjective(const ObservationSet& obs, const Matrix& w,
+                         const Matrix& h, double lambda, double fused) {
+  const double direct = ObjectiveAndRmse(obs, w, h, lambda, nullptr);
+  const double tol =
+      1e-6 * std::max({1.0, std::fabs(direct), std::fabs(fused)});
+  COMFEDSV_CHECK_MSG(std::fabs(direct - fused) <= tol,
+                     "fused objective " << fused << " vs direct " << direct);
 }
 
 void RandomInit(Matrix* m, double scale, Rng* rng) {
@@ -41,68 +97,123 @@ void RandomInit(Matrix* m, double scale, Rng* rng) {
   }
 }
 
-// One ALS half-sweep: re-solve every row of `target` (factor for the
-// `solve_rows_of_first ? rows : cols` side) against the fixed `fixed`
-// factor. For row i with observed entries (i, j, v):
+// Per-task scratch of the ALS sweeps: the gather panel, the smoothing
+// RHS terms, and (rank > kMaxRidgeRank only) the materialized normal
+// equations — reused across every row of the task's block.
+struct AlsScratch {
+  explicit AlsScratch(int rank)
+      : normal(static_cast<size_t>(rank) * rank),
+        rhs(rank),
+        extra(rank) {}
+  GramRhsScratch gram;
+  std::vector<double> normal;
+  std::vector<double> rhs;
+  std::vector<double> extra;
+};
+
+// One ALS half-sweep over the CSR (rows side) or CSC (columns side)
+// view: re-solve every row of `target` against the fixed factor. For row
+// i with observed entries (i, j, v):
 //   (sum_j h_j h_j^T + lambda I [+ c_i mu I]) w_i
 //       = sum_j v h_j [+ mu sum_{neighbours} w_nb],
 // where the mu terms implement the optional temporal-smoothness coupling
-// between adjacent round rows (rows side only, Gauss–Seidel style).
+// between adjacent round rows (rows side only).
 //
-// Without the mu coupling, row solves are mutually independent and run on
-// `pool` when given — each row reads only `fixed` and writes only its own
-// row of `target`, so the sweep is bit-identical for any thread count.
-// The Gauss–Seidel smoothed sweep reads freshly updated neighbour rows
-// and must stay sequential.
+// Row solves read only `fixed` (and, under mu, neighbour rows of the
+// opposite red-black color) and write disjoint rows of `target`, so the
+// sweep fans out over `pool` in fixed blocks and is bit-identical for
+// any thread count. The normal equations accumulate through the fused
+// gather/Gram kernel; on the columns side the gathered panel is reused
+// to bank each column's residual sum of squares into `col_sq_err`
+// (the fused objective).
 void AlsHalfSweep(const ObservationSet& obs, bool solve_rows_side,
                   const Matrix& fixed, double lambda, double mu,
-                  ThreadPool* pool, Matrix* target) {
+                  ThreadPool* pool, Matrix* target,
+                  std::vector<double>* col_sq_err) {
   const int rank = static_cast<int>(fixed.cols());
   const int n = solve_rows_side ? obs.num_rows() : obs.num_cols();
+  const std::vector<int>& offsets =
+      solve_rows_side ? obs.row_offsets() : obs.col_offsets();
+  const std::vector<int>& index =
+      solve_rows_side ? obs.csr_cols() : obs.csc_rows();
+  const std::vector<double>& values =
+      solve_rows_side ? obs.csr_values() : obs.csc_values();
   const bool smooth = solve_rows_side && mu > 0.0 && n > 1;
-  auto solve_row = [&](int i) {
-    const std::vector<int>& idx =
-        solve_rows_side ? obs.RowEntries(i) : obs.ColEntries(i);
-    if (idx.empty() && !smooth) return;  // stays at its init
-    // Build the rank x rank normal equations.
-    Matrix normal(rank, rank);
-    Vector rhs(rank);
+
+  auto solve_one = [&](int i, AlsScratch* s) {
+    const int begin = offsets[i];
+    const int count = offsets[i + 1] - begin;
+    if (count == 0 && !smooth) {
+      // Stays at its init; contributes no observed entries.
+      if (col_sq_err != nullptr) (*col_sq_err)[i] = 0.0;
+      return;
+    }
     int num_neighbours = 0;
     if (smooth) num_neighbours = (i == 0 || i == n - 1) ? 1 : 2;
-    for (int a = 0; a < rank; ++a) {
-      normal(a, a) = lambda + mu * num_neighbours;
-    }
-    for (int e : idx) {
-      const Observation& o = obs.entries()[e];
-      const int other = solve_rows_side ? o.col : o.row;
-      const double* f = fixed.RowPtr(other);
-      for (int a = 0; a < rank; ++a) {
-        rhs[a] += o.value * f[a];
-        for (int b = a; b < rank; ++b) normal(a, b) += f[a] * f[b];
-      }
-    }
+    const double diag_init = lambda + mu * num_neighbours;
+    const double* rhs_extra = nullptr;
     if (smooth) {
+      double* extra = s->extra.data();
+      for (int a = 0; a < rank; ++a) extra[a] = 0.0;
       if (i > 0) {
         const double* prev = target->RowPtr(i - 1);
-        for (int a = 0; a < rank; ++a) rhs[a] += mu * prev[a];
+        for (int a = 0; a < rank; ++a) extra[a] += mu * prev[a];
       }
       if (i < n - 1) {
         const double* next = target->RowPtr(i + 1);
-        for (int a = 0; a < rank; ++a) rhs[a] += mu * next[a];
+        for (int a = 0; a < rank; ++a) extra[a] += mu * next[a];
       }
+      rhs_extra = extra;
     }
-    for (int a = 0; a < rank; ++a) {
-      for (int b = 0; b < a; ++b) normal(a, b) = normal(b, a);
+    // The panel is only kept when this sweep banks the fused objective.
+    double* panel = nullptr;
+    if (col_sq_err != nullptr) {
+      s->gram.panel.resize(static_cast<size_t>(count) * rank);
+      panel = s->gram.panel.data();
     }
-    Result<Vector> solution = SolveSpd(normal, rhs);
-    COMFEDSV_CHECK_OK(solution.status());
-    target->SetRow(i, solution.value());
+    double* out = target->RowPtr(i);
+    if (rank <= kMaxRidgeRank) {
+      COMFEDSV_CHECK_MSG(
+          SolveRidgeRow(fixed, index.data() + begin, values.data() + begin,
+                        count, diag_init, rhs_extra, panel, out),
+          "ALS normal equations not positive definite");
+    } else {
+      double* normal = s->normal.data();
+      double* rhs = s->rhs.data();
+      AccumulateGramRhs(fixed, index.data() + begin, values.data() + begin,
+                        count, diag_init, &s->gram, normal, rhs);
+      if (rhs_extra != nullptr) {
+        for (int a = 0; a < rank; ++a) rhs[a] += rhs_extra[a];
+      }
+      COMFEDSV_CHECK_MSG(SolveSpdInPlace(rank, normal, rhs),
+                         "ALS normal equations not positive definite");
+      for (int a = 0; a < rank; ++a) out[a] = rhs[a];
+      // AccumulateGramRhs always packs; reuse its panel for the fused
+      // objective on this off-hot-path rank.
+      panel = s->gram.panel.data();
+    }
+    if (col_sq_err != nullptr) {
+      (*col_sq_err)[i] = PanelResidualSq(panel, values.data() + begin,
+                                         count, rank, out);
+    }
   };
-  if (smooth || pool == nullptr) {
-    for (int i = 0; i < n; ++i) solve_row(i);
+
+  // map(t) enumerates the pass's row indices; under temporal smoothing
+  // the sweep is split into a red (even) and a black (odd) pass. A row's
+  // neighbours i +- 1 are always the opposite color, so each pass reads
+  // only rows the other pass wrote — Gauss–Seidel coupling with a
+  // schedule-independent result.
+  auto run_pass = [&](int count, const std::function<int(int)>& map) {
+    RunBlocked(pool, count, kSolveBlock, [&](int t_begin, int t_end) {
+      AlsScratch scratch(rank);
+      for (int t = t_begin; t < t_end; ++t) solve_one(map(t), &scratch);
+    });
+  };
+  if (smooth) {
+    run_pass((n + 1) / 2, [](int t) { return 2 * t; });
+    run_pass(n / 2, [](int t) { return 2 * t + 1; });
   } else {
-    obs.EnsureIndex();  // the lazy adjacency build is not thread-safe
-    pool->ParallelFor(n, solve_row);
+    run_pass(n, [](int t) { return t; });
   }
 }
 
@@ -123,7 +234,6 @@ Result<CompletionResult> SolveAls(const ObservationSet& obs,
   // growing the rank mimics the spectral ordering (dominant directions
   // first) while keeping ALS's exact row solves.
   const int warm_iters = std::max(5, cfg.max_iters / (2 * cfg.rank));
-  Rng stage_rng(cfg.seed ^ 0x57A6EDULL);
   for (int k = 1; k < cfg.rank; ++k) {
     Matrix wk(w.rows(), k);
     Matrix hk(h.rows(), k);
@@ -131,22 +241,34 @@ Result<CompletionResult> SolveAls(const ObservationSet& obs,
     CopyLeadingColumns(h, k, &hk);
     for (int it = 0; it < warm_iters; ++it) {
       AlsHalfSweep(obs, /*solve_rows_side=*/true, hk, cfg.lambda,
-                   cfg.temporal_smoothing, pool, &wk);
+                   cfg.temporal_smoothing, pool, &wk, nullptr);
       AlsHalfSweep(obs, /*solve_rows_side=*/false, wk, cfg.lambda, 0.0,
-                   pool, &hk);
+                   pool, &hk, nullptr);
     }
     CopyLeadingColumns(wk, k, &w);
     CopyLeadingColumns(hk, k, &h);
   }
 
+  const bool verify = VerifyFusedObjective(cfg);
+  // Fused objective: the H-side sweep banks each column's residual sum
+  // of squares (every observed entry belongs to exactly one column), so
+  // no solver iteration re-walks the observations. The per-column array
+  // is reduced in ascending column order — deterministic for any thread
+  // count.
+  std::vector<double> col_sq_err(obs.num_cols(), 0.0);
   double prev_obj = ObjectiveAndRmse(obs, w, h, cfg.lambda, nullptr);
   int iters = 0;
   for (; iters < cfg.max_iters; ++iters) {
     AlsHalfSweep(obs, /*solve_rows_side=*/true, h, cfg.lambda,
-                 cfg.temporal_smoothing, pool, &w);
+                 cfg.temporal_smoothing, pool, &w, nullptr);
     AlsHalfSweep(obs, /*solve_rows_side=*/false, w, cfg.lambda, 0.0, pool,
-                 &h);
-    const double obj = ObjectiveAndRmse(obs, w, h, cfg.lambda, nullptr);
+                 &h, &col_sq_err);
+    double sq_err = 0.0;
+    for (int j = 0; j < obs.num_cols(); ++j) sq_err += col_sq_err[j];
+    const double wf = w.FrobeniusNorm();
+    const double hf = h.FrobeniusNorm();
+    const double obj = sq_err + cfg.lambda * (wf * wf + hf * hf);
+    if (verify) CrossCheckObjective(obs, w, h, cfg.lambda, obj);
     if (prev_obj - obj <= cfg.tolerance * std::max(1.0, prev_obj)) {
       ++iters;
       break;
@@ -164,62 +286,109 @@ Result<CompletionResult> SolveAls(const ObservationSet& obs,
 
 // CCD++ (Yu et al. 2014, the LIBPMF algorithm): optimize one latent
 // dimension at a time against an explicitly maintained residual, cycling
-// coordinate updates on w_{:,k} and h_{:,k}.
+// coordinate updates on w_{:,k} and h_{:,k}. The residual lives in CSR
+// order; row phases sweep it via the CSR arrays and column phases via
+// the csc_to_csr position map. Each phase writes disjoint slots (or
+// disjoint residual ranges) and phases are separated by pool barriers,
+// so the solve is bit-identical for any thread count.
 Result<CompletionResult> SolveCcd(const ObservationSet& obs,
                                   const CompletionConfig& cfg, Matrix w,
-                                  Matrix h) {
+                                  Matrix h, ThreadPool* pool) {
   const int rank = cfg.rank;
-  // residual_e = value_e - w_row . h_col, maintained across updates.
-  std::vector<double> residual(obs.size());
-  for (size_t e = 0; e < obs.size(); ++e) {
-    const Observation& o = obs.entries()[e];
-    const double* wr = w.RowPtr(o.row);
-    const double* hr = h.RowPtr(o.col);
-    double pred = 0.0;
-    for (int k = 0; k < rank; ++k) pred += wr[k] * hr[k];
-    residual[e] = o.value - pred;
-  }
+  const int num_rows = obs.num_rows();
+  const int num_cols = obs.num_cols();
+  const std::vector<int>& row_off = obs.row_offsets();
+  const std::vector<int>& csr_cols = obs.csr_cols();
+  const std::vector<double>& csr_values = obs.csr_values();
+  const std::vector<int>& col_off = obs.col_offsets();
+  const std::vector<int>& csc_rows = obs.csc_rows();
+  const std::vector<int>& csc_to_csr = obs.csc_to_csr();
 
-  double prev_obj = ObjectiveAndRmse(obs, w, h, cfg.lambda, nullptr);
+  // residual[p] = value_p - w_row . h_col, maintained across updates.
+  std::vector<double> residual(obs.size());
+  RunBlocked(pool, num_rows, kSolveBlock, [&](int i_begin, int i_end) {
+    for (int i = i_begin; i < i_end; ++i) {
+      const double* wr = w.RowPtr(i);
+      for (int p = row_off[i]; p < row_off[i + 1]; ++p) {
+        const double* hr = h.RowPtr(csr_cols[p]);
+        double pred = 0.0;
+        for (int k = 0; k < rank; ++k) pred += wr[k] * hr[k];
+        residual[p] = csr_values[p] - pred;
+      }
+    }
+  });
+
+  const bool verify = VerifyFusedObjective(cfg);
+  // Fused objective: the squared error is the squared norm of the
+  // maintained residual — summed in CSR order, no extra observation
+  // pass.
+  auto fused_objective = [&]() {
+    double sq_err = 0.0;
+    for (double r : residual) sq_err += r * r;
+    const double wf = w.FrobeniusNorm();
+    const double hf = h.FrobeniusNorm();
+    return sq_err + cfg.lambda * (wf * wf + hf * hf);
+  };
+
+  double prev_obj = fused_objective();
   int iters = 0;
   for (; iters < cfg.max_iters; ++iters) {
     for (int k = 0; k < rank; ++k) {
-      // Fold dimension k back into the residual: r_e += w_ik * h_jk.
-      for (size_t e = 0; e < obs.size(); ++e) {
-        const Observation& o = obs.entries()[e];
-        residual[e] += w(o.row, k) * h(o.col, k);
-      }
-      // A few inner alternations of the rank-1 fit (CCD++ uses small
-      // constant; 2 suffices in practice).
+      // Fold dimension k back into the residual: r_p += w_ik * h_jk.
+      RunBlocked(pool, num_rows, kSolveBlock, [&](int i_begin, int i_end) {
+        for (int i = i_begin; i < i_end; ++i) {
+          const double wik = w(i, k);
+          for (int p = row_off[i]; p < row_off[i + 1]; ++p) {
+            residual[p] += wik * h(csr_cols[p], k);
+          }
+        }
+      });
+      // A few inner alternations of the rank-1 fit (CCD++ uses a small
+      // constant; 2 suffices in practice). The residual is fixed during
+      // the alternations, so the row phase reads h(:,k) and writes only
+      // w(:,k) rows, and vice versa.
       for (int inner = 0; inner < 2; ++inner) {
-        for (int i = 0; i < obs.num_rows(); ++i) {
-          double num = 0.0, den = cfg.lambda;
-          for (int e : obs.RowEntries(i)) {
-            const Observation& o = obs.entries()[e];
-            const double hv = h(o.col, k);
-            num += residual[e] * hv;
-            den += hv * hv;
+        RunBlocked(pool, num_rows, kSolveBlock, [&](int i_begin, int i_end) {
+          for (int i = i_begin; i < i_end; ++i) {
+            const int begin = row_off[i];
+            const int end = row_off[i + 1];
+            if (begin == end) continue;
+            double num = 0.0, den = cfg.lambda;
+            for (int p = begin; p < end; ++p) {
+              const double hv = h(csr_cols[p], k);
+              num += residual[p] * hv;
+              den += hv * hv;
+            }
+            w(i, k) = num / den;
           }
-          if (!obs.RowEntries(i).empty()) w(i, k) = num / den;
-        }
-        for (int j = 0; j < obs.num_cols(); ++j) {
-          double num = 0.0, den = cfg.lambda;
-          for (int e : obs.ColEntries(j)) {
-            const Observation& o = obs.entries()[e];
-            const double wv = w(o.row, k);
-            num += residual[e] * wv;
-            den += wv * wv;
+        });
+        RunBlocked(pool, num_cols, kSolveBlock, [&](int j_begin, int j_end) {
+          for (int j = j_begin; j < j_end; ++j) {
+            const int begin = col_off[j];
+            const int end = col_off[j + 1];
+            if (begin == end) continue;
+            double num = 0.0, den = cfg.lambda;
+            for (int q = begin; q < end; ++q) {
+              const double wv = w(csc_rows[q], k);
+              num += residual[csc_to_csr[q]] * wv;
+              den += wv * wv;
+            }
+            h(j, k) = num / den;
           }
-          if (!obs.ColEntries(j).empty()) h(j, k) = num / den;
-        }
+        });
       }
       // Subtract the refit dimension back out of the residual.
-      for (size_t e = 0; e < obs.size(); ++e) {
-        const Observation& o = obs.entries()[e];
-        residual[e] -= w(o.row, k) * h(o.col, k);
-      }
+      RunBlocked(pool, num_rows, kSolveBlock, [&](int i_begin, int i_end) {
+        for (int i = i_begin; i < i_end; ++i) {
+          const double wik = w(i, k);
+          for (int p = row_off[i]; p < row_off[i + 1]; ++p) {
+            residual[p] -= wik * h(csr_cols[p], k);
+          }
+        }
+      });
     }
-    const double obj = ObjectiveAndRmse(obs, w, h, cfg.lambda, nullptr);
+    const double obj = fused_objective();
+    if (verify) CrossCheckObjective(obs, w, h, cfg.lambda, obj);
     if (prev_obj - obj <= cfg.tolerance * std::max(1.0, prev_obj)) {
       ++iters;
       break;
@@ -237,35 +406,90 @@ Result<CompletionResult> SolveCcd(const ObservationSet& obs,
 
 Result<CompletionResult> SolveSgd(const ObservationSet& obs,
                                   const CompletionConfig& cfg, Matrix w,
-                                  Matrix h) {
+                                  Matrix h, ThreadPool* pool) {
   const int rank = cfg.rank;
-  Rng rng(cfg.seed ^ 0x53474400ULL);
-  std::vector<int> order(obs.size());
-  for (size_t i = 0; i < order.size(); ++i) order[i] = static_cast<int>(i);
+  const int num_rows = obs.num_rows();
+  const int num_cols = obs.num_cols();
+  const std::vector<int>& row_off = obs.row_offsets();
+  const std::vector<int>& csr_cols = obs.csr_cols();
+  const std::vector<double>& csr_values = obs.csr_values();
 
+  // DSGD-style stratified schedule: bucket the entries into a B x B grid
+  // of (row-block, column-block) cells. Epochs sweep the B diagonal
+  // strata {(b, (b + s) mod B)}; within a stratum no two cells share a
+  // row or column block, so their updates touch disjoint rows of W and H
+  // and run concurrently without races — and, because the grid, the
+  // stratum order, and each cell's shuffled visit order are all fixed by
+  // the config seed, the update sequence per parameter is identical for
+  // any thread count.
+  const int grid = std::max(1, std::min({kSgdGrid, num_rows, num_cols}));
+  auto row_block = [&](int i) {
+    return static_cast<int>(static_cast<int64_t>(i) * grid / num_rows);
+  };
+  auto col_block = [&](int j) {
+    return static_cast<int>(static_cast<int64_t>(j) * grid / num_cols);
+  };
+  std::vector<std::vector<int>> cells(static_cast<size_t>(grid) * grid);
+  std::vector<int> pos_row(obs.size());
+  for (int i = 0; i < num_rows; ++i) {
+    for (int p = row_off[i]; p < row_off[i + 1]; ++p) {
+      pos_row[p] = i;
+      cells[row_block(i) * grid + col_block(csr_cols[p])].push_back(p);
+    }
+  }
   // Per-entry regularization scaled by observation counts so the epoch-
   // level objective matches the global lambda ||.||_F^2.
+  std::vector<double> reg_w_of_row(num_rows, 0.0);
+  for (int i = 0; i < num_rows; ++i) {
+    const int nnz = row_off[i + 1] - row_off[i];
+    if (nnz > 0) reg_w_of_row[i] = cfg.lambda / static_cast<double>(nnz);
+  }
+  std::vector<double> reg_h_of_col(num_cols, 0.0);
+  for (int j = 0; j < num_cols; ++j) {
+    const int nnz = obs.ColNnz(j);
+    if (nnz > 0) reg_h_of_col[j] = cfg.lambda / static_cast<double>(nnz);
+  }
+
+  Rng rng(cfg.seed ^ 0x53474400ULL);
   double prev_obj = ObjectiveAndRmse(obs, w, h, cfg.lambda, nullptr);
   int iters = 0;
   for (; iters < cfg.max_iters; ++iters) {
-    rng.Shuffle(&order);
     const double lr = cfg.sgd_learning_rate /
                       (1.0 + 0.01 * static_cast<double>(iters));
-    for (int e : order) {
-      const Observation& o = obs.entries()[e];
-      double* wr = w.RowPtr(o.row);
-      double* hr = h.RowPtr(o.col);
-      double pred = 0.0;
-      for (int k = 0; k < rank; ++k) pred += wr[k] * hr[k];
-      const double err = o.value - pred;
-      const double reg_w =
-          cfg.lambda / static_cast<double>(obs.RowEntries(o.row).size());
-      const double reg_h =
-          cfg.lambda / static_cast<double>(obs.ColEntries(o.col).size());
-      for (int k = 0; k < rank; ++k) {
-        const double wk = wr[k];
-        wr[k] += lr * (err * hr[k] - reg_w * wk);
-        hr[k] += lr * (err * wk - reg_h * hr[k]);
+    const Rng epoch_rng = rng.Split(static_cast<uint64_t>(iters));
+    for (int s = 0; s < grid; ++s) {
+      auto update_cell = [&](int b) {
+        const int cb = (b + s) % grid;
+        // Exactly one task owns a cell per epoch (cb is a bijection of
+        // b within the stratum), so its visit order can be reshuffled in
+        // place — no per-epoch copy. The shuffle stream is derived from
+        // (seed, epoch, cell) only, never from scheduling, so the
+        // resulting order sequence is thread-count invariant.
+        std::vector<int>& order = cells[b * grid + cb];
+        if (order.empty()) return;
+        Rng cell_rng = epoch_rng.Split(static_cast<uint64_t>(b * grid + cb));
+        cell_rng.Shuffle(&order);
+        for (int p : order) {
+          const int i = pos_row[p];
+          const int j = csr_cols[p];
+          double* wr = w.RowPtr(i);
+          double* hr = h.RowPtr(j);
+          double pred = 0.0;
+          for (int k = 0; k < rank; ++k) pred += wr[k] * hr[k];
+          const double err = csr_values[p] - pred;
+          const double reg_w = reg_w_of_row[i];
+          const double reg_h = reg_h_of_col[j];
+          for (int k = 0; k < rank; ++k) {
+            const double wk = wr[k];
+            wr[k] += lr * (err * hr[k] - reg_w * wk);
+            hr[k] += lr * (err * wk - reg_h * hr[k]);
+          }
+        }
+      };
+      if (pool == nullptr) {
+        for (int b = 0; b < grid; ++b) update_cell(b);
+      } else {
+        pool->ParallelFor(grid, update_cell);
       }
     }
     const double obj = ObjectiveAndRmse(obs, w, h, cfg.lambda, nullptr);
@@ -318,6 +542,11 @@ Result<CompletionResult> CompleteMatrix(const ObservationSet& observations,
   if (config.lambda < 0.0) {
     return Status::InvalidArgument("lambda must be non-negative");
   }
+  if (!observations.finalized()) {
+    return Status::FailedPrecondition(
+        "observations must be finalized (ObservationSet::Finalize()) "
+        "before solving");
+  }
   if (observations.empty()) {
     return Status::InvalidArgument("no observed entries to complete from");
   }
@@ -339,9 +568,7 @@ Result<CompletionResult> CompleteMatrix(const ObservationSet& observations,
   double init_scale = config.init_scale;
   if (init_scale <= 0.0) {
     double mean_abs = 0.0;
-    for (const Observation& e : observations.entries()) {
-      mean_abs += std::fabs(e.value);
-    }
+    for (double v : observations.csr_values()) mean_abs += std::fabs(v);
     mean_abs /= static_cast<double>(observations.size());
     init_scale =
         (mean_abs > 0.0) ? 0.1 * std::sqrt(mean_abs / config.rank) : 0.1;
@@ -349,14 +576,17 @@ Result<CompletionResult> CompleteMatrix(const ObservationSet& observations,
   RandomInit(&w, init_scale, &rng);
   RandomInit(&h, init_scale, &rng);
 
+  ThreadPool* pool = ctx != nullptr ? &ctx->pool() : nullptr;
   switch (config.solver) {
     case CompletionSolver::kAls:
       return SolveAls(observations, config, std::move(w), std::move(h),
-                      ctx != nullptr ? &ctx->pool() : nullptr);
+                      pool);
     case CompletionSolver::kCcd:
-      return SolveCcd(observations, config, std::move(w), std::move(h));
+      return SolveCcd(observations, config, std::move(w), std::move(h),
+                      pool);
     case CompletionSolver::kSgd:
-      return SolveSgd(observations, config, std::move(w), std::move(h));
+      return SolveSgd(observations, config, std::move(w), std::move(h),
+                      pool);
   }
   return Status::InvalidArgument("unknown completion solver");
 }

@@ -4,14 +4,28 @@
 //   minimize_{W, H}  sum_observed (U_{t,S} - w_t^T h_S)^2
 //                    + lambda (||W||_F^2 + ||H||_F^2)
 //
-// Three solvers are provided:
+// Three solvers are provided, all sweeping the compressed-sparse (CSR /
+// CSC) views that ObservationSet::Finalize() builds:
 //   * kAls:  alternating least squares — each factor row has a closed-form
-//            ridge solution; robust default.
+//            ridge solution; robust default. Row solves accumulate their
+//            rank x rank normal equations with the register-tiled
+//            gather/Gram kernels (linalg/gram_kernels.h) and run in
+//            parallel blocks; under temporal smoothing the W-side uses a
+//            red-black (even/odd) ordering so both colors parallelize.
 //   * kCcd:  CCD++-style coordinate descent with residual maintenance —
-//            the algorithm inside LIBPMF, the solver the paper used.
+//            the algorithm inside LIBPMF, the solver the paper used. The
+//            residual is kept in CSR order; row and column refit phases
+//            each parallelize with a barrier in between.
 //   * kSgd:  stochastic gradient over observed entries — cheapest per
-//            pass, used for very large sampled problems.
-// The ablation bench (bench/ablation_completion_solver) compares them.
+//            pass, used for very large sampled problems. Epochs follow a
+//            DSGD-style stratified grid schedule: the fixed B x B cell
+//            grid is swept one diagonal stratum at a time, cells of a
+//            stratum touch disjoint row and column factors (safe to run
+//            concurrently), and each cell's entries are visited in a
+//            fixed sub-stream shuffle — so updates are identical for any
+//            thread count.
+// The ablation bench (bench/ablation_completion_solver) compares their
+// fits; bench/completion_solvers records their throughput.
 #ifndef COMFEDSV_COMPLETION_SOLVER_H_
 #define COMFEDSV_COMPLETION_SOLVER_H_
 
@@ -58,6 +72,13 @@ struct CompletionConfig {
   /// problem (9)); ALS only.
   double temporal_smoothing = 0.0;
   uint64_t seed = 0;
+  /// ALS / CCD++ compute the stopping objective from state the sweep
+  /// already maintains (per-column residuals / the CCD++ residual array)
+  /// instead of a second full pass over the observations. Setting this
+  /// cross-checks the fused value against a direct recomputation every
+  /// iteration (CHECK-fails on mismatch beyond accumulated-rounding
+  /// tolerance). Always on in debug (!NDEBUG) builds.
+  bool verify_fused_objective = false;
 };
 
 /// Result of a completion solve.
@@ -74,15 +95,17 @@ struct CompletionResult {
   double Predict(int row, int col) const;
 };
 
-/// Solves the completion problem over `observations`. `ctx` (optional)
-/// parallelizes the ALS row solves: every factor row's ridge system is
-/// independent given the other factor, so rows are solved concurrently
-/// and written to disjoint slots — bit-identical for any thread count.
-/// The one exception is the W-side sweep under temporal smoothing
-/// (mu > 0), whose Gauss–Seidel neighbour coupling is order-dependent and
-/// stays sequential; the (typically much larger) H-side sweep still runs
-/// in parallel. CCD++ and SGD maintain running residuals and remain
-/// sequential.
+/// Solves the completion problem over `observations`, which must be
+/// finalized (ObservationSet::Finalize()) so the CSR/CSC views exist.
+/// `ctx` (optional) parallelizes every solver; outputs are bit-identical
+/// for any thread count:
+///   * ALS row solves write disjoint factor rows; under temporal
+///     smoothing (mu > 0) the W-side sweeps even rows then odd rows
+///     (red-black), each color reading only the other color's rows.
+///   * CCD++ runs its residual updates and per-row / per-column rank-1
+///     refits in parallel phases separated by barriers.
+///   * SGD processes one stratum of its fixed grid schedule at a time;
+///     concurrent cells touch disjoint factor rows.
 Result<CompletionResult> CompleteMatrix(const ObservationSet& observations,
                                         const CompletionConfig& config,
                                         ExecutionContext* ctx = nullptr);

@@ -49,8 +49,10 @@ Result<ComFedSvOutput> ComFedSvEvaluator::Finalize() const {
     ObservationSet obs = full_recorder_->BuildObservations();
     out.observed_density = obs.Density();
     out.num_columns = obs.num_cols();
+    Stopwatch completion_timer;
     Result<CompletionResult> completion =
         CompleteMatrix(obs, config_.completion, ctx_);
+    out.completion_seconds = completion_timer.ElapsedSeconds();
     if (!completion.ok()) return completion.status();
     Result<Vector> values =
         ComFedSvFromFactors(completion.value().w, completion.value().h,
@@ -69,8 +71,10 @@ Result<ComFedSvOutput> ComFedSvEvaluator::Finalize() const {
   ObservationSet obs = sampled_recorder_->BuildObservations();
   out.observed_density = obs.Density();
   out.num_columns = obs.num_cols();
+  Stopwatch completion_timer;
   Result<CompletionResult> completion =
       CompleteMatrix(obs, config_.completion, ctx_);
+  out.completion_seconds = completion_timer.ElapsedSeconds();
   if (!completion.ok()) return completion.status();
   Result<Vector> values = ComFedSvSampled(
       completion.value().w, completion.value().h,

@@ -47,6 +47,7 @@ struct ComFedSvOutput {
   int num_columns = 0;            ///< columns in the completion problem
   int64_t loss_calls = 0;         ///< test-loss evaluations spent
   double seconds = 0.0;           ///< recording + completion + formula time
+  double completion_seconds = 0.0;  ///< wall time inside CompleteMatrix
 };
 
 /// Observer-plus-finalizer implementing ComFedSV end to end.

@@ -116,6 +116,7 @@ ObservationSet ObservedUtilityRecorder::BuildObservations() const {
   COMFEDSV_CHECK_GT(rounds_recorded_, 0);
   ObservationSet obs(rounds_recorded_, interner_.size());
   obs.AddAll(triplets_);
+  obs.Finalize();
   return obs;
 }
 
@@ -204,6 +205,7 @@ ObservationSet SampledUtilityRecorder::BuildObservations() const {
   COMFEDSV_CHECK_GT(rounds_recorded_, 0);
   ObservationSet obs(rounds_recorded_, interner_.size());
   obs.AddAll(triplets_);
+  obs.Finalize();
   return obs;
 }
 

@@ -76,7 +76,8 @@ class ObservedUtilityRecorder : public RoundObserver {
 
   void OnRound(const RoundRecord& record) override;
 
-  /// Assembles the sparse completion input. Call after training.
+  /// Assembles the sparse completion input, finalized (CSR/CSC views
+  /// built) and ready for CompleteMatrix. Call after training.
   ObservationSet BuildObservations() const;
 
   const CoalitionInterner& interner() const { return interner_; }

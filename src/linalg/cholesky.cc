@@ -1,6 +1,7 @@
 #include "linalg/cholesky.h"
 
 #include <cmath>
+#include <vector>
 
 #include "common/check.h"
 
@@ -52,6 +53,51 @@ Vector BackSubstituteTranspose(const Matrix& lower, const Vector& y) {
     x[i] = acc / lower(i, i);
   }
   return x;
+}
+
+bool SolveSpdInPlace(int n, double* a, double* b) {
+  // Factor in place: the lower triangle of `a` becomes L (the strict
+  // upper triangle is left stale scratch). Same sweep order as
+  // CholeskyFactor / ForwardSubstitute / BackSubstituteTranspose, but
+  // each pivot's reciprocal is computed once and reused as a multiply:
+  // for the tiny systems the ALS inner loop solves, the ~4n serial
+  // divisions of the plain sweeps are its dominant latency. Results
+  // differ from SolveSpd only at the last-ulp level of x * (1/d) vs
+  // x / d, and stay deterministic.
+  constexpr int kStackDim = 32;
+  double inv_stack[kStackDim];
+  std::vector<double> inv_heap;
+  double* inv = inv_stack;
+  if (n > kStackDim) {
+    inv_heap.resize(n);
+    inv = inv_heap.data();
+  }
+  for (int j = 0; j < n; ++j) {
+    double diag = a[j * n + j];
+    for (int k = 0; k < j; ++k) diag -= a[j * n + k] * a[j * n + k];
+    if (diag <= 0.0 || !std::isfinite(diag)) return false;
+    const double ljj = std::sqrt(diag);
+    a[j * n + j] = ljj;
+    inv[j] = 1.0 / ljj;
+    for (int i = j + 1; i < n; ++i) {
+      double acc = a[i * n + j];
+      for (int k = 0; k < j; ++k) acc -= a[i * n + k] * a[j * n + k];
+      a[i * n + j] = acc * inv[j];
+    }
+  }
+  // Forward substitution L y = b, overwriting b with y.
+  for (int i = 0; i < n; ++i) {
+    double acc = b[i];
+    for (int k = 0; k < i; ++k) acc -= a[i * n + k] * b[k];
+    b[i] = acc * inv[i];
+  }
+  // Back substitution L^T x = y, overwriting b with x.
+  for (int i = n - 1; i >= 0; --i) {
+    double acc = b[i];
+    for (int k = i + 1; k < n; ++k) acc -= a[k * n + i] * b[k];
+    b[i] = acc * inv[i];
+  }
+  return true;
 }
 
 Result<Vector> SolveSpd(const Matrix& a, const Vector& b) {

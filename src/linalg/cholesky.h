@@ -16,6 +16,16 @@ Result<Matrix> CholeskyFactor(const Matrix& a);
 /// Solves A x = b for symmetric positive-definite A.
 Result<Vector> SolveSpd(const Matrix& a, const Vector& b);
 
+/// Allocation-free SPD solve for the tiny per-row ALS systems: `a`
+/// (n x n, row-major) is overwritten with scratch, `b` (length n) with
+/// the solution. Runs the same factor / forward / back sweeps as
+/// SolveSpd but with each pivot divided once and reused as a reciprocal
+/// multiply (the serial divisions dominate the latency of tiny solves),
+/// so solutions agree with SolveSpd to the last ulp rather than bit for
+/// bit. Deterministic. Returns false if `a` is not (numerically)
+/// positive definite.
+bool SolveSpdInPlace(int n, double* a, double* b);
+
 /// Solves L y = b (forward substitution) for lower-triangular L.
 Vector ForwardSubstitute(const Matrix& lower, const Vector& b);
 

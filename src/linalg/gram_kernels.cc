@@ -1,0 +1,296 @@
+#include "linalg/gram_kernels.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace comfedsv {
+namespace {
+
+// Rank-specialized pass: the packed upper triangle (R(R+1)/2 doubles)
+// and the RHS (R doubles) live in locals the compiler keeps in registers
+// for the small ranks the completion problem uses (Propositions 1/2
+// bound the useful rank by O(log T)). Each accumulator receives its
+// terms in ascending entry order, matching the scalar loop bit for bit.
+template <int R>
+void GramRhsFixed(const Matrix& f, const int* idx, const double* values,
+                  int count, double diag_init, double* panel, double* gram,
+                  double* rhs) {
+  constexpr int kTri = R * (R + 1) / 2;
+  double g[kTri];
+  double b[R];
+  {
+    int u = 0;
+    for (int a = 0; a < R; ++a) {
+      b[a] = 0.0;
+      for (int c = a; c < R; ++c) g[u++] = (c == a) ? diag_init : 0.0;
+    }
+  }
+  for (int e = 0; e < count; ++e) {
+    const double* src = f.RowPtr(idx[e]);
+    double* p = panel + e * R;
+    for (int a = 0; a < R; ++a) p[a] = src[a];
+    const double v = values[e];
+    int u = 0;
+    for (int a = 0; a < R; ++a) {
+      const double pa = p[a];
+      b[a] += v * pa;
+      for (int c = a; c < R; ++c) g[u++] += pa * p[c];
+    }
+  }
+  int u = 0;
+  for (int a = 0; a < R; ++a) {
+    rhs[a] = b[a];
+    for (int c = a; c < R; ++c) {
+      gram[a * R + c] = g[u];
+      gram[c * R + a] = g[u];
+      ++u;
+    }
+  }
+}
+
+// Runtime-rank fallback: same pass, accumulators in the output buffers.
+void GramRhsGeneric(const Matrix& f, const int* idx, const double* values,
+                    int count, int rank, double diag_init, double* panel,
+                    double* gram, double* rhs) {
+  for (int a = 0; a < rank; ++a) {
+    rhs[a] = 0.0;
+    for (int c = a; c < rank; ++c) {
+      gram[a * rank + c] = (c == a) ? diag_init : 0.0;
+    }
+  }
+  for (int e = 0; e < count; ++e) {
+    const double* src = f.RowPtr(idx[e]);
+    double* p = panel + static_cast<size_t>(e) * rank;
+    for (int a = 0; a < rank; ++a) p[a] = src[a];
+    const double v = values[e];
+    for (int a = 0; a < rank; ++a) {
+      const double pa = p[a];
+      rhs[a] += v * pa;
+      for (int c = a; c < rank; ++c) gram[a * rank + c] += pa * p[c];
+    }
+  }
+  for (int a = 0; a < rank; ++a) {
+    for (int c = a + 1; c < rank; ++c) {
+      gram[c * rank + a] = gram[a * rank + c];
+    }
+  }
+}
+
+// Fused accumulate + LDL^T solve. The packed triangle, RHS, unit-lower
+// factor, and pivots all live in fixed-size locals; for the small R the
+// compiler unrolls every loop and keeps the hot values in registers.
+//
+// The normal equations accumulate in two passes over the entries — RHS +
+// diagonal first (2R accumulators), then the strict upper triangle
+// (R(R-1)/2 accumulators) — so each pass's working set fits the register
+// file instead of spilling ~R^2/2 running sums per entry. The factor
+// rows are re-read on the second pass (L1-resident for any realistic
+// row). Every accumulator still adds its terms in ascending entry
+// order, so the result is bit-identical to the one-pass scalar loop.
+template <int R>
+bool SolveRidgeFixed(const Matrix& f, const int* idx, const double* values,
+                     int count, double diag_init, const double* rhs_extra,
+                     double* panel, double* x) {
+  constexpr int kOff = R * (R - 1) / 2;
+  double diag[R];
+  double b[R];
+  for (int a = 0; a < R; ++a) {
+    b[a] = 0.0;
+    diag[a] = diag_init;
+  }
+  for (int e = 0; e < count; ++e) {
+    const double* src = f.RowPtr(idx[e]);
+    const double v = values[e];
+    if (panel != nullptr) {
+      double* out = panel + e * R;
+      for (int a = 0; a < R; ++a) out[a] = src[a];
+    }
+    for (int a = 0; a < R; ++a) {
+      const double pa = src[a];
+      b[a] += v * pa;
+      diag[a] += pa * pa;
+    }
+  }
+  double off[kOff > 0 ? kOff : 1];
+  for (int u = 0; u < kOff; ++u) off[u] = 0.0;
+  for (int e = 0; e < count; ++e) {
+    const double* src = f.RowPtr(idx[e]);
+    int u = 0;
+    for (int a = 0; a < R; ++a) {
+      const double pa = src[a];
+      for (int c = a + 1; c < R; ++c) off[u++] += pa * src[c];
+    }
+  }
+  if (rhs_extra != nullptr) {
+    for (int a = 0; a < R; ++a) b[a] += rhs_extra[a];
+  }
+
+  // Assemble the full symmetric matrix and factor M = L D L^T (L unit
+  // lower).
+  double m[R][R];
+  {
+    int u = 0;
+    for (int a = 0; a < R; ++a) {
+      m[a][a] = diag[a];
+      for (int c = a + 1; c < R; ++c) {
+        m[a][c] = off[u];
+        m[c][a] = off[u];
+        ++u;
+      }
+    }
+  }
+  double d[R], invd[R];
+  for (int j = 0; j < R; ++j) {
+    double dj = m[j][j];
+    for (int k = 0; k < j; ++k) dj -= m[j][k] * m[j][k] * d[k];
+    if (dj <= 0.0 || !std::isfinite(dj)) return false;
+    d[j] = dj;
+    invd[j] = 1.0 / dj;
+    for (int i = j + 1; i < R; ++i) {
+      double acc = m[i][j];
+      for (int k = 0; k < j; ++k) acc -= m[i][k] * m[j][k] * d[k];
+      m[i][j] = acc * invd[j];
+    }
+  }
+  // z = L^{-1} b, then scale by D^{-1}, then x = L^{-T} z.
+  for (int i = 0; i < R; ++i) {
+    double acc = b[i];
+    for (int k = 0; k < i; ++k) acc -= m[i][k] * b[k];
+    b[i] = acc;
+  }
+  for (int i = 0; i < R; ++i) b[i] *= invd[i];
+  for (int i = R - 1; i >= 0; --i) {
+    double acc = b[i];
+    for (int k = i + 1; k < R; ++k) acc -= m[k][i] * b[k];
+    b[i] = acc;
+  }
+  for (int a = 0; a < R; ++a) x[a] = b[a];
+  return true;
+}
+
+template <int R>
+double PanelResidualSqFixed(const double* panel, const double* values,
+                            int count, const double* x) {
+  double acc = 0.0;
+  for (int e = 0; e < count; ++e) {
+    const double* p = panel + e * R;
+    double pred = 0.0;
+    for (int a = 0; a < R; ++a) pred += p[a] * x[a];
+    const double d = values[e] - pred;
+    acc += d * d;
+  }
+  return acc;
+}
+
+}  // namespace
+
+void AccumulateGramRhs(const Matrix& f, const int* idx, const double* values,
+                       int count, double diag_init, GramRhsScratch* scratch,
+                       double* gram, double* rhs) {
+  const int rank = static_cast<int>(f.cols());
+  COMFEDSV_CHECK_GT(rank, 0);
+  COMFEDSV_CHECK_GE(count, 0);
+  scratch->panel.resize(static_cast<size_t>(count) * rank);
+  double* panel = scratch->panel.data();
+  switch (rank) {
+    case 1:
+      GramRhsFixed<1>(f, idx, values, count, diag_init, panel, gram, rhs);
+      return;
+    case 2:
+      GramRhsFixed<2>(f, idx, values, count, diag_init, panel, gram, rhs);
+      return;
+    case 3:
+      GramRhsFixed<3>(f, idx, values, count, diag_init, panel, gram, rhs);
+      return;
+    case 4:
+      GramRhsFixed<4>(f, idx, values, count, diag_init, panel, gram, rhs);
+      return;
+    case 5:
+      GramRhsFixed<5>(f, idx, values, count, diag_init, panel, gram, rhs);
+      return;
+    case 6:
+      GramRhsFixed<6>(f, idx, values, count, diag_init, panel, gram, rhs);
+      return;
+    case 7:
+      GramRhsFixed<7>(f, idx, values, count, diag_init, panel, gram, rhs);
+      return;
+    case 8:
+      GramRhsFixed<8>(f, idx, values, count, diag_init, panel, gram, rhs);
+      return;
+    default:
+      GramRhsGeneric(f, idx, values, count, rank, diag_init, panel, gram,
+                     rhs);
+      return;
+  }
+}
+
+bool SolveRidgeRow(const Matrix& f, const int* idx, const double* values,
+                   int count, double diag_init, const double* rhs_extra,
+                   double* panel, double* x) {
+  const int rank = static_cast<int>(f.cols());
+  COMFEDSV_CHECK_LE(rank, kMaxRidgeRank);
+  switch (rank) {
+    case 1:
+      return SolveRidgeFixed<1>(f, idx, values, count, diag_init, rhs_extra,
+                                panel, x);
+    case 2:
+      return SolveRidgeFixed<2>(f, idx, values, count, diag_init, rhs_extra,
+                                panel, x);
+    case 3:
+      return SolveRidgeFixed<3>(f, idx, values, count, diag_init, rhs_extra,
+                                panel, x);
+    case 4:
+      return SolveRidgeFixed<4>(f, idx, values, count, diag_init, rhs_extra,
+                                panel, x);
+    case 5:
+      return SolveRidgeFixed<5>(f, idx, values, count, diag_init, rhs_extra,
+                                panel, x);
+    case 6:
+      return SolveRidgeFixed<6>(f, idx, values, count, diag_init, rhs_extra,
+                                panel, x);
+    case 7:
+      return SolveRidgeFixed<7>(f, idx, values, count, diag_init, rhs_extra,
+                                panel, x);
+    case 8:
+      return SolveRidgeFixed<8>(f, idx, values, count, diag_init, rhs_extra,
+                                panel, x);
+    default:
+      return false;  // unreachable: guarded by the CHECK above
+  }
+}
+
+double PanelResidualSq(const double* panel, const double* values, int count,
+                       int rank, const double* x) {
+  switch (rank) {
+    case 1:
+      return PanelResidualSqFixed<1>(panel, values, count, x);
+    case 2:
+      return PanelResidualSqFixed<2>(panel, values, count, x);
+    case 3:
+      return PanelResidualSqFixed<3>(panel, values, count, x);
+    case 4:
+      return PanelResidualSqFixed<4>(panel, values, count, x);
+    case 5:
+      return PanelResidualSqFixed<5>(panel, values, count, x);
+    case 6:
+      return PanelResidualSqFixed<6>(panel, values, count, x);
+    case 7:
+      return PanelResidualSqFixed<7>(panel, values, count, x);
+    case 8:
+      return PanelResidualSqFixed<8>(panel, values, count, x);
+    default: {
+      double acc = 0.0;
+      for (int e = 0; e < count; ++e) {
+        const double* p = panel + static_cast<size_t>(e) * rank;
+        double pred = 0.0;
+        for (int a = 0; a < rank; ++a) pred += p[a] * x[a];
+        const double d = values[e] - pred;
+        acc += d * d;
+      }
+      return acc;
+    }
+  }
+}
+
+}  // namespace comfedsv

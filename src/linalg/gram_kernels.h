@@ -1,0 +1,75 @@
+// Register-tiled kernels for the ALS normal equations of the completion
+// solver: gather the factor rows touched by one observed row/column into
+// a contiguous panel and accumulate the rank x rank Gram matrix plus the
+// right-hand side in a single pass.
+//
+// Same design rules as the batched-loss kernels (models/batch_kernels*):
+// rank-specialized variants keep every accumulator live in registers
+// across the entry loop, and every accumulator adds its terms in
+// ascending entry order — so the computed doubles are bit-identical to a
+// scalar per-entry loop for every rank, panel size, and thread count.
+// The gather is the indexed-row analog of Matrix::PackRowSlices, fused
+// into the accumulation pass so the panel is read while cache-hot.
+#ifndef COMFEDSV_LINALG_GRAM_KERNELS_H_
+#define COMFEDSV_LINALG_GRAM_KERNELS_H_
+
+#include <vector>
+
+#include "linalg/matrix.h"
+
+namespace comfedsv {
+
+/// Reusable scratch for AccumulateGramRhs. `panel` holds the most recent
+/// gather (count x rank, row-major) and stays valid until the next call,
+/// so callers can compute per-entry residuals against it without touching
+/// the scattered factor rows again.
+struct GramRhsScratch {
+  std::vector<double> panel;
+};
+
+/// One fused pack + normal-equation pass over the `count` rows of `f`
+/// (rank = f.cols() columns) named by `idx`:
+///
+///   gram = diag_init * I + sum_e f_{idx[e]} f_{idx[e]}^T
+///   rhs  = sum_e values[e] * f_{idx[e]}
+///
+/// `gram` (rank x rank, row-major, fully written symmetric) and `rhs`
+/// (rank) are overwritten. Rows are gathered into scratch->panel as they
+/// are consumed. `count` may be 0 (gram = diag_init * I, rhs = 0).
+void AccumulateGramRhs(const Matrix& f, const int* idx, const double* values,
+                       int count, double diag_init, GramRhsScratch* scratch,
+                       double* gram, double* rhs);
+
+/// The whole ALS row solve in one register-resident kernel, for the
+/// ranks the completion problem uses (rank <= 8; callers fall back to
+/// AccumulateGramRhs + SolveSpdInPlace above that). Accumulates the
+/// normal equations exactly like AccumulateGramRhs, adds `rhs_extra`
+/// (optional, e.g. the temporal-smoothing neighbour terms) to the RHS,
+/// and solves by an unrolled LDL^T factorization — no square roots, one
+/// reciprocal per pivot — without ever materializing the Gram matrix in
+/// memory. The solution lands in `x` (length rank).
+///
+/// `panel`, when non-null, receives the gathered factor rows
+/// (count x rank, row-major; caller allocates) for residual reuse;
+/// passing null skips the panel stores.
+///
+/// Deterministic: a fixed operation order for every (rank, count).
+/// Returns false if the system is not (numerically) positive definite —
+/// impossible for diag_init > 0.
+bool SolveRidgeRow(const Matrix& f, const int* idx, const double* values,
+                   int count, double diag_init, const double* rhs_extra,
+                   double* panel, double* x);
+
+/// Max rank SolveRidgeRow handles (the unrolled-kernel dispatch bound).
+inline constexpr int kMaxRidgeRank = 8;
+
+/// Residual sum of squares of a solved factor row `x` (length `rank`)
+/// against the gathered panel: sum_e (values[e] - panel_e . x)^2, with
+/// each dot product accumulated in ascending coordinate order and the
+/// squares summed in ascending entry order.
+double PanelResidualSq(const double* panel, const double* values, int count,
+                       int rank, const double* x);
+
+}  // namespace comfedsv
+
+#endif  // COMFEDSV_LINALG_GRAM_KERNELS_H_

@@ -34,6 +34,7 @@ ObservationSet FullObservations(const Matrix& m) {
       obs.Add(static_cast<int>(i), static_cast<int>(j), m(i, j));
     }
   }
+  obs.Finalize();
   return obs;
 }
 
@@ -58,6 +59,7 @@ ObservationSet SampledObservations(const Matrix& m, double keep,
       }
     }
   }
+  obs.Finalize();
   return obs;
 }
 
@@ -71,21 +73,113 @@ TEST(ObservationSetTest, IndexingAndDensity) {
   obs.Add(0, 1, 5.0);
   obs.Add(2, 1, 7.0);
   obs.Add(0, 3, 9.0);
+  EXPECT_FALSE(obs.finalized());
+  obs.Finalize();
+  EXPECT_TRUE(obs.finalized());
   EXPECT_EQ(obs.size(), 3u);
-  EXPECT_EQ(obs.RowEntries(0).size(), 2u);
-  EXPECT_EQ(obs.RowEntries(1).size(), 0u);
-  EXPECT_EQ(obs.ColEntries(1).size(), 2u);
+  EXPECT_EQ(obs.RowNnz(0), 2);
+  EXPECT_EQ(obs.RowNnz(1), 0);
+  EXPECT_EQ(obs.ColNnz(1), 2);
   EXPECT_DOUBLE_EQ(obs.Density(), 3.0 / 12.0);
-  const Observation& e = obs.entries()[obs.ColEntries(3)[0]];
-  EXPECT_DOUBLE_EQ(e.value, 9.0);
+  // CSR row 0 holds (0,1,5) then (0,3,9) in insertion order.
+  EXPECT_EQ(obs.row_offsets()[0], 0);
+  EXPECT_EQ(obs.row_offsets()[1], 2);
+  EXPECT_EQ(obs.csr_cols()[0], 1);
+  EXPECT_EQ(obs.csr_cols()[1], 3);
+  EXPECT_DOUBLE_EQ(obs.csr_values()[1], 9.0);
+  // CSC column 3 holds the single entry (0,3,9).
+  const int q = obs.col_offsets()[3];
+  EXPECT_EQ(obs.csc_rows()[q], 0);
+  EXPECT_DOUBLE_EQ(obs.csc_values()[q], 9.0);
 }
 
-TEST(ObservationSetTest, IndexRebuildsAfterAdd) {
+// CSR/CSC views vs reference per-row / per-column index lists built
+// straight from the triplets: random pattern with empty rows and
+// columns, plus duplicate (row, col) observations (the same coalition
+// observed in several permutations).
+TEST(ObservationSetTest, CompressedViewsMatchReferenceLists) {
+  const int rows = 17, cols = 23;
+  Rng rng(77);
+  ObservationSet obs(rows, cols);
+  for (int i = 0; i < rows; ++i) {
+    if (i % 5 == 3) continue;  // leave some rows empty
+    for (int j = 0; j < cols; ++j) {
+      if (j % 7 == 2) continue;  // leave some columns empty
+      if (!rng.NextBernoulli(0.3)) continue;
+      const double v = rng.NextGaussian();
+      obs.Add(i, j, v);
+      if (rng.NextBernoulli(0.2)) obs.Add(i, j, v + 1.0);  // duplicate cell
+    }
+  }
+  obs.Finalize();
+  const auto& entries = obs.entries();
+  const size_t nnz = entries.size();
+  ASSERT_GT(nnz, 0u);
+
+  // Reference adjacency: indices into entries() in insertion order.
+  std::vector<std::vector<int>> by_row(rows), by_col(cols);
+  for (size_t e = 0; e < nnz; ++e) {
+    by_row[entries[e].row].push_back(static_cast<int>(e));
+    by_col[entries[e].col].push_back(static_cast<int>(e));
+  }
+
+  ASSERT_EQ(obs.row_offsets().size(), static_cast<size_t>(rows) + 1);
+  EXPECT_EQ(obs.row_offsets()[rows], static_cast<int>(nnz));
+  for (int i = 0; i < rows; ++i) {
+    const int begin = obs.row_offsets()[i];
+    ASSERT_EQ(obs.row_offsets()[i + 1] - begin,
+              static_cast<int>(by_row[i].size()));
+    for (size_t t = 0; t < by_row[i].size(); ++t) {
+      const Observation& e = entries[by_row[i][t]];
+      const int p = begin + static_cast<int>(t);
+      EXPECT_EQ(obs.csr_cols()[p], e.col);
+      EXPECT_EQ(obs.csr_values()[p], e.value);
+      EXPECT_EQ(obs.csr_entry()[p], by_row[i][t]);
+    }
+  }
+
+  ASSERT_EQ(obs.col_offsets().size(), static_cast<size_t>(cols) + 1);
+  EXPECT_EQ(obs.col_offsets()[cols], static_cast<int>(nnz));
+  for (int j = 0; j < cols; ++j) {
+    const int begin = obs.col_offsets()[j];
+    ASSERT_EQ(obs.col_offsets()[j + 1] - begin,
+              static_cast<int>(by_col[j].size()));
+    for (size_t t = 0; t < by_col[j].size(); ++t) {
+      const Observation& e = entries[by_col[j][t]];
+      const int q = begin + static_cast<int>(t);
+      EXPECT_EQ(obs.csc_rows()[q], e.row);
+      EXPECT_EQ(obs.csc_values()[q], e.value);
+      // The CSC -> CSR map lands on the same underlying entry.
+      const int p = obs.csc_to_csr()[q];
+      EXPECT_EQ(obs.csr_entry()[p], by_col[j][t]);
+      EXPECT_EQ(obs.csr_cols()[p], e.col);
+      EXPECT_EQ(obs.csr_values()[p], e.value);
+    }
+  }
+}
+
+TEST(ObservationSetTest, FinalizeIsIdempotent) {
   ObservationSet obs(2, 2);
   obs.Add(0, 0, 1.0);
-  EXPECT_EQ(obs.RowEntries(0).size(), 1u);
-  obs.Add(0, 1, 2.0);  // invalidates the lazy index
-  EXPECT_EQ(obs.RowEntries(0).size(), 2u);
+  obs.Finalize();
+  obs.Finalize();  // no-op
+  EXPECT_EQ(obs.RowNnz(0), 1);
+}
+
+TEST(ObservationSetDeathTest, MutationAfterFinalizeCheckFails) {
+  ObservationSet obs(2, 2);
+  obs.Add(0, 0, 1.0);
+  obs.Finalize();
+  EXPECT_DEATH(obs.Add(1, 1, 2.0), "Finalize");
+  EXPECT_DEATH(obs.AddAll({{1, 1, 2.0}}), "finalized");
+  EXPECT_DEATH(obs.Reserve(4), "finalized");
+}
+
+TEST(ObservationSetDeathTest, CompressedViewsRequireFinalize) {
+  ObservationSet obs(2, 2);
+  obs.Add(0, 0, 1.0);
+  EXPECT_DEATH(obs.row_offsets(), "finalized");
+  EXPECT_DEATH(obs.col_offsets(), "finalized");
 }
 
 class SolverParamTest : public ::testing::TestWithParam<CompletionSolver> {
@@ -118,6 +212,8 @@ TEST_P(SolverParamTest, RecoversLowRankFromPartialObservations) {
   cfg.max_iters = 400;
   cfg.solver = GetParam();
   cfg.seed = 5;
+  // Exercise the fused-objective cross-check in release builds too.
+  cfg.verify_fused_objective = true;
   Result<CompletionResult> fit = CompleteMatrix(obs, cfg);
   ASSERT_TRUE(fit.ok());
   EXPECT_LT(RelativeError(truth, fit.value()), 0.1)
@@ -196,9 +292,14 @@ TEST(CompletionTest, DeterministicGivenSeed) {
 }
 
 TEST(CompletionTest, ConfigGuards) {
+  ObservationSet unfinalized(2, 2);
+  unfinalized.Add(0, 0, 1.0);
+  CompletionConfig cfg;
+  EXPECT_FALSE(CompleteMatrix(unfinalized, cfg).ok());  // needs Finalize()
+
   ObservationSet obs(2, 2);
   obs.Add(0, 0, 1.0);
-  CompletionConfig cfg;
+  obs.Finalize();
   cfg.rank = 0;
   EXPECT_FALSE(CompleteMatrix(obs, cfg).ok());
   cfg.rank = 2;
@@ -209,6 +310,7 @@ TEST(CompletionTest, ConfigGuards) {
   cfg.lambda = 0.1;
   EXPECT_TRUE(CompleteMatrix(obs, cfg).ok());
   ObservationSet empty(2, 2);
+  empty.Finalize();
   EXPECT_FALSE(CompleteMatrix(empty, cfg).ok());
 }
 

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "common/execution_context.h"
+#include "completion/solver.h"
 #include "core/pipeline.h"
 #include "data/image_sim.h"
 #include "data/partition.h"
@@ -191,6 +192,79 @@ TEST(DeterminismTest, SmoothedAlsCompletionIsThreadCountInvariant) {
   ExpectBitIdentical(inline_run.comfedsv->values,
                      threaded_run.comfedsv->values,
                      "smoothed ComFedSV inline vs threads=4");
+}
+
+TEST(DeterminismTest, CompletionSolversAreThreadCountInvariant) {
+  // Every completion solver (ALS, ALS + temporal smoothing with its
+  // red-black W-side, CCD++'s phased residual refits, SGD's stratified
+  // grid schedule) must produce bit-identical factors inline, on a
+  // single-threaded context, and on a 4-thread context. The observation
+  // set is large enough that the parallel sweeps span several fixed
+  // blocks.
+  const int rows = 70, cols = 90, true_rank = 3;
+  Rng rng(2024);
+  Matrix a(rows, true_rank), b(true_rank, cols);
+  for (size_t i = 0; i < a.rows(); ++i) {
+    for (int k = 0; k < true_rank; ++k) a(i, k) = rng.NextGaussian();
+  }
+  for (int k = 0; k < true_rank; ++k) {
+    for (size_t j = 0; j < b.cols(); ++j) b(k, j) = rng.NextGaussian();
+  }
+  Matrix truth = Matrix::Multiply(a, b);
+  ObservationSet obs(rows, cols);
+  for (int i = 0; i < rows; ++i) {
+    for (int j = 0; j < cols; ++j) {
+      if (rng.NextBernoulli(0.2)) obs.Add(i, j, truth(i, j));
+    }
+  }
+  obs.Finalize();
+
+  struct Variant {
+    const char* name;
+    CompletionSolver solver;
+    double mu;
+  };
+  const Variant variants[] = {
+      {"als", CompletionSolver::kAls, 0.0},
+      {"als+mu", CompletionSolver::kAls, 0.1},
+      {"ccd++", CompletionSolver::kCcd, 0.0},
+      {"sgd", CompletionSolver::kSgd, 0.0},
+  };
+  for (const Variant& v : variants) {
+    CompletionConfig cfg;
+    cfg.rank = 4;
+    cfg.lambda = 1e-3;
+    cfg.max_iters = 15;
+    cfg.temporal_smoothing = v.mu;
+    cfg.solver = v.solver;
+    cfg.seed = 7;
+    cfg.verify_fused_objective = true;
+
+    Result<CompletionResult> inline_fit = CompleteMatrix(obs, cfg, nullptr);
+    ASSERT_TRUE(inline_fit.ok()) << v.name;
+    ExecutionContext single(1);
+    Result<CompletionResult> single_fit = CompleteMatrix(obs, cfg, &single);
+    ASSERT_TRUE(single_fit.ok()) << v.name;
+    ExecutionContext threaded(4);
+    Result<CompletionResult> threaded_fit =
+        CompleteMatrix(obs, cfg, &threaded);
+    ASSERT_TRUE(threaded_fit.ok()) << v.name;
+
+    EXPECT_TRUE(inline_fit.value().w == single_fit.value().w)
+        << v.name << " W inline vs threads=1";
+    EXPECT_TRUE(inline_fit.value().h == single_fit.value().h)
+        << v.name << " H inline vs threads=1";
+    EXPECT_TRUE(inline_fit.value().w == threaded_fit.value().w)
+        << v.name << " W inline vs threads=4";
+    EXPECT_TRUE(inline_fit.value().h == threaded_fit.value().h)
+        << v.name << " H inline vs threads=4";
+    EXPECT_EQ(inline_fit.value().iterations,
+              threaded_fit.value().iterations)
+        << v.name;
+    EXPECT_EQ(inline_fit.value().objective,
+              threaded_fit.value().objective)
+        << v.name;
+  }
 }
 
 TEST(DeterminismTest, FullModeAndGroundTruthAreThreadCountInvariant) {

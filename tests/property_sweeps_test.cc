@@ -149,6 +149,7 @@ TEST_P(CompletionSweep, AlsWithSmoothingRecoversLowRank) {
       if (rng.NextBernoulli(density)) clean.Add(i, j, truth(i, j));
     }
   }
+  clean.Finalize();
   CompletionConfig cfg;
   cfg.rank = rank;
   cfg.lambda = 1e-1;
