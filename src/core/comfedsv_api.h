@@ -40,6 +40,7 @@
 #include "models/logistic.h"
 #include "models/mlp.h"
 #include "shapley/fedsv.h"
+#include "shapley/sampler.h"
 #include "shapley/shapley.h"
 
 #endif  // COMFEDSV_CORE_COMFEDSV_API_H_

@@ -134,6 +134,11 @@ Result<Vector> ComFedSvSampled(
     const std::vector<int>& cols = prefix_columns[m];
     COMFEDSV_CHECK_EQ(perm.size(), static_cast<size_t>(num_clients));
     COMFEDSV_CHECK_EQ(cols.size(), perm.size() + 1);
+    // The walk's baseline is the game's own empty value (generic Shapley
+    // semantics, consistent with the Def. 4 sums above for any input).
+    // The U(empty) = 0 convention of the pipeline is enforced upstream:
+    // ComFedSvEvaluator::Finalize zeroes the completed factors' empty
+    // row, so here the baseline is exactly 0 for pipeline inputs.
     double prev = column_value(cols[0]);
     for (int l = 0; l < num_clients; ++l) {
       const double cur = column_value(cols[l + 1]);

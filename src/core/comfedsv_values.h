@@ -20,8 +20,11 @@ namespace comfedsv {
 /// Exact ComFedSV (Def. 4) from completion factors. `w` is T x r, `h` is
 /// C x r with columns indexed by `interner`; every one of the 2^N
 /// coalitions must be interned (guaranteed under Assumption 1 with the
-/// ObservedUtilityRecorder). Exponential in num_clients; guarded to
-/// num_clients <= 16.
+/// ObservedUtilityRecorder). Uses the factor-predicted value of every
+/// column including the empty one (generic Shapley semantics); the
+/// pipeline's U(empty) = 0 convention is enforced upstream by
+/// ComFedSvEvaluator::Finalize zeroing the empty factor row.
+/// Exponential in num_clients; guarded to num_clients <= 16.
 Result<Vector> ComFedSvFromFactors(const Matrix& w, const Matrix& h,
                                    const CoalitionInterner& interner,
                                    int num_clients);
@@ -35,7 +38,10 @@ Result<Vector> ComFedSvFromFullMatrix(const Matrix& utility_matrix,
 /// Monte-Carlo ComFedSV (Eq. 12): averages factor-predicted marginal
 /// contributions along the sampled permutations. `prefix_columns[m][l]`
 /// is the column id of the length-l prefix of permutation m, as kept by
-/// SampledUtilityRecorder.
+/// SampledUtilityRecorder. Each walk's baseline is the factor-predicted
+/// value of the empty-prefix column — exactly 0 for pipeline inputs,
+/// because ComFedSvEvaluator::Finalize pins the completed factors' empty
+/// row to the U(empty) = 0 convention (see there for the audit).
 Result<Vector> ComFedSvSampled(
     const Matrix& w, const Matrix& h,
     const std::vector<std::vector<int>>& permutations,

@@ -6,6 +6,26 @@
 #include "shapley/shapley.h"
 
 namespace comfedsv {
+namespace {
+
+// U_t(empty) = 0 is a definition (u_t(w^t) = 0), and the downstream
+// formulas read the empty coalition's *factor-predicted* value as their
+// baseline — so the completed factors must honor the convention. Every
+// round observes (t, empty, 0), which under the default ALS solver
+// already forces the empty column's factor row to exactly zero (its
+// ridge normal equations have a zero right-hand side, and the LDL^T
+// substitutions of a zero vector are exact), but CCD++ and SGD only
+// drive it toward zero. Zeroing the row here aligns every solver with
+// MonteCarloShapley's and RoundUtility's hardcoded U(empty) = 0 — and is
+// bit-identical for ALS, where the row is already +0.0.
+void PinEmptyColumnFactor(int empty_col, Matrix* h) {
+  COMFEDSV_CHECK_GE(empty_col, 0);
+  COMFEDSV_CHECK_LT(static_cast<size_t>(empty_col), h->rows());
+  double* row = h->RowPtr(empty_col);
+  for (size_t k = 0; k < h->cols(); ++k) row[k] = 0.0;
+}
+
+}  // namespace
 
 ComFedSvEvaluator::ComFedSvEvaluator(const Model* model,
                                      const Dataset* test_data,
@@ -23,11 +43,14 @@ ComFedSvEvaluator::ComFedSvEvaluator(const Model* model,
     full_recorder_ = std::make_unique<ObservedUtilityRecorder>(
         model_, test_data_, num_clients_, ctx_);
   } else {
-    const int budget = config_.num_permutations > 0
-                           ? config_.num_permutations
-                           : DefaultPermutationBudget(num_clients_);
+    const int budget =
+        config_.num_permutations > 0
+            ? config_.num_permutations
+            : RoundBudgetForSampler(config_.sampler,
+                                    DefaultPermutationBudget(num_clients_));
     sampled_recorder_ = std::make_unique<SampledUtilityRecorder>(
-        model_, test_data_, num_clients_, budget, config_.seed, ctx_);
+        model_, test_data_, num_clients_, budget, config_.seed,
+        config_.sampler, ctx_);
   }
 }
 
@@ -54,6 +77,9 @@ Result<ComFedSvOutput> ComFedSvEvaluator::Finalize() const {
         CompleteMatrix(obs, config_.completion, ctx_);
     out.completion_seconds = completion_timer.ElapsedSeconds();
     if (!completion.ok()) return completion.status();
+    PinEmptyColumnFactor(
+        full_recorder_->interner().Find(Coalition(num_clients_)),
+        &completion.value().h);
     Result<Vector> values =
         ComFedSvFromFactors(completion.value().w, completion.value().h,
                             full_recorder_->interner(), num_clients_);
@@ -76,6 +102,8 @@ Result<ComFedSvOutput> ComFedSvEvaluator::Finalize() const {
       CompleteMatrix(obs, config_.completion, ctx_);
   out.completion_seconds = completion_timer.ElapsedSeconds();
   if (!completion.ok()) return completion.status();
+  PinEmptyColumnFactor(sampled_recorder_->prefix_columns()[0][0],
+                       &completion.value().h);
   Result<Vector> values = ComFedSvSampled(
       completion.value().w, completion.value().h,
       sampled_recorder_->permutations(),
@@ -96,6 +124,11 @@ GroundTruthEvaluator::GroundTruthEvaluator(const Model* model,
       recorder_(model, test_data, num_clients, ctx) {}
 
 Result<Vector> GroundTruthEvaluator::Finalize() const {
+  // Reachable when every round had an empty selected set (Bernoulli-style
+  // selection): nothing was recorded, so there is nothing to evaluate.
+  if (recorder_.rounds_recorded() == 0) {
+    return Status::FailedPrecondition("no rounds recorded");
+  }
   return ComFedSvFromFullMatrix(recorder_.ToMatrix(), num_clients_);
 }
 

@@ -18,6 +18,7 @@
 #include "completion/solver.h"
 #include "core/recorders.h"
 #include "fl/round_record.h"
+#include "shapley/sampler.h"
 
 namespace comfedsv {
 
@@ -36,6 +37,10 @@ struct ComFedSvConfig {
   /// Permutation count M for kSampled; 0 = DefaultPermutationBudget(N),
   /// the O(N log N) budget from Sec. VI-E.
   int num_permutations = 0;
+  /// kSampled only: how Algorithm 1's permutations are drawn (uniform
+  /// IID, antithetic pairs, position-stratified, or truncated per-round
+  /// prefix recording — see shapley/sampler.h).
+  SamplerConfig sampler;
   uint64_t seed = 0;
 };
 

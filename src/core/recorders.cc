@@ -1,6 +1,7 @@
 #include "core/recorders.h"
 
 #include <algorithm>
+#include <cmath>
 #include <unordered_set>
 
 #include "common/check.h"
@@ -27,6 +28,9 @@ FullUtilityRecorder::FullUtilityRecorder(const Model* model,
 }
 
 void FullUtilityRecorder::OnRound(const RoundRecord& record) {
+  // A round with no selected clients contributes zero to every valuation
+  // metric (the FedSV evaluators skip it too): record nothing.
+  if (record.selected.empty()) return;
   Stopwatch timer;
   RoundUtility utility(model_, test_data_, &record, &loss_calls_, ctx_);
   const uint32_t num_cols = 1u << num_clients_;
@@ -78,6 +82,9 @@ ObservedUtilityRecorder::ObservedUtilityRecorder(const Model* model,
 }
 
 void ObservedUtilityRecorder::OnRound(const RoundRecord& record) {
+  // Nothing is observable in a round with no selected clients: skip it
+  // (no triplets, no row) rather than emitting an all-empty row.
+  if (record.selected.empty()) return;
   Stopwatch timer;
   const int t = rounds_recorded_;
   const int m = static_cast<int>(record.selected.size());
@@ -125,22 +132,29 @@ SampledUtilityRecorder::SampledUtilityRecorder(const Model* model,
                                                int num_clients,
                                                int num_permutations,
                                                uint64_t seed,
+                                               SamplerConfig sampler,
                                                ExecutionContext* ctx)
     : model_(model),
       test_data_(test_data),
       num_clients_(num_clients),
+      sampler_(sampler),
       ctx_(ctx) {
   COMFEDSV_CHECK(model_ != nullptr);
   COMFEDSV_CHECK(test_data_ != nullptr);
   COMFEDSV_CHECK_GT(num_clients_, 0);
   COMFEDSV_CHECK_GT(num_permutations, 0);
+  if (sampler_.kind == SamplerKind::kTruncated) {
+    COMFEDSV_CHECK_GE(sampler_.truncation_tolerance, 0.0);
+  }
 
   Rng rng(seed ^ 0x414C4731ULL);  // "ALG1"
-  permutations_.reserve(num_permutations);
+  std::vector<int> identity(num_clients_);
+  for (int i = 0; i < num_clients_; ++i) identity[i] = i;
+  // The reset-between-draws convention reproduces the pre-sampler
+  // Rng::Permutation sequence bit for bit in uniform mode.
+  permutations_ = DrawOrderings(sampler_, identity, num_permutations, &rng,
+                                /*reset_between_draws=*/true);
   prefix_columns_.reserve(num_permutations);
-  for (int p = 0; p < num_permutations; ++p) {
-    permutations_.push_back(rng.Permutation(num_clients_));
-  }
   // Intern every prefix of every permutation; identical prefixes across
   // permutations (e.g. the empty prefix) share a column.
   for (const std::vector<int>& perm : permutations_) {
@@ -157,11 +171,21 @@ SampledUtilityRecorder::SampledUtilityRecorder(const Model* model,
 }
 
 void SampledUtilityRecorder::OnRound(const RoundRecord& record) {
+  // Nothing is observable in a round with no selected clients: skip it
+  // (no triplets, no row), matching the FedSV evaluators' convention.
+  if (record.selected.empty()) return;
   Stopwatch timer;
   const int t = rounds_recorded_;
   RoundUtility utility(model_, test_data_, &record, &loss_calls_, ctx_);
   const Coalition selected =
       Coalition::FromMembers(num_clients_, record.selected);
+
+  if (sampler_.kind == SamplerKind::kTruncated) {
+    RecordTruncatedRound(t, selected, &utility);
+    ++rounds_recorded_;
+    seconds_ += timer.ElapsedSeconds();
+    return;
+  }
 
   // Discover the distinct observable prefixes first (cheap — no loss
   // evaluations), deduped in permutation order: several permutations
@@ -199,6 +223,89 @@ void SampledUtilityRecorder::OnRound(const RoundRecord& record) {
   }
   ++rounds_recorded_;
   seconds_ += timer.ElapsedSeconds();
+}
+
+void SampledUtilityRecorder::RecordTruncatedRound(int t,
+                                                  const Coalition& selected,
+                                                  RoundUtility* utility) {
+  // TMC-style truncated recording: walk every permutation's observable
+  // prefixes position-by-position in batched waves, and stop *measuring*
+  // a permutation once its observed utility is within the tolerance of
+  // U_t(I_t). The truncated tail's observable prefixes are still
+  // recorded — at the U_t(I_t) reference value, which the truncation
+  // premise bounds within the tolerance of their true utilities — but
+  // their loss calls are never spent. Recording (rather than skipping)
+  // the tail matters for the completion: under Assumption 1 every prefix
+  // column is observable in round 0, and a column with no observations
+  // at all would keep its random factor initialization and poison the
+  // Eq. 12 walk. One extra loss call per round buys the reference. All
+  // decisions depend only on utilities, so the recording is identical
+  // for any thread count.
+  const double selected_utility = utility->Utility(selected);
+
+  struct Walk {
+    Coalition prefix;
+    bool truncated = false;  // past the tolerance point: record, don't measure
+    bool active = true;      // still inside I_t
+  };
+  std::vector<Walk> walks(permutations_.size());
+  for (Walk& w : walks) w.prefix = Coalition(num_clients_);
+
+  std::unordered_set<int> seen;
+  seen.insert(prefix_columns_[0][0]);  // empty prefix, recorded at 0
+  triplets_.push_back({t, prefix_columns_[0][0], 0.0});
+
+  std::vector<Coalition> wave;
+  std::vector<uint8_t> measuring(walks.size());
+  for (int l = 0; l < num_clients_; ++l) {
+    wave.clear();
+    bool any_active = false;
+    for (size_t m = 0; m < permutations_.size(); ++m) {
+      Walk& w = walks[m];
+      measuring[m] = 0;
+      if (!w.active) continue;
+      const int member = permutations_[m][l];
+      if (!selected.Contains(member)) {  // longer prefixes fail too
+        w.active = false;
+        continue;
+      }
+      any_active = true;
+      w.prefix.Add(member);
+      if (!w.truncated) {
+        measuring[m] = 1;
+        wave.push_back(w.prefix);
+      }
+    }
+    if (!any_active) break;
+    if (!wave.empty()) {
+      utility->EvaluateBatch(wave);  // dedups within the wave & vs cache
+    }
+
+    // Read back in permutation order (deterministic), measuring walks
+    // first so a column reached by both a measuring and a truncated walk
+    // in the same wave records its measured value; record each column
+    // the first time any permutation reaches it, then apply truncation.
+    for (size_t m = 0; m < permutations_.size(); ++m) {
+      if (!measuring[m]) continue;
+      Walk& w = walks[m];
+      const double u = utility->Utility(w.prefix);
+      const int col = prefix_columns_[m][l + 1];
+      if (seen.insert(col).second) triplets_.push_back({t, col, u});
+      if (std::abs(selected_utility - u) <= sampler_.truncation_tolerance) {
+        w.truncated = true;
+      }
+    }
+    for (size_t m = 0; m < permutations_.size(); ++m) {
+      const Walk& w = walks[m];
+      if (!w.active || measuring[m]) continue;
+      // Tail of a walk truncated in an earlier wave: approximate by the
+      // reference value.
+      const int col = prefix_columns_[m][l + 1];
+      if (seen.insert(col).second) {
+        triplets_.push_back({t, col, selected_utility});
+      }
+    }
+  }
 }
 
 ObservationSet SampledUtilityRecorder::BuildObservations() const {

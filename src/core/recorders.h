@@ -23,12 +23,18 @@
 #include "linalg/matrix.h"
 #include "models/model.h"
 #include "shapley/coalition.h"
+#include "shapley/sampler.h"
 
 namespace comfedsv {
 
+class RoundUtility;  // shapley/utility.h
+
 /// Records the complete utility matrix: every coalition of the full client
-/// set, every round. Exponential in N — guarded to N <= 16; intended for
-/// the N = 10 analyses of the paper.
+/// set, every round with a non-empty selected set (a round in which no
+/// client participates contributes zero to every valuation metric and is
+/// skipped, matching the FedSV / observed-recorder convention).
+/// Exponential in N — guarded to N <= 16; intended for the N = 10
+/// analyses of the paper.
 ///
 /// Column c corresponds to the coalition whose membership bitmask is c
 /// (bit i set <=> client i in S); column 0 is the empty coalition.
@@ -44,8 +50,12 @@ class FullUtilityRecorder : public RoundObserver {
 
   void OnRound(const RoundRecord& record) override;
 
-  /// The T x 2^N matrix recorded so far (row t = round t).
+  /// The T x 2^N matrix recorded so far (row t = round t). Requires at
+  /// least one recorded round.
   Matrix ToMatrix() const;
+
+  /// Rounds recorded so far (empty-selected rounds are skipped).
+  int rounds_recorded() const { return static_cast<int>(rows_.size()); }
 
   int num_clients() const { return num_clients_; }
   int64_t loss_calls() const { return loss_calls_; }
@@ -64,7 +74,8 @@ class FullUtilityRecorder : public RoundObserver {
 /// Records only server-observable utilities: all subsets of the selected
 /// set I_t each round (plus the empty coalition at value 0, which anchors
 /// h_empty). Columns are interned lazily; under Assumption 1 the first
-/// round interns all 2^N coalitions.
+/// round interns all 2^N coalitions. Rounds with an empty selected set
+/// observe nothing and are skipped.
 class ObservedUtilityRecorder : public RoundObserver {
  public:
   /// Each round's 2^|I_t| - 1 observable coalitions go through the
@@ -98,9 +109,10 @@ class ObservedUtilityRecorder : public RoundObserver {
 };
 
 /// Algorithm 1's recorder: M permutations of the client set are sampled
-/// up front; the needed matrix columns are exactly the permutation
-/// prefixes (deduped by the interner). Each round records the utilities
-/// of the prefixes contained in I_t.
+/// up front by the configured PermutationSampler; the needed matrix
+/// columns are exactly the permutation prefixes (deduped by the
+/// interner). Each round records the utilities of the prefixes contained
+/// in I_t.
 class SampledUtilityRecorder : public RoundObserver {
  public:
   /// Each round's distinct observable prefixes are discovered
@@ -108,9 +120,22 @@ class SampledUtilityRecorder : public RoundObserver {
   /// through the batched utility engine (`ctx` parallelizes its fixed
   /// sub-blocks), so the recorded triplets are identical for any thread
   /// count.
+  ///
+  /// `sampler` selects the permutation-sampling strategy
+  /// (shapley/sampler.h). Uniform IID reproduces the pre-sampler
+  /// recorder bit for bit; antithetic/stratified draw variance-reduced
+  /// orderings; kTruncated additionally stops *measuring* a
+  /// permutation's per-round prefixes once the observed utility is
+  /// within the tolerance of U_t(I_t) — the tail's observable prefixes
+  /// are recorded at that reference value (within the tolerance by the
+  /// truncation premise) without spending their loss calls, so every
+  /// column observable under Assumption 1 stays anchored for the
+  /// completion. Truncated rounds spend one extra loss call on the
+  /// U_t(I_t) reference.
   SampledUtilityRecorder(const Model* model, const Dataset* test_data,
                          int num_clients, int num_permutations,
-                         uint64_t seed, ExecutionContext* ctx = nullptr);
+                         uint64_t seed, SamplerConfig sampler = {},
+                         ExecutionContext* ctx = nullptr);
 
   void OnRound(const RoundRecord& record) override;
 
@@ -130,9 +155,14 @@ class SampledUtilityRecorder : public RoundObserver {
   double seconds() const { return seconds_; }
 
  private:
+  /// The kTruncated per-round recording path (wave-batched walks).
+  void RecordTruncatedRound(int t, const Coalition& selected,
+                            RoundUtility* utility);
+
   const Model* model_;
   const Dataset* test_data_;
   int num_clients_;
+  SamplerConfig sampler_;
   ExecutionContext* ctx_;
   std::vector<std::vector<int>> permutations_;
   /// prefix_columns_[m][l] is the column id of the length-l prefix of

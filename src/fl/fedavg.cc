@@ -104,19 +104,23 @@ Result<TrainingResult> FedAvgTrainer::Train(RoundObserver* observer,
     });
 
     record.selected = selector->Select(t, n, &select_rng);
-    COMFEDSV_CHECK(!record.selected.empty());
 
     if (observer != nullptr) observer->OnRound(record);
 
     // Aggregate the selected local models into the next global model.
-    Vector next(params.size());
-    for (int i : record.selected) {
-      COMFEDSV_CHECK_GE(i, 0);
-      COMFEDSV_CHECK_LT(i, n);
-      next.Axpy(1.0, record.local_models[i]);
+    // Bernoulli-style selectors can produce an empty round: the server
+    // heard nobody, so the global model simply carries over (observers
+    // record zero contribution for such rounds).
+    if (!record.selected.empty()) {
+      Vector next(params.size());
+      for (int i : record.selected) {
+        COMFEDSV_CHECK_GE(i, 0);
+        COMFEDSV_CHECK_LT(i, n);
+        next.Axpy(1.0, record.local_models[i]);
+      }
+      next.Scale(1.0 / static_cast<double>(record.selected.size()));
+      params = std::move(next);
     }
-    next.Scale(1.0 / static_cast<double>(record.selected.size()));
-    params = std::move(next);
   }
 
   result.test_loss_history.push_back(model_->Loss(params, test_data_));

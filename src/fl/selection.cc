@@ -19,6 +19,22 @@ std::vector<int> UniformSelector::Select(int /*round*/, int num_clients,
   return rng->SampleWithoutReplacement(num_clients, k);
 }
 
+BernoulliSelector::BernoulliSelector(double participation_prob)
+    : participation_prob_(participation_prob) {
+  COMFEDSV_CHECK_GE(participation_prob_, 0.0);
+  COMFEDSV_CHECK_LE(participation_prob_, 1.0);
+}
+
+std::vector<int> BernoulliSelector::Select(int /*round*/, int num_clients,
+                                           Rng* rng) {
+  COMFEDSV_CHECK(rng != nullptr);
+  std::vector<int> selected;
+  for (int i = 0; i < num_clients; ++i) {
+    if (rng->NextBernoulli(participation_prob_)) selected.push_back(i);
+  }
+  return selected;  // sorted by construction; may be empty
+}
+
 EveryoneHeardSelector::EveryoneHeardSelector(
     std::unique_ptr<ClientSelector> inner)
     : inner_(std::move(inner)) {

@@ -30,6 +30,21 @@ class UniformSelector : public ClientSelector {
   int clients_per_round_;
 };
 
+/// Includes each client independently with probability p (the other
+/// common cross-device selection model). Unlike UniformSelector the
+/// selected set size varies round to round and **can be empty** — the
+/// trainer then skips aggregation for that round and every valuation
+/// observer records zero contribution for it.
+class BernoulliSelector : public ClientSelector {
+ public:
+  /// Requires p in [0, 1].
+  explicit BernoulliSelector(double participation_prob);
+  std::vector<int> Select(int round, int num_clients, Rng* rng) override;
+
+ private:
+  double participation_prob_;
+};
+
 /// Decorator implementing Assumption 1: round 0 selects everyone, later
 /// rounds delegate to the wrapped selector.
 class EveryoneHeardSelector : public ClientSelector {

@@ -21,6 +21,11 @@ FedSvEvaluator::FedSvEvaluator(const Model* model, const Dataset* test_data,
 }
 
 void FedSvEvaluator::OnRound(const RoundRecord& record) {
+  // Bernoulli-style selectors can produce rounds in which no client is
+  // selected; the restricted Shapley game then has no players and every
+  // client's contribution is zero, so the round is skipped instead of
+  // tripping the estimators' "no players" guard.
+  if (record.selected.empty()) return;
   const int n = static_cast<int>(values_.size());
   RoundUtility utility(model_, test_data_, &record, &loss_calls_, ctx_);
   UtilityFn fn = [&utility](const Coalition& c) {
@@ -41,10 +46,12 @@ void FedSvEvaluator::OnRound(const RoundRecord& record) {
   } else {
     int budget = config_.permutations_per_round > 0
                      ? config_.permutations_per_round
-                     : DefaultPermutationBudget(
-                           static_cast<int>(record.selected.size()));
+                     : RoundBudgetForSampler(
+                           config_.sampler,
+                           DefaultPermutationBudget(
+                               static_cast<int>(record.selected.size())));
     round_values = MonteCarloShapley(n, record.selected, fn, budget, &rng_,
-                                     pool, prefetch);
+                                     pool, prefetch, config_.sampler);
   }
   COMFEDSV_CHECK_OK(round_values.status());
   values_ += round_values.value();

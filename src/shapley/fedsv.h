@@ -16,6 +16,7 @@
 #include "fl/round_record.h"
 #include "linalg/vector.h"
 #include "models/model.h"
+#include "shapley/sampler.h"
 
 namespace comfedsv {
 
@@ -29,6 +30,10 @@ struct FedSvConfig {
   /// Permutations per round for kMonteCarlo; 0 = DefaultPermutationBudget
   /// (O(K log K), the budget in the paper's Sec. VII-D analysis).
   int permutations_per_round = 0;
+  /// kMonteCarlo only: how the per-round orderings are sampled (uniform
+  /// IID, antithetic pairs, position-stratified, or truncated walks —
+  /// see shapley/sampler.h for the accuracy-per-loss-call trade-offs).
+  SamplerConfig sampler;
   uint64_t seed = 0;
 };
 

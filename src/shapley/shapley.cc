@@ -73,6 +73,11 @@ Result<Vector> ExactShapley(int universe_size,
 
   // phi_i = (1/m) sum_{S not containing i} [1 / C(m-1, |S|)]
   //         * [U(S + i) - U(S)].
+  // The weight depends only on |S|: hoist the divisions out of the
+  // 2^m * m mask loop (as comfedsv_values.cc::ExactSumOverCoalitions
+  // does). Same operations per term, so the output is bit-identical.
+  std::vector<double> size_weight(m);
+  for (int s = 0; s < m; ++s) size_weight[s] = 1.0 / Binomial(m - 1, s);
   Vector values(universe_size);
   for (int p = 0; p < m; ++p) {
     const uint32_t bit = 1u << p;
@@ -80,36 +85,115 @@ Result<Vector> ExactShapley(int universe_size,
     for (uint32_t mask = 0; mask < num_subsets; ++mask) {
       if (mask & bit) continue;
       const int s = std::popcount(mask);
-      const double weight = 1.0 / Binomial(m - 1, s);
-      acc += weight * (subset_utility[mask | bit] - subset_utility[mask]);
+      acc += size_weight[s] *
+             (subset_utility[mask | bit] - subset_utility[mask]);
     }
     values[players[p]] = acc / static_cast<double>(m);
   }
   return values;
 }
 
+namespace {
+
+// TMC-style truncated walks (SamplerKind::kTruncated). The scan proceeds
+// position-by-position in lockstep across all permutations: each wave
+// collects the next prefix of every still-active walk, submits the whole
+// wave to the batched evaluator, then reads the utilities back in
+// permutation order and applies the truncation rule. Tail prefixes of
+// truncated walks are never evaluated — that is the loss-call saving —
+// and every decision depends only on utilities, so the result is
+// identical for any thread count.
+Vector TruncatedWalkEstimate(int universe_size,
+                             const std::vector<int>& players,
+                             const UtilityFn& utility,
+                             const std::vector<std::vector<int>>& orders,
+                             double tolerance,
+                             const UtilityPrefetchFn& prefetch) {
+  const int m = static_cast<int>(players.size());
+  const int num_permutations = static_cast<int>(orders.size());
+
+  // The truncation reference U(grand): every permutation's final prefix,
+  // so in the untruncated estimator it is evaluated anyway.
+  Coalition grand = Coalition::FromMembers(universe_size, players);
+  if (prefetch != nullptr) prefetch({grand});
+  const double grand_utility = utility(grand);
+
+  struct WalkState {
+    Coalition prefix;
+    double prev_utility = 0.0;  // U(empty) = 0 by convention
+    bool active = true;
+  };
+  std::vector<WalkState> walks(num_permutations);
+  for (WalkState& w : walks) w.prefix = Coalition(universe_size);
+
+  std::vector<Vector> deltas(num_permutations,
+                             Vector(universe_size));  // zero-initialized
+  std::vector<Coalition> wave;
+  for (int pos = 0; pos < m; ++pos) {
+    wave.clear();
+    for (int sample = 0; sample < num_permutations; ++sample) {
+      if (!walks[sample].active) continue;
+      walks[sample].prefix.Add(orders[sample][pos]);
+      wave.push_back(walks[sample].prefix);
+    }
+    if (wave.empty()) break;
+    if (prefetch != nullptr) prefetch(wave);
+    for (int sample = 0; sample < num_permutations; ++sample) {
+      WalkState& w = walks[sample];
+      if (!w.active) continue;
+      const double cur_utility = utility(w.prefix);
+      deltas[sample][orders[sample][pos]] = cur_utility - w.prev_utility;
+      w.prev_utility = cur_utility;
+      // Within tolerance of the grand coalition: the remaining tail's
+      // marginals stay 0 (their deltas were zero-initialized) and its
+      // prefixes are never submitted.
+      if (std::abs(grand_utility - cur_utility) <= tolerance) {
+        w.active = false;
+      }
+    }
+  }
+
+  Vector values(universe_size);
+  for (int sample = 0; sample < num_permutations; ++sample) {
+    values += deltas[sample];
+  }
+  values.Scale(1.0 / static_cast<double>(num_permutations));
+  return values;
+}
+
+}  // namespace
+
 Result<Vector> MonteCarloShapley(int universe_size,
                                  const std::vector<int>& players,
                                  const UtilityFn& utility,
                                  int num_permutations, Rng* rng,
                                  ThreadPool* pool,
-                                 const UtilityPrefetchFn& prefetch) {
+                                 const UtilityPrefetchFn& prefetch,
+                                 const SamplerConfig& sampler) {
   if (players.empty()) return Status::InvalidArgument("no players");
   if (num_permutations <= 0) {
     return Status::InvalidArgument("num_permutations must be positive");
+  }
+  if (sampler.kind == SamplerKind::kTruncated &&
+      sampler.truncation_tolerance < 0.0) {
+    return Status::InvalidArgument(
+        "truncation_tolerance must be non-negative");
   }
   COMFEDSV_CHECK(rng != nullptr);
 
   const int m = static_cast<int>(players.size());
 
-  // Draw every permutation sequentially first: the sampled orderings (and
+  // Draw every ordering sequentially first: the sampled orderings (and
   // so the estimate) depend only on `rng`, never on thread scheduling.
-  std::vector<std::vector<int>> orders;
-  orders.reserve(num_permutations);
-  std::vector<int> order(players);
-  for (int sample = 0; sample < num_permutations; ++sample) {
-    rng->Shuffle(&order);
-    orders.push_back(order);
+  // The chained draw convention (reset_between_draws = false) reproduces
+  // the pre-sampler uniform sequence bit for bit.
+  std::vector<std::vector<int>> orders = DrawOrderings(
+      sampler, players, num_permutations, rng,
+      /*reset_between_draws=*/false);
+
+  if (sampler.kind == SamplerKind::kTruncated) {
+    return TruncatedWalkEstimate(universe_size, players, utility, orders,
+                                 sampler.truncation_tolerance, prefetch);
   }
 
   // Submit every permutation prefix to the batched evaluator up front

@@ -13,6 +13,7 @@
 #include "common/thread_pool.h"
 #include "linalg/vector.h"
 #include "shapley/coalition.h"
+#include "shapley/sampler.h"
 
 namespace comfedsv {
 
@@ -51,19 +52,27 @@ Result<Vector> ExactShapley(int universe_size,
 
 /// Permutation-sampling Monte-Carlo Shapley estimate (Castro et al. /
 /// Maleki et al., the estimator in Sec. VI-E): averages marginal
-/// contributions along `num_permutations` random orderings of `players`.
-/// Unbiased; O(num_permutations * |players|) utility evaluations.
+/// contributions along `num_permutations` orderings of `players` drawn
+/// by `sampler` (shapley/sampler.h; uniform IID by default — unbiased,
+/// O(num_permutations * |players|) utility evaluations; antithetic and
+/// stratified stay unbiased at lower variance; truncated walks trade a
+/// tolerance-bounded bias for skipping the tail's loss calls).
 ///
-/// All permutations are drawn from `rng` up front on the calling thread;
+/// All orderings are drawn from `rng` up front on the calling thread;
 /// with `pool`, their marginal-contribution walks then run in parallel
 /// and per-permutation deltas are reduced in permutation order — the
-/// estimate is bit-identical to the single-threaded one.
+/// estimate is bit-identical to the single-threaded one. Truncated walks
+/// proceed position-by-position in batched waves instead (each wave is
+/// one prefetch submission); `pool` then only parallelizes inside the
+/// batched evaluator, and the result is thread-count invariant by
+/// construction.
 Result<Vector> MonteCarloShapley(int universe_size,
                                  const std::vector<int>& players,
                                  const UtilityFn& utility,
                                  int num_permutations, Rng* rng,
                                  ThreadPool* pool = nullptr,
-                                 const UtilityPrefetchFn& prefetch = nullptr);
+                                 const UtilityPrefetchFn& prefetch = nullptr,
+                                 const SamplerConfig& sampler = {});
 
 /// The paper's default permutation budget O(K log K) for a K-player game
 /// (Maleki et al. bound referenced in Sec. VI-E), floored at 8.

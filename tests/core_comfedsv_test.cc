@@ -180,6 +180,70 @@ TEST(ComFedSvFormulaTest, SampledEstimatorConvergesToExact) {
   }
 }
 
+TEST(ComFedSvFormulaTest, SampledAndExactAgreeOnNonzeroEmptyColumn) {
+  // The U(empty) = 0 audit, formula level: ComFedSvSampled's walk
+  // baseline is the factor-predicted empty value — the same value the
+  // exact Def. 4 sum uses — so the two stay consistent even when the
+  // factors predict a *nonzero* empty column (as unconverged CCD++/SGD
+  // completions can). Rank-1 factors with every permutation sampled
+  // make the Monte-Carlo average exact, so agreement is to rounding.
+  const int n = 3;
+  Rng rng(71);
+  Matrix w(2, 1), h(1u << n, 1);
+  w(0, 0) = 0.8;
+  w(1, 0) = 1.3;
+  CoalitionInterner interner;
+  for (uint32_t mask = 0; mask < (1u << n); ++mask) {
+    Coalition c(n);
+    for (int i = 0; i < n; ++i) {
+      if (mask & (1u << i)) c.Add(i);
+    }
+    ASSERT_EQ(interner.Intern(c), static_cast<int>(mask));
+    h(mask, 0) = rng.NextGaussian();
+  }
+  h(0, 0) = 2.5;  // nonzero predicted empty value
+
+  Result<Vector> exact = ComFedSvFromFactors(w, h, interner, n);
+  ASSERT_TRUE(exact.ok());
+
+  // All 3! = 6 permutations, once each: the estimator averages every
+  // ordering, which is exactly the Shapley sum of the predicted game.
+  std::vector<std::vector<int>> perms = {{0, 1, 2}, {0, 2, 1}, {1, 0, 2},
+                                         {1, 2, 0}, {2, 0, 1}, {2, 1, 0}};
+  std::vector<std::vector<int>> prefix_cols;
+  for (const std::vector<int>& perm : perms) {
+    std::vector<int> cols;
+    Coalition prefix(n);
+    cols.push_back(interner.Find(prefix));
+    for (int member : perm) {
+      prefix.Add(member);
+      cols.push_back(interner.Find(prefix));
+    }
+    prefix_cols.push_back(std::move(cols));
+  }
+  Result<Vector> sampled = ComFedSvSampled(w, h, perms, prefix_cols, n);
+  ASSERT_TRUE(sampled.ok());
+  for (int i = 0; i < n; ++i) {
+    EXPECT_NEAR(sampled.value()[i], exact.value()[i], 1e-12) << i;
+  }
+
+  // The nonzero empty value shifts the first-entrant marginal of every
+  // walk: zeroing it must change the values (this is what the evaluator
+  // pin corrects for pipeline inputs).
+  Matrix h_pinned = h;
+  h_pinned(0, 0) = 0.0;
+  Result<Vector> pinned = ComFedSvSampled(w, h_pinned, perms, prefix_cols, n);
+  ASSERT_TRUE(pinned.ok());
+  const double wsum = w(0, 0) + w(1, 0);
+  for (int i = 0; i < n; ++i) {
+    // Each player is first in 2 of the 6 permutations: the baseline
+    // shift is wsum * h_empty * (2/6).
+    EXPECT_NEAR(pinned.value()[i] - sampled.value()[i],
+                wsum * 2.5 / 3.0, 1e-12)
+        << i;
+  }
+}
+
 TEST(ComFedSvFormulaTest, GuardsAndErrors) {
   Matrix u(2, 8);
   EXPECT_FALSE(ComFedSvFromFullMatrix(u, 4).ok());  // 2^4 != 8
@@ -333,12 +397,115 @@ TEST(ComFedSvEvaluatorTest, SampledModeRunsAndCorrelatesWithFull) {
   EXPECT_GT(rho.value(), 0.5);
 }
 
+TEST(ComFedSvEvaluatorTest, FinalizePinsEmptyFactorRowToZero) {
+  // The U(empty) = 0 audit, pipeline level: the empty coalition is
+  // observed at 0 every round, and under the default ALS solver its
+  // factor row already solves to exactly zero (zero right-hand side
+  // through the ridge normal equations). SGD only decays the random
+  // initialization toward zero, so Finalize pins the row — the returned
+  // factors must honor the convention for every solver, keeping the
+  // sampled walk baseline aligned with MonteCarloShapley's hardcoded
+  // U(empty) = 0.
+  Workload w = MakeWorkload(4, 73);
+  LogisticRegression model(w.test.dim(), 10);
+  FedAvgConfig fcfg = SmallFedConfig(4, 2, 79);
+
+  for (CompletionSolver solver :
+       {CompletionSolver::kAls, CompletionSolver::kSgd,
+        CompletionSolver::kCcd}) {
+    ComFedSvConfig ccfg;
+    ccfg.mode = ComFedSvConfig::Mode::kSampled;
+    ccfg.num_permutations = 6;
+    ccfg.completion.rank = 2;
+    ccfg.completion.lambda = 1e-3;
+    ccfg.completion.max_iters = 15;
+    ccfg.completion.solver = solver;
+    ccfg.seed = 83;
+    ComFedSvEvaluator evaluator(&model, &w.test, 4, ccfg);
+    FedAvgTrainer trainer(&model, w.clients, w.test, fcfg);
+    ASSERT_TRUE(trainer.Train(&evaluator).ok());
+    Result<ComFedSvOutput> out = evaluator.Finalize();
+    ASSERT_TRUE(out.ok()) << out.status().ToString();
+    // The sampled recorder interns the empty prefix first: column 0.
+    const Matrix& h = out.value().completion.h;
+    for (size_t k = 0; k < h.cols(); ++k) {
+      EXPECT_EQ(h(0, k), 0.0)
+          << CompletionSolverName(solver) << " k=" << k;
+    }
+  }
+}
+
+TEST(ComFedSvEvaluatorTest, TruncatedSamplingStaysCloseToUniform) {
+  // Regression for the truncated recorder's completion input: truncated
+  // tails are recorded at the U_t(I_t) reference (not dropped), so every
+  // prefix column keeps an Assumption-1 anchor and the factor rows never
+  // stay at their random initialization. With a tolerance comparable to
+  // the utility scale, the truncated estimate must remain close to the
+  // uniform-sampler estimate from the same seed (identical permutations
+  // — only tail measurements are approximated).
+  Workload w = MakeWorkload(5, 101);
+  Rng noise_rng(102);
+  for (int i = 0; i < 5; ++i) {
+    FlipLabels(&w.clients[i], 0.2 * i, &noise_rng);
+  }
+  LogisticRegression model(w.test.dim(), 10);
+  FedAvgConfig fcfg = SmallFedConfig(6, 3, 103);
+
+  ComFedSvConfig uniform_cfg;
+  uniform_cfg.mode = ComFedSvConfig::Mode::kSampled;
+  uniform_cfg.num_permutations = 12;
+  uniform_cfg.completion.rank = 3;
+  uniform_cfg.completion.lambda = 1e-4;
+  uniform_cfg.seed = 104;
+  ComFedSvEvaluator uniform_eval(&model, &w.test, 5, uniform_cfg);
+
+  ComFedSvConfig truncated_cfg = uniform_cfg;
+  truncated_cfg.sampler.kind = SamplerKind::kTruncated;
+  truncated_cfg.sampler.truncation_tolerance = 0.05;
+  ComFedSvEvaluator truncated_eval(&model, &w.test, 5, truncated_cfg);
+
+  FanoutObserver fanout;
+  fanout.Register(&uniform_eval);
+  fanout.Register(&truncated_eval);
+  FedAvgTrainer trainer(&model, w.clients, w.test, fcfg);
+  ASSERT_TRUE(trainer.Train(&fanout).ok());
+
+  Result<ComFedSvOutput> uniform_out = uniform_eval.Finalize();
+  Result<ComFedSvOutput> truncated_out = truncated_eval.Finalize();
+  ASSERT_TRUE(uniform_out.ok()) << uniform_out.status().ToString();
+  ASSERT_TRUE(truncated_out.ok()) << truncated_out.status().ToString();
+
+  EXPECT_LE(truncated_out.value().loss_calls,
+            uniform_out.value().loss_calls + 6);  // <= 1 reference/round
+  const double scale = uniform_out.value().values.MaxAbs() + 1e-12;
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_LT(std::fabs(truncated_out.value().values[i] -
+                        uniform_out.value().values[i]),
+              0.5 * scale)
+        << i;
+  }
+}
+
 TEST(ComFedSvEvaluatorTest, FinalizeWithoutRoundsFails) {
   Workload w = MakeWorkload(3, 61);
   LogisticRegression model(w.test.dim(), 10);
   ComFedSvConfig ccfg;
   ComFedSvEvaluator evaluator(&model, &w.test, 3, ccfg);
   EXPECT_FALSE(evaluator.Finalize().ok());
+}
+
+TEST(GroundTruthEvaluatorTest, FinalizeWithoutRecordedRoundsFails) {
+  // Bernoulli-style selection can leave every round empty-selected; the
+  // recorder then records nothing and Finalize must return an error
+  // instead of CHECK-aborting in ToMatrix.
+  Workload w = MakeWorkload(3, 67);
+  LogisticRegression model(w.test.dim(), 10);
+  GroundTruthEvaluator evaluator(&model, &w.test, 3);
+  RoundRecord empty;  // no selected clients: skipped by the recorder
+  evaluator.OnRound(empty);
+  Result<Vector> out = evaluator.Finalize();
+  EXPECT_FALSE(out.ok());
+  EXPECT_EQ(out.status().code(), StatusCode::kFailedPrecondition);
 }
 
 }  // namespace

@@ -5,6 +5,8 @@
 #include <gtest/gtest.h>
 
 #include <set>
+#include <tuple>
+#include <utility>
 
 #include "data/image_sim.h"
 #include "data/partition.h"
@@ -184,6 +186,119 @@ TEST(SampledUtilityRecorderTest, RecordsOnlyPrefixesInsideSelected) {
   }
   EXPECT_EQ(static_cast<int>(round0_cols.size()),
             recorder.interner().size());
+}
+
+TEST(RecorderEmptyRoundTest, EmptySelectedRoundsAreSkipped) {
+  // Bernoulli-style selection can produce a round with no selected
+  // clients; every recorder must skip it (no triplets, no row, no loss
+  // calls) instead of emitting an empty observation row.
+  Workload w = MakeWorkload(3, 91);
+  LogisticRegression model(w.test.dim(), 10);
+  Vector params;
+  Rng rng(5);
+  model.InitializeParams(&params, &rng);
+
+  RoundRecord real;
+  real.round = 0;
+  real.global_before = params;
+  for (int i = 0; i < 3; ++i) {
+    Vector local = params;
+    local[0] += 0.01 * (i + 1);
+    real.local_models.push_back(std::move(local));
+  }
+  real.selected = {0, 1, 2};
+  real.test_loss_before = model.Loss(params, w.test);
+  RoundRecord empty = real;
+  empty.selected.clear();
+
+  FullUtilityRecorder full(&model, &w.test, 3);
+  full.OnRound(empty);
+  EXPECT_EQ(full.loss_calls(), 0);
+  full.OnRound(real);
+  full.OnRound(empty);
+  EXPECT_EQ(full.ToMatrix().rows(), 1u);
+
+  ObservedUtilityRecorder observed(&model, &w.test, 3);
+  observed.OnRound(empty);
+  EXPECT_EQ(observed.rounds_recorded(), 0);
+  EXPECT_EQ(observed.loss_calls(), 0);
+  observed.OnRound(real);
+  EXPECT_EQ(observed.rounds_recorded(), 1);
+
+  for (SamplerKind kind :
+       {SamplerKind::kUniformIid, SamplerKind::kTruncated}) {
+    SamplerConfig cfg;
+    cfg.kind = kind;
+    SampledUtilityRecorder sampled(&model, &w.test, 3, 4, 7, cfg);
+    sampled.OnRound(empty);
+    EXPECT_EQ(sampled.rounds_recorded(), 0) << SamplerKindName(kind);
+    EXPECT_EQ(sampled.loss_calls(), 0) << SamplerKindName(kind);
+    sampled.OnRound(real);
+    EXPECT_EQ(sampled.rounds_recorded(), 1) << SamplerKindName(kind);
+  }
+}
+
+TEST(SampledUtilityRecorderTest, TruncatedModeSkipsTailLossCalls) {
+  // Same seed => same permutations; only the walk behavior differs.
+  // With tolerance 0 the truncated recorder measures exactly the uniform
+  // recorder's entry set (plus at most one reference loss call per
+  // round); with an effectively-infinite tolerance every permutation
+  // truncates after its first position — far fewer loss calls — while
+  // still *recording* every observable prefix column (at the U_t(I_t)
+  // reference value), so the completion never sees an unobserved column.
+  Workload w = MakeWorkload(6, 95);
+  LogisticRegression model(w.test.dim(), 10);
+
+  SampledUtilityRecorder uniform(&model, &w.test, 6, 5, 43);
+  SamplerConfig tight;
+  tight.kind = SamplerKind::kTruncated;
+  tight.truncation_tolerance = 0.0;
+  SampledUtilityRecorder truncated_tight(&model, &w.test, 6, 5, 43, tight);
+  SamplerConfig loose;
+  loose.kind = SamplerKind::kTruncated;
+  loose.truncation_tolerance = 1e300;
+  SampledUtilityRecorder truncated_loose(&model, &w.test, 6, 5, 43, loose);
+
+  FanoutObserver fanout;
+  fanout.Register(&uniform);
+  fanout.Register(&truncated_tight);
+  fanout.Register(&truncated_loose);
+  FedAvgTrainer trainer(&model, w.clients, w.test,
+                        SmallFedConfig(4, 3, 47));
+  ASSERT_TRUE(trainer.Train(&fanout).ok());
+  EXPECT_EQ(truncated_tight.permutations(), uniform.permutations());
+
+  auto entry_set = [](const ObservationSet& obs) {
+    std::set<std::tuple<int, int, double>> s;
+    for (const Observation& o : obs.entries()) {
+      s.insert({o.row, o.col, o.value});
+    }
+    return s;
+  };
+  auto cell_set = [](const ObservationSet& obs) {
+    std::set<std::pair<int, int>> s;
+    for (const Observation& o : obs.entries()) s.insert({o.row, o.col});
+    return s;
+  };
+  ObservationSet uniform_obs = uniform.BuildObservations();
+  ObservationSet tight_obs = truncated_tight.BuildObservations();
+  ObservationSet loose_obs = truncated_loose.BuildObservations();
+
+  // Zero tolerance: same observable prefixes (exact-equality truncation
+  // can only fire on the last position), discovered wave-order instead
+  // of permutation-order — the entry sets must match exactly, values
+  // included.
+  EXPECT_EQ(entry_set(tight_obs), entry_set(uniform_obs));
+  EXPECT_GE(truncated_tight.loss_calls(), uniform.loss_calls());
+  // At most one extra U_t(I_t) reference call per recorded round.
+  EXPECT_LE(truncated_tight.loss_calls(),
+            uniform.loss_calls() + truncated_tight.rounds_recorded());
+
+  // Effectively-infinite tolerance: every walk stops measuring after
+  // position 0, but the observed (round, column) coverage is preserved —
+  // the Assumption-1 anchor the completion relies on.
+  EXPECT_LT(truncated_loose.loss_calls(), uniform.loss_calls());
+  EXPECT_EQ(cell_set(loose_obs), cell_set(uniform_obs));
 }
 
 TEST(SampledUtilityRecorderTest, SupportsManyClients) {

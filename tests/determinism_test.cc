@@ -110,6 +110,72 @@ TEST(DeterminismTest, SampledPipelineIsThreadCountInvariant) {
                      "final params inline vs threads=4");
 }
 
+TEST(DeterminismTest, SamplerPipelinesAreThreadCountInvariant) {
+  // Every non-default permutation sampler (antithetic pairs, stratified
+  // rotation blocks, truncated walks) must keep the whole pipeline —
+  // Monte-Carlo FedSV walks and the sampled ComFedSV recorder —
+  // bit-identical across thread counts {1, 4} and inline execution.
+  // Orderings are drawn up front from the seed, and the truncated wave
+  // walk decides from utilities only, so nothing may depend on
+  // scheduling.
+  const int n = 5;
+  Workload w = MakeWorkload(n, 555);
+  LogisticRegression model(w.test.dim(), 10);
+
+  FedAvgConfig fed_cfg;
+  fed_cfg.num_rounds = 4;
+  fed_cfg.clients_per_round = 3;
+  fed_cfg.seed = 61;
+
+  for (SamplerKind kind :
+       {SamplerKind::kAntithetic, SamplerKind::kStratified,
+        SamplerKind::kTruncated}) {
+    SCOPED_TRACE(SamplerKindName(kind));
+    ValuationRequest request;
+    request.compute_fedsv = true;
+    request.fedsv.mode = FedSvConfig::Mode::kMonteCarlo;
+    request.fedsv.permutations_per_round = 7;
+    request.fedsv.sampler.kind = kind;
+    request.fedsv.sampler.truncation_tolerance = 0.02;
+    request.fedsv.seed = 62;
+    request.compute_comfedsv = true;
+    request.comfedsv.mode = ComFedSvConfig::Mode::kSampled;
+    request.comfedsv.num_permutations = 6;
+    request.comfedsv.sampler.kind = kind;
+    request.comfedsv.sampler.truncation_tolerance = 0.02;
+    request.comfedsv.completion.rank = 2;
+    request.comfedsv.completion.lambda = 1e-3;
+    request.comfedsv.completion.max_iters = 30;
+    request.comfedsv.seed = 63;
+
+    ValuationOutcome inline_run =
+        RunWith(w, model, fed_cfg, request, nullptr);
+    ExecutionContext single(1, 64);
+    ValuationOutcome single_run =
+        RunWith(w, model, fed_cfg, request, &single);
+    ExecutionContext threaded(4, 64);
+    ValuationOutcome threaded_run =
+        RunWith(w, model, fed_cfg, request, &threaded);
+
+    ASSERT_TRUE(inline_run.fedsv_values.has_value());
+    ExpectBitIdentical(*inline_run.fedsv_values, *single_run.fedsv_values,
+                       "sampler FedSV inline vs threads=1");
+    ExpectBitIdentical(*inline_run.fedsv_values,
+                       *threaded_run.fedsv_values,
+                       "sampler FedSV inline vs threads=4");
+    ASSERT_TRUE(inline_run.comfedsv.has_value());
+    ExpectBitIdentical(inline_run.comfedsv->values,
+                       single_run.comfedsv->values,
+                       "sampler ComFedSV inline vs threads=1");
+    ExpectBitIdentical(inline_run.comfedsv->values,
+                       threaded_run.comfedsv->values,
+                       "sampler ComFedSV inline vs threads=4");
+    EXPECT_EQ(inline_run.fedsv_loss_calls, threaded_run.fedsv_loss_calls);
+    EXPECT_EQ(inline_run.comfedsv->loss_calls,
+              threaded_run.comfedsv->loss_calls);
+  }
+}
+
 TEST(DeterminismTest, BatchedEngineMlpPipelineIsThreadCountInvariant) {
   // Runs the full pipeline through the batched coalition-loss engine
   // with the Mlp override (packed layer-0 kernel + shared forward tail):

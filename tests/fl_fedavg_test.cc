@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <set>
 
 #include "data/image_sim.h"
@@ -68,6 +69,68 @@ TEST(SelectionTest, UniformInclusionFrequency) {
   }
   for (int c = 0; c < 10; ++c) {
     EXPECT_NEAR(counts[c] / static_cast<double>(trials), 0.3, 0.03);
+  }
+}
+
+TEST(SelectionTest, BernoulliSelectorRangeAndEdgeProbabilities) {
+  BernoulliSelector sel(0.4);
+  Rng rng(3);
+  int total = 0;
+  for (int round = 0; round < 200; ++round) {
+    std::vector<int> picked = sel.Select(round, 10, &rng);
+    EXPECT_TRUE(std::is_sorted(picked.begin(), picked.end()));
+    for (int c : picked) {
+      EXPECT_GE(c, 0);
+      EXPECT_LT(c, 10);
+    }
+    total += static_cast<int>(picked.size());
+  }
+  // 200 rounds x 10 clients x p=0.4: mean 800, far from the tails.
+  EXPECT_GT(total, 650);
+  EXPECT_LT(total, 950);
+
+  BernoulliSelector none(0.0);
+  EXPECT_TRUE(none.Select(0, 5, &rng).empty());
+  BernoulliSelector all(1.0);
+  EXPECT_EQ(all.Select(0, 5, &rng).size(), 5u);
+}
+
+TEST(FedAvgTest, SurvivesEmptySelectionRounds) {
+  // A Bernoulli selector with p = 0 never selects anyone: the trainer
+  // must carry the global model through unchanged (no aggregation, no
+  // division by zero) while still notifying observers, which record zero
+  // contribution for such rounds.
+  Workload w = MakeWorkload(3, 77);
+  LogisticRegression model(w.test.dim(), 10);
+  FedAvgConfig cfg;
+  cfg.num_rounds = 3;
+  cfg.clients_per_round = 2;
+  cfg.seed = 78;
+
+  struct Capture : RoundObserver {
+    std::vector<size_t> selected_sizes;
+    std::vector<Vector> globals;
+    void OnRound(const RoundRecord& r) override {
+      selected_sizes.push_back(r.selected.size());
+      globals.push_back(r.global_before);
+    }
+  } capture;
+
+  BernoulliSelector never(0.0);
+  FedAvgTrainer trainer(&model, w.clients, w.test, cfg);
+  Result<TrainingResult> result = trainer.Train(&capture, &never);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ASSERT_EQ(capture.selected_sizes.size(), 3u);
+  for (size_t s : capture.selected_sizes) EXPECT_EQ(s, 0u);
+  // The global model never moves.
+  for (const Vector& g : capture.globals) {
+    ASSERT_EQ(g.size(), capture.globals[0].size());
+    for (size_t i = 0; i < g.size(); ++i) {
+      EXPECT_EQ(g[i], capture.globals[0][i]);
+    }
+  }
+  for (size_t i = 0; i < result.value().final_params.size(); ++i) {
+    EXPECT_EQ(result.value().final_params[i], capture.globals[0][i]);
   }
 }
 

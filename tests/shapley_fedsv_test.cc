@@ -154,6 +154,35 @@ TEST(FedSvRoundTest, RoundBalanceEqualsSelectedUtility) {
   EXPECT_NEAR(eval.values().Sum(), full, 1e-10);
 }
 
+TEST(FedSvRoundTest, EmptySelectedRoundIsSkippedInBothModes) {
+  // Bernoulli-style selection can produce a round with no selected
+  // clients; the evaluator must record zero contribution for it instead
+  // of crashing on the estimators' "no players" guard, and later rounds
+  // must keep accumulating normally.
+  QuadraticModel model;
+  Dataset test = ScalarDataset({1.0});
+  RoundRecord empty_rec = MakeRecord(0.0, {1.0, 0.5}, {}, model, test);
+  RoundRecord real_rec = MakeRecord(0.0, {1.0, 0.5}, {0, 1}, model, test);
+
+  for (FedSvConfig::Mode mode :
+       {FedSvConfig::Mode::kExact, FedSvConfig::Mode::kMonteCarlo}) {
+    FedSvConfig cfg;
+    cfg.mode = mode;
+    cfg.permutations_per_round = 8;
+    FedSvEvaluator eval(&model, &test, 2, cfg);
+    eval.OnRound(empty_rec);
+    EXPECT_DOUBLE_EQ(eval.values()[0], 0.0);
+    EXPECT_DOUBLE_EQ(eval.values()[1], 0.0);
+    EXPECT_EQ(eval.loss_calls(), 0);
+
+    eval.OnRound(real_rec);
+    EXPECT_NE(eval.values()[0], 0.0);
+    const double after_real = eval.values()[0];
+    eval.OnRound(empty_rec);  // still a no-op between real rounds
+    EXPECT_DOUBLE_EQ(eval.values()[0], after_real);
+  }
+}
+
 TEST(FedSvRoundTest, MonteCarloApproximatesExact) {
   QuadraticModel model;
   Dataset test = ScalarDataset({1.0});

@@ -3,7 +3,10 @@
 
 #include <gtest/gtest.h>
 
+#include <bit>
 #include <cmath>
+
+#include "common/combinatorics.h"
 
 namespace comfedsv {
 namespace {
@@ -111,6 +114,46 @@ TEST(ExactShapleyTest, GuardsAgainstExponentialBlowup) {
 
 TEST(ExactShapleyTest, EmptyPlayersRejected) {
   EXPECT_FALSE(ExactShapley(3, {}, AdditiveGame({1, 1, 1})).ok());
+}
+
+TEST(ExactShapleyTest, HoistedWeightTableIsBitIdenticalToInlineDivision) {
+  // ExactShapley precomputes 1 / C(m-1, |S|) per coalition size instead
+  // of dividing inside the 2^m * m mask loop. Recompute with the inline
+  // division here and require exact (bit-level) agreement.
+  const int m = 6;
+  std::vector<int> players = {0, 1, 2, 3, 4, 5};
+  UtilityFn game = [](const Coalition& c) {
+    double v = 0.0;
+    for (int i : c.Members()) v += std::sqrt(i + 2.0) * 0.37;
+    const double k = static_cast<double>(c.Count());
+    v += 0.21 * k * k;
+    if (c.Contains(1) && c.Contains(4)) v += 0.5;
+    return v;
+  };
+  Result<Vector> hoisted = ExactShapley(m, players, game);
+  ASSERT_TRUE(hoisted.ok());
+
+  const uint32_t num_subsets = 1u << m;
+  std::vector<double> subset_utility(num_subsets);
+  for (uint32_t mask = 0; mask < num_subsets; ++mask) {
+    Coalition c(m);
+    for (int p = 0; p < m; ++p) {
+      if (mask & (1u << p)) c.Add(players[p]);
+    }
+    subset_utility[mask] = game(c);
+  }
+  for (int p = 0; p < m; ++p) {
+    const uint32_t bit = 1u << p;
+    double acc = 0.0;
+    for (uint32_t mask = 0; mask < num_subsets; ++mask) {
+      if (mask & bit) continue;
+      const int s = std::popcount(mask);
+      const double weight = 1.0 / Binomial(m - 1, s);
+      acc += weight * (subset_utility[mask | bit] - subset_utility[mask]);
+    }
+    EXPECT_EQ(hoisted.value()[players[p]], acc / static_cast<double>(m))
+        << "player " << p;
+  }
 }
 
 TEST(MonteCarloShapleyTest, ConvergesToExactOnRandomGame) {
