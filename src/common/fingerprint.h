@@ -1,0 +1,32 @@
+// FNV-1a 64 fingerprint mixing: the one hash primitive behind every
+// checkpoint-compatibility key (trainer config/data, valuation request,
+// streaming-engine config). Fingerprints are persisted on disk, so all
+// producers must share this exact mixing — do not fork local copies.
+#ifndef COMFEDSV_COMMON_FINGERPRINT_H_
+#define COMFEDSV_COMMON_FINGERPRINT_H_
+
+#include <bit>
+#include <cstdint>
+
+namespace comfedsv {
+
+inline constexpr uint64_t kFingerprintSeed = 0xcbf29ce484222325ULL;
+
+/// Mixes the 8 bytes of `value` into `*hash` (FNV-1a, little-endian
+/// byte order — matches io/serialize.h's Fnv1a64 over the same bytes).
+inline void FingerprintMix(uint64_t* hash, uint64_t value) {
+  for (int b = 0; b < 8; ++b) {
+    *hash ^= (value >> (8 * b)) & 0xFFu;
+    *hash *= 0x100000001b3ULL;
+  }
+}
+
+/// Mixes a double by bit pattern (distinguishes -0.0 from 0.0 and every
+/// NaN payload; fingerprints care about representation, not value).
+inline void FingerprintMix(uint64_t* hash, double value) {
+  FingerprintMix(hash, std::bit_cast<uint64_t>(value));
+}
+
+}  // namespace comfedsv
+
+#endif  // COMFEDSV_COMMON_FINGERPRINT_H_

@@ -92,6 +92,30 @@ Rng Rng::Split(uint64_t salt) const {
   return Rng(SplitMix64(&s));
 }
 
+RngState Rng::SaveState() const {
+  RngState s;
+  for (int i = 0; i < 4; ++i) s.words[i] = state_[i];
+  s.has_cached_gaussian = has_cached_gaussian_;
+  s.cached_gaussian = cached_gaussian_;
+  return s;
+}
+
+Rng Rng::FromState(const RngState& state) {
+  // xoshiro256** is stuck at zero forever from the all-zero state. No
+  // SaveState() of a live generator can produce it (seeding always
+  // yields non-zero words), so hitting it means the caller built the
+  // state by hand or loaded it unvalidated — the checkpoint loader
+  // (io/checkpoint.cc) rejects it as corrupt; enforce the same here.
+  COMFEDSV_CHECK_MSG((state.words[0] | state.words[1] | state.words[2] |
+                      state.words[3]) != 0,
+                     "Rng::FromState: all-zero xoshiro state");
+  Rng rng(0);
+  for (int i = 0; i < 4; ++i) rng.state_[i] = state.words[i];
+  rng.has_cached_gaussian_ = state.has_cached_gaussian;
+  rng.cached_gaussian_ = state.cached_gaussian;
+  return rng;
+}
+
 std::vector<int> Rng::Permutation(int n) {
   COMFEDSV_CHECK_GE(n, 0);
   std::vector<int> perm(n);

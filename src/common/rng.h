@@ -16,6 +16,23 @@
 
 namespace comfedsv {
 
+/// Snapshot of a generator's complete state: the four xoshiro256** state
+/// words plus the Box–Muller Gaussian cache. A generator restored from a
+/// saved state continues its output sequence bit for bit — the unit the
+/// checkpoint layer (src/io/) persists for every stateful RNG stream.
+struct RngState {
+  uint64_t words[4] = {0, 0, 0, 0};
+  bool has_cached_gaussian = false;
+  double cached_gaussian = 0.0;
+
+  bool operator==(const RngState& other) const {
+    return words[0] == other.words[0] && words[1] == other.words[1] &&
+           words[2] == other.words[2] && words[3] == other.words[3] &&
+           has_cached_gaussian == other.has_cached_gaussian &&
+           cached_gaussian == other.cached_gaussian;
+  }
+};
+
 /// Deterministic, splittable pseudo-random generator (xoshiro256**).
 class Rng {
  public:
@@ -50,6 +67,11 @@ class Rng {
   /// Splitting does not advance this generator's own sequence in a way
   /// dependent on how many children were created with distinct salts.
   Rng Split(uint64_t salt) const;
+
+  /// Snapshot of the complete generator state (including the Gaussian
+  /// cache); FromState resumes the sequence bit for bit.
+  RngState SaveState() const;
+  static Rng FromState(const RngState& state);
 
   /// Fisher–Yates shuffles `v` in place.
   template <typename T>

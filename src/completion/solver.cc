@@ -226,15 +226,18 @@ void CopyLeadingColumns(const Matrix& src, int k, Matrix* dst) {
 
 Result<CompletionResult> SolveAls(const ObservationSet& obs,
                                   const CompletionConfig& cfg, Matrix w,
-                                  Matrix h, ThreadPool* pool) {
+                                  Matrix h, bool staged_growth,
+                                  ThreadPool* pool) {
   // Staged rank growth: fit one latent dimension at a time, warm-starting
   // each stage from the previous fit. Plain joint ALS from a random init
   // is prone to poor basins when observations are sparse and unevenly
   // distributed (the utility matrix's single Everyone-Being-Heard row);
   // growing the rank mimics the spectral ordering (dominant directions
-  // first) while keeping ALS's exact row solves.
+  // first) while keeping ALS's exact row solves. Warm-started solves
+  // (CompleteMatrixWarm) skip the pre-phase: their factors already
+  // select a basin.
   const int warm_iters = std::max(5, cfg.max_iters / (2 * cfg.rank));
-  for (int k = 1; k < cfg.rank; ++k) {
+  for (int k = staged_growth ? 1 : cfg.rank; k < cfg.rank; ++k) {
     Matrix wk(w.rows(), k);
     Matrix hk(h.rows(), k);
     CopyLeadingColumns(w, k, &wk);
@@ -533,9 +536,13 @@ double CompletionResult::Predict(int row, int col) const {
   return acc;
 }
 
-Result<CompletionResult> CompleteMatrix(const ObservationSet& observations,
-                                        const CompletionConfig& config,
-                                        ExecutionContext* ctx) {
+namespace {
+
+// Shared entry point of the cold and warm solves: `warm` (optional)
+// seeds the leading factor rows and disables ALS staged rank growth.
+Result<CompletionResult> CompleteMatrixImpl(
+    const ObservationSet& observations, const CompletionConfig& config,
+    const FactorPair* warm, ExecutionContext* ctx) {
   if (config.rank <= 0) {
     return Status::InvalidArgument("completion rank must be positive");
   }
@@ -556,6 +563,18 @@ Result<CompletionResult> CompleteMatrix(const ObservationSet& observations,
     return Status::InvalidArgument(
         "ALS/CCD require lambda > 0 for well-posed row solves");
   }
+  if (warm != nullptr) {
+    if (warm->w.cols() != static_cast<size_t>(config.rank) ||
+        warm->h.cols() != static_cast<size_t>(config.rank)) {
+      return Status::InvalidArgument(
+          "warm-start factor rank does not match config.rank");
+    }
+    if (warm->w.rows() > static_cast<size_t>(observations.num_rows()) ||
+        warm->h.rows() > static_cast<size_t>(observations.num_cols())) {
+      return Status::InvalidArgument(
+          "warm-start factors have more rows than the problem");
+    }
+  }
 
   Rng rng(config.seed ^ 0x4D435000ULL);
   Matrix w(observations.num_rows(), config.rank);
@@ -575,12 +594,24 @@ Result<CompletionResult> CompleteMatrix(const ObservationSet& observations,
   }
   RandomInit(&w, init_scale, &rng);
   RandomInit(&h, init_scale, &rng);
+  if (warm != nullptr) {
+    // Rows fitted in the previous (prefix) solve carry over; rows the
+    // prefix never saw keep the seeded random init drawn above.
+    for (size_t i = 0; i < warm->w.rows(); ++i) {
+      std::copy(warm->w.RowPtr(i), warm->w.RowPtr(i) + config.rank,
+                w.RowPtr(i));
+    }
+    for (size_t j = 0; j < warm->h.rows(); ++j) {
+      std::copy(warm->h.RowPtr(j), warm->h.RowPtr(j) + config.rank,
+                h.RowPtr(j));
+    }
+  }
 
   ThreadPool* pool = ctx != nullptr ? &ctx->pool() : nullptr;
   switch (config.solver) {
     case CompletionSolver::kAls:
       return SolveAls(observations, config, std::move(w), std::move(h),
-                      pool);
+                      /*staged_growth=*/warm == nullptr, pool);
     case CompletionSolver::kCcd:
       return SolveCcd(observations, config, std::move(w), std::move(h),
                       pool);
@@ -589,6 +620,20 @@ Result<CompletionResult> CompleteMatrix(const ObservationSet& observations,
                       pool);
   }
   return Status::InvalidArgument("unknown completion solver");
+}
+
+}  // namespace
+
+Result<CompletionResult> CompleteMatrix(const ObservationSet& observations,
+                                        const CompletionConfig& config,
+                                        ExecutionContext* ctx) {
+  return CompleteMatrixImpl(observations, config, nullptr, ctx);
+}
+
+Result<CompletionResult> CompleteMatrixWarm(
+    const ObservationSet& observations, const CompletionConfig& config,
+    const FactorPair& warm, ExecutionContext* ctx) {
+  return CompleteMatrixImpl(observations, config, &warm, ctx);
 }
 
 }  // namespace comfedsv

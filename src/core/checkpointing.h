@@ -1,0 +1,117 @@
+// Whole-pipeline checkpointing: composes the io/ building blocks into a
+// single versioned checkpoint of a mid-flight valuation run — trainer
+// state plus the accumulated state of every requested evaluator — so a
+// run killed after round t resumes from the round-t file and produces
+// bit-identical final values (tests/determinism_test.cc enforces this).
+//
+// File layout: the io/serialize.h container (magic "CFSV", version,
+// checksum) around one kValuationCheckpoint chunk holding the
+// config/data fingerprint, the trainer state, and one presence-flagged
+// state chunk per evaluator. See README.md "Checkpointing & streaming
+// valuation".
+#ifndef COMFEDSV_CORE_CHECKPOINTING_H_
+#define COMFEDSV_CORE_CHECKPOINTING_H_
+
+#include <string>
+
+#include "core/evaluator.h"
+#include "fl/fedavg.h"
+#include "io/checkpoint.h"
+#include "io/serialize.h"
+#include "shapley/fedsv.h"
+
+namespace comfedsv {
+
+struct ValuationRequest;  // core/pipeline.h
+
+/// Where and how often RunValuationCheckpointed persists its state.
+struct CheckpointConfig {
+  /// Checkpoint file. Each save atomically replaces it (write to
+  /// `path + ".tmp"`, then rename), so a crash never corrupts the last
+  /// good checkpoint.
+  std::string path;
+  /// Save after every k-th completed round (and always after the last).
+  int every_rounds = 1;
+  /// Load `path` before round 0 when it exists. A checkpoint written
+  /// under a different config/data/model is an error, not a silent
+  /// restart.
+  bool resume = true;
+  /// Test-only crash injection: abort the run (error Status) once this
+  /// many rounds have completed, *after* the cadence save for that
+  /// round. Negative disables. Lets tests exercise kill-at-round-t →
+  /// resume without actually killing the process.
+  int inject_crash_after_round = -1;
+};
+
+/// Fingerprint of everything a checkpoint must agree on to be resumable:
+/// the trainer's (config, full data contents, model identity)
+/// fingerprint mixed with every field of the valuation request. Two
+/// runs with equal fingerprints record identical per-round state.
+uint64_t ValuationFingerprint(const FedAvgTrainer& trainer,
+                              const ValuationRequest& request);
+
+/// The request-only contribution to ValuationFingerprint — also the
+/// compatibility key of StreamingValuationEngine state, which has no
+/// trainer attached.
+uint64_t RequestFingerprint(const ValuationRequest& request);
+
+// State-chunk serializers for the evaluator states (io/checkpoint.h
+// covers the lower-level types). Same contract: Save* writes one chunk,
+// Load* validates tag/length/invariants and returns Status.
+void SaveFedSvState(const FedSvEvaluatorState& s, BinaryWriter* out);
+Status LoadFedSvState(BinaryReader* in, FedSvEvaluatorState* s);
+
+void SaveFullRecorderState(const FullRecorderState& s, BinaryWriter* out);
+Status LoadFullRecorderState(BinaryReader* in, FullRecorderState* s);
+
+void SaveObservedRecorderState(const ObservedRecorderState& s,
+                               BinaryWriter* out);
+Status LoadObservedRecorderState(BinaryReader* in,
+                                 ObservedRecorderState* s);
+
+void SaveSampledRecorderState(const SampledRecorderState& s,
+                              BinaryWriter* out);
+Status LoadSampledRecorderState(BinaryReader* in, SampledRecorderState* s);
+
+/// Presence-flagged state sequence for the three optional evaluators —
+/// the shared middle section of both the pipeline's
+/// kValuationCheckpoint chunk and the streaming engine's
+/// kStreamingEngineState chunk. Save records each evaluator as
+/// present/absent (plus the ComFedSV full-vs-sampled mode flag); Load
+/// requires the flags to match the evaluators passed in, parses every
+/// state chunk, and only then applies the restores. If an apply-phase
+/// restore fails (a checksum-valid but structurally inconsistent
+/// state), the evaluators may be left partially restored — callers must
+/// treat any error as fatal and discard the components.
+void SaveEvaluatorStates(const FedSvEvaluator* fedsv,
+                         const ComFedSvEvaluator* comfedsv,
+                         const GroundTruthEvaluator* ground_truth,
+                         BinaryWriter* out);
+Status LoadEvaluatorStates(BinaryReader* in, FedSvEvaluator* fedsv,
+                           ComFedSvEvaluator* comfedsv,
+                           GroundTruthEvaluator* ground_truth);
+
+/// Writes the composite checkpoint for the given mid-run pipeline state.
+/// Null evaluators are recorded as absent. `fingerprint` should be
+/// ValuationFingerprint of the run.
+Status SaveValuationCheckpoint(const std::string& path, uint64_t fingerprint,
+                               const FedAvgTrainer& trainer,
+                               const FedSvEvaluator* fedsv,
+                               const ComFedSvEvaluator* comfedsv,
+                               const GroundTruthEvaluator* ground_truth);
+
+/// Restores a composite checkpoint into freshly constructed pipeline
+/// components. Returns NotFound when no file exists (callers start
+/// fresh), FailedPrecondition when the checkpoint's fingerprint or
+/// evaluator presence flags do not match this run, and other error codes
+/// for malformed bytes. On success the trainer is positioned at the
+/// checkpointed round and every evaluator holds its saved accumulation.
+Status LoadValuationCheckpoint(const std::string& path, uint64_t fingerprint,
+                               FedAvgTrainer* trainer,
+                               FedSvEvaluator* fedsv,
+                               ComFedSvEvaluator* comfedsv,
+                               GroundTruthEvaluator* ground_truth);
+
+}  // namespace comfedsv
+
+#endif  // COMFEDSV_CORE_CHECKPOINTING_H_

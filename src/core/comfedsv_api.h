@@ -10,8 +10,10 @@
 //   * shapley/     — coalition utilities, exact & Monte-Carlo Shapley,
 //                    the FedSV baseline
 //   * completion/  — low-rank matrix completion (ALS / CCD++ / SGD)
-//   * core/        — ComFedSvEvaluator, GroundTruthEvaluator, and the
-//                    one-call RunValuation pipeline
+//   * io/          — versioned binary serialization & checkpoint files
+//   * core/        — ComFedSvEvaluator, GroundTruthEvaluator, the
+//                    one-call RunValuation pipeline (plain and
+//                    checkpointed), and the StreamingValuationEngine
 //   * metrics/     — Spearman, Jaccard, ECDF, relative difference
 #ifndef COMFEDSV_CORE_COMFEDSV_API_H_
 #define COMFEDSV_CORE_COMFEDSV_API_H_
@@ -24,15 +26,19 @@
 #include "common/stopwatch.h"
 #include "common/table.h"
 #include "completion/solver.h"
+#include "core/checkpointing.h"
 #include "core/comfedsv_values.h"
 #include "core/evaluator.h"
 #include "core/pipeline.h"
 #include "core/recorders.h"
+#include "core/streaming.h"
 #include "data/image_sim.h"
 #include "data/noise.h"
 #include "data/partition.h"
 #include "data/synthetic.h"
 #include "fl/fedavg.h"
+#include "io/checkpoint.h"
+#include "io/serialize.h"
 #include "linalg/eps_rank.h"
 #include "linalg/svd.h"
 #include "metrics/metrics.h"

@@ -63,8 +63,28 @@ void ComFedSvEvaluator::OnRound(const RoundRecord& record) {
 }
 
 Result<ComFedSvOutput> ComFedSvEvaluator::Finalize() const {
+  return FinalizeImpl(nullptr, 0);
+}
+
+Result<ComFedSvOutput> ComFedSvEvaluator::FinalizeWarm(
+    const FactorPair& warm, int max_iters_override) const {
+  return FinalizeImpl(&warm, max_iters_override);
+}
+
+Result<ComFedSvOutput> ComFedSvEvaluator::FinalizeImpl(
+    const FactorPair* warm, int max_iters_override) const {
   Stopwatch timer;
   ComFedSvOutput out;
+  CompletionConfig completion_config = config_.completion;
+  if (max_iters_override > 0) {
+    completion_config.max_iters = max_iters_override;
+  }
+  auto solve = [&](const ObservationSet& obs) {
+    return warm != nullptr
+               ? CompleteMatrixWarm(obs, completion_config, *warm, ctx_)
+               : CompleteMatrix(obs, completion_config, ctx_);
+  };
+
   if (full_recorder_ != nullptr) {
     if (full_recorder_->rounds_recorded() == 0) {
       return Status::FailedPrecondition("no rounds recorded");
@@ -73,8 +93,7 @@ Result<ComFedSvOutput> ComFedSvEvaluator::Finalize() const {
     out.observed_density = obs.Density();
     out.num_columns = obs.num_cols();
     Stopwatch completion_timer;
-    Result<CompletionResult> completion =
-        CompleteMatrix(obs, config_.completion, ctx_);
+    Result<CompletionResult> completion = solve(obs);
     out.completion_seconds = completion_timer.ElapsedSeconds();
     if (!completion.ok()) return completion.status();
     PinEmptyColumnFactor(
@@ -98,8 +117,7 @@ Result<ComFedSvOutput> ComFedSvEvaluator::Finalize() const {
   out.observed_density = obs.Density();
   out.num_columns = obs.num_cols();
   Stopwatch completion_timer;
-  Result<CompletionResult> completion =
-      CompleteMatrix(obs, config_.completion, ctx_);
+  Result<CompletionResult> completion = solve(obs);
   out.completion_seconds = completion_timer.ElapsedSeconds();
   if (!completion.ok()) return completion.status();
   PinEmptyColumnFactor(sampled_recorder_->prefix_columns()[0][0],

@@ -67,13 +67,39 @@ class ComFedSvEvaluator : public RoundObserver {
 
   void OnRound(const RoundRecord& record) override;
 
-  /// Completes the utility matrix and evaluates ComFedSV. Call once,
-  /// after training.
+  /// Completes the utility matrix and evaluates ComFedSV. May be called
+  /// after any number of recorded rounds (the streaming engine calls it
+  /// per snapshot); the classic pipeline calls it once, after training.
   Result<ComFedSvOutput> Finalize() const;
+
+  /// As Finalize(), but warm-starting the completion solve from `warm`
+  /// (CompleteMatrixWarm: factors of a previous snapshot's solve over a
+  /// prefix of the current rounds/columns) and, when `max_iters_override`
+  /// is positive, capping the solver sweeps at it. The streaming
+  /// engine's cheap-refresh path.
+  Result<ComFedSvOutput> FinalizeWarm(const FactorPair& warm,
+                                      int max_iters_override) const;
 
   int num_clients() const { return num_clients_; }
 
+  /// The active recorder, per config mode (the other getter returns
+  /// null). Exposed for checkpoint save/restore and for the streaming
+  /// engine's incremental observation access.
+  ObservedUtilityRecorder* full_recorder() { return full_recorder_.get(); }
+  const ObservedUtilityRecorder* full_recorder() const {
+    return full_recorder_.get();
+  }
+  SampledUtilityRecorder* sampled_recorder() {
+    return sampled_recorder_.get();
+  }
+  const SampledUtilityRecorder* sampled_recorder() const {
+    return sampled_recorder_.get();
+  }
+
  private:
+  Result<ComFedSvOutput> FinalizeImpl(const FactorPair* warm,
+                                      int max_iters_override) const;
+
   const Model* model_;
   const Dataset* test_data_;
   int num_clients_;
@@ -104,6 +130,10 @@ class GroundTruthEvaluator : public RoundObserver {
 
   int64_t loss_calls() const { return recorder_.loss_calls(); }
   double seconds() const { return recorder_.seconds(); }
+
+  /// The underlying recorder, exposed for checkpoint save/restore.
+  FullUtilityRecorder* recorder() { return &recorder_; }
+  const FullUtilityRecorder* recorder() const { return &recorder_; }
 
  private:
   int num_clients_;

@@ -5,13 +5,19 @@
 #include "common/stopwatch.h"
 
 namespace comfedsv {
+namespace {
 
-Result<ValuationOutcome> RunValuation(const Model& model,
-                                      std::vector<Dataset> client_data,
-                                      Dataset test_data,
-                                      const FedAvgConfig& fed_config,
-                                      const ValuationRequest& request,
-                                      ExecutionContext* ctx) {
+// Shared driver of the plain and checkpointed pipelines. The trainer is
+// driven through its streaming lifecycle (Begin / Step / Finish) so the
+// checkpointed variant can persist and restore mid-run state between
+// rounds; the plain variant is the same loop with `checkpoint` null.
+Result<ValuationOutcome> RunValuationImpl(const Model& model,
+                                          std::vector<Dataset> client_data,
+                                          Dataset test_data,
+                                          const FedAvgConfig& fed_config,
+                                          const ValuationRequest& request,
+                                          const CheckpointConfig* checkpoint,
+                                          ExecutionContext* ctx) {
   const int n = static_cast<int>(client_data.size());
   if (n == 0) return Status::InvalidArgument("no clients");
 
@@ -24,6 +30,15 @@ Result<ValuationOutcome> RunValuation(const Model& model,
         "full ComFedSV / ground truth require select_all_first_round "
         "(Assumption 1)");
   }
+  if (checkpoint != nullptr) {
+    if (checkpoint->path.empty()) {
+      return Status::InvalidArgument("checkpoint path must be non-empty");
+    }
+    if (checkpoint->every_rounds <= 0) {
+      return Status::InvalidArgument(
+          "checkpoint every_rounds must be positive");
+    }
+  }
 
   FedAvgTrainer trainer(&model, std::move(client_data),
                         std::move(test_data), fed_config, ctx);
@@ -33,7 +48,8 @@ Result<ValuationOutcome> RunValuation(const Model& model,
   std::unique_ptr<GroundTruthEvaluator> ground_truth;
   FanoutObserver fanout;
 
-  // Wall-time per observer, accumulated with a timing shim.
+  // Wall-time per observer, accumulated with a timing shim. (On a
+  // resumed run this counts only the resumed rounds.)
   struct TimedObserver : RoundObserver {
     RoundObserver* inner = nullptr;
     double seconds = 0.0;
@@ -62,7 +78,42 @@ Result<ValuationOutcome> RunValuation(const Model& model,
     fanout.Register(ground_truth.get());
   }
 
-  Result<TrainingResult> training = trainer.Train(&fanout);
+  COMFEDSV_RETURN_IF_ERROR(trainer.Begin());
+
+  uint64_t fingerprint = 0;
+  if (checkpoint != nullptr) {
+    fingerprint = ValuationFingerprint(trainer, request);
+    if (checkpoint->resume) {
+      Status restored = LoadValuationCheckpoint(
+          checkpoint->path, fingerprint, &trainer, fedsv.get(),
+          comfedsv.get(), ground_truth.get());
+      // No file yet means a fresh run; anything else (fingerprint
+      // mismatch, corrupt bytes) must not silently recompute T rounds.
+      if (!restored.ok() && restored.code() != StatusCode::kNotFound) {
+        return restored;
+      }
+    }
+  }
+
+  while (!trainer.Done()) {
+    const RoundRecord& record = trainer.Step();
+    fanout.OnRound(record);
+    if (checkpoint != nullptr) {
+      const int completed = trainer.next_round();
+      if (completed % checkpoint->every_rounds == 0 || trainer.Done()) {
+        COMFEDSV_RETURN_IF_ERROR(SaveValuationCheckpoint(
+            checkpoint->path, fingerprint, trainer, fedsv.get(),
+            comfedsv.get(), ground_truth.get()));
+      }
+      if (checkpoint->inject_crash_after_round >= 0 &&
+          completed >= checkpoint->inject_crash_after_round) {
+        return Status::Internal("injected crash after round " +
+                                std::to_string(completed));
+      }
+    }
+  }
+
+  Result<TrainingResult> training = trainer.Finish();
   if (!training.ok()) return training.status();
 
   ValuationOutcome outcome;
@@ -84,6 +135,28 @@ Result<ValuationOutcome> RunValuation(const Model& model,
     outcome.ground_truth_loss_calls = ground_truth->loss_calls();
   }
   return outcome;
+}
+
+}  // namespace
+
+Result<ValuationOutcome> RunValuation(const Model& model,
+                                      std::vector<Dataset> client_data,
+                                      Dataset test_data,
+                                      const FedAvgConfig& fed_config,
+                                      const ValuationRequest& request,
+                                      ExecutionContext* ctx) {
+  return RunValuationImpl(model, std::move(client_data),
+                          std::move(test_data), fed_config, request,
+                          nullptr, ctx);
+}
+
+Result<ValuationOutcome> RunValuationCheckpointed(
+    const Model& model, std::vector<Dataset> client_data, Dataset test_data,
+    const FedAvgConfig& fed_config, const ValuationRequest& request,
+    const CheckpointConfig& checkpoint, ExecutionContext* ctx) {
+  return RunValuationImpl(model, std::move(client_data),
+                          std::move(test_data), fed_config, request,
+                          &checkpoint, ctx);
 }
 
 }  // namespace comfedsv

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "common/execution_context.h"
+#include "core/checkpointing.h"
 #include "core/evaluator.h"
 #include "fl/fedavg.h"
 #include "shapley/fedsv.h"
@@ -56,6 +57,20 @@ Result<ValuationOutcome> RunValuation(const Model& model,
                                       const FedAvgConfig& fed_config,
                                       const ValuationRequest& request,
                                       ExecutionContext* ctx = nullptr);
+
+/// RunValuation with crash-safe checkpointing: the run saves its
+/// complete state (trainer + every evaluator) to `checkpoint.path` every
+/// `checkpoint.every_rounds` rounds, and — when `checkpoint.resume` is
+/// set and the file exists — restarts from the checkpointed round
+/// instead of round 0. A resumed run produces final values bit-identical
+/// to an uninterrupted one (tests/determinism_test.cc): per-round
+/// randomness derives from (seed, round, client), and every sequential
+/// stream is part of the checkpoint. Resuming under a different
+/// config/data/model/request is an error, not a silent restart.
+Result<ValuationOutcome> RunValuationCheckpointed(
+    const Model& model, std::vector<Dataset> client_data, Dataset test_data,
+    const FedAvgConfig& fed_config, const ValuationRequest& request,
+    const CheckpointConfig& checkpoint, ExecutionContext* ctx = nullptr);
 
 }  // namespace comfedsv
 

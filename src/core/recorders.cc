@@ -55,6 +55,28 @@ void FullUtilityRecorder::OnRound(const RoundRecord& record) {
   seconds_ += timer.ElapsedSeconds();
 }
 
+FullRecorderState FullUtilityRecorder::SaveState() const {
+  return {rows_, loss_calls_, seconds_};
+}
+
+Status FullUtilityRecorder::RestoreState(FullRecorderState state) {
+  const size_t expected_cols = 1u << num_clients_;
+  for (const std::vector<double>& row : state.rows) {
+    if (row.size() != expected_cols) {
+      return Status::InvalidArgument(
+          "full recorder state row width does not match 2^num_clients");
+    }
+  }
+  if (state.loss_calls < 0) {
+    return Status::InvalidArgument("full recorder state loss_calls "
+                                   "negative");
+  }
+  rows_ = std::move(state.rows);
+  loss_calls_ = state.loss_calls;
+  seconds_ = state.seconds;
+  return Status::Ok();
+}
+
 Matrix FullUtilityRecorder::ToMatrix() const {
   COMFEDSV_CHECK(!rows_.empty());
   const size_t cols = rows_[0].size();
@@ -125,6 +147,37 @@ ObservationSet ObservedUtilityRecorder::BuildObservations() const {
   obs.AddAll(triplets_);
   obs.Finalize();
   return obs;
+}
+
+ObservedRecorderState ObservedUtilityRecorder::SaveState() const {
+  return {interner_, triplets_, rounds_recorded_, loss_calls_, seconds_};
+}
+
+Status ObservedUtilityRecorder::RestoreState(ObservedRecorderState state) {
+  if (state.interner.size() < 1 ||
+      state.interner.Get(0).universe_size() != num_clients_ ||
+      !state.interner.Get(0).IsEmpty()) {
+    return Status::InvalidArgument(
+        "observed recorder state interner does not anchor the empty "
+        "coalition of this client universe at column 0");
+  }
+  if (state.rounds_recorded < 0 || state.loss_calls < 0) {
+    return Status::InvalidArgument(
+        "observed recorder state counters negative");
+  }
+  for (const Observation& o : state.triplets) {
+    if (o.row < 0 || o.row >= state.rounds_recorded || o.col < 0 ||
+        o.col >= state.interner.size()) {
+      return Status::InvalidArgument(
+          "observed recorder state triplet out of range");
+    }
+  }
+  interner_ = std::move(state.interner);
+  triplets_ = std::move(state.triplets);
+  rounds_recorded_ = state.rounds_recorded;
+  loss_calls_ = state.loss_calls;
+  seconds_ = state.seconds;
+  return Status::Ok();
 }
 
 SampledUtilityRecorder::SampledUtilityRecorder(const Model* model,
@@ -314,6 +367,30 @@ ObservationSet SampledUtilityRecorder::BuildObservations() const {
   obs.AddAll(triplets_);
   obs.Finalize();
   return obs;
+}
+
+SampledRecorderState SampledUtilityRecorder::SaveState() const {
+  return {triplets_, rounds_recorded_, loss_calls_, seconds_};
+}
+
+Status SampledUtilityRecorder::RestoreState(SampledRecorderState state) {
+  if (state.rounds_recorded < 0 || state.loss_calls < 0) {
+    return Status::InvalidArgument(
+        "sampled recorder state counters negative");
+  }
+  for (const Observation& o : state.triplets) {
+    if (o.row < 0 || o.row >= state.rounds_recorded || o.col < 0 ||
+        o.col >= interner_.size()) {
+      return Status::InvalidArgument(
+          "sampled recorder state triplet out of range "
+          "(was the recorder built with the same seed/budget/sampler?)");
+    }
+  }
+  triplets_ = std::move(state.triplets);
+  rounds_recorded_ = state.rounds_recorded;
+  loss_calls_ = state.loss_calls;
+  seconds_ = state.seconds;
+  return Status::Ok();
 }
 
 }  // namespace comfedsv

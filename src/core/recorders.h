@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "common/execution_context.h"
+#include "common/status.h"
 #include "completion/interner.h"
 #include "completion/observations.h"
 #include "data/dataset.h"
@@ -28,6 +29,36 @@
 namespace comfedsv {
 
 class RoundUtility;  // shapley/utility.h
+
+/// Checkpointable mid-run state of FullUtilityRecorder.
+struct FullRecorderState {
+  std::vector<std::vector<double>> rows;
+  int64_t loss_calls = 0;
+  double seconds = 0.0;
+};
+
+/// Checkpointable mid-run state of ObservedUtilityRecorder. The interner
+/// is part of the state because column ids are assigned in discovery
+/// order, which depends on the selected sets seen so far.
+struct ObservedRecorderState {
+  CoalitionInterner interner;
+  std::vector<Observation> triplets;
+  int rounds_recorded = 0;
+  int64_t loss_calls = 0;
+  double seconds = 0.0;
+};
+
+/// Checkpointable mid-run state of SampledUtilityRecorder. The
+/// permutations, prefix columns, and interner are *not* part of the
+/// state: they are re-derived bit-identically from the constructor's
+/// (seed, budget, sampler) arguments, which the composite checkpoint
+/// fingerprints.
+struct SampledRecorderState {
+  std::vector<Observation> triplets;
+  int rounds_recorded = 0;
+  int64_t loss_calls = 0;
+  double seconds = 0.0;
+};
 
 /// Records the complete utility matrix: every coalition of the full client
 /// set, every round with a non-empty selected set (a round in which no
@@ -60,6 +91,10 @@ class FullUtilityRecorder : public RoundObserver {
   int num_clients() const { return num_clients_; }
   int64_t loss_calls() const { return loss_calls_; }
   double seconds() const { return seconds_; }
+
+  /// Snapshot / resume of the recording after any number of rounds.
+  FullRecorderState SaveState() const;
+  Status RestoreState(FullRecorderState state);
 
  private:
   const Model* model_;
@@ -95,6 +130,10 @@ class ObservedUtilityRecorder : public RoundObserver {
   int rounds_recorded() const { return rounds_recorded_; }
   int64_t loss_calls() const { return loss_calls_; }
   double seconds() const { return seconds_; }
+
+  /// Snapshot / resume of the recording after any number of rounds.
+  ObservedRecorderState SaveState() const;
+  Status RestoreState(ObservedRecorderState state);
 
  private:
   const Model* model_;
@@ -153,6 +192,13 @@ class SampledUtilityRecorder : public RoundObserver {
   int rounds_recorded() const { return rounds_recorded_; }
   int64_t loss_calls() const { return loss_calls_; }
   double seconds() const { return seconds_; }
+
+  /// Snapshot / resume of the recording after any number of rounds. The
+  /// restoring recorder must be constructed with the same (num_clients,
+  /// num_permutations, seed, sampler) so its re-derived permutations and
+  /// column ids match the saved triplets.
+  SampledRecorderState SaveState() const;
+  Status RestoreState(SampledRecorderState state);
 
  private:
   /// The kTruncated per-round recording path (wave-batched walks).

@@ -1,0 +1,185 @@
+#include "core/streaming.h"
+
+#include <utility>
+
+#include "common/check.h"
+#include "common/fingerprint.h"
+
+namespace comfedsv {
+
+StreamingValuationEngine::StreamingValuationEngine(
+    const Model* model, const Dataset* test_data, int num_clients,
+    StreamingConfig config, ExecutionContext* ctx)
+    : model_(model),
+      test_data_(test_data),
+      num_clients_(num_clients),
+      config_(std::move(config)) {
+  COMFEDSV_CHECK(model_ != nullptr);
+  COMFEDSV_CHECK(test_data_ != nullptr);
+  COMFEDSV_CHECK_GT(num_clients_, 0);
+  COMFEDSV_CHECK_GE(config_.resolve_cadence, 1);
+  if (config_.request.compute_fedsv) {
+    fedsv_ = std::make_unique<FedSvEvaluator>(
+        model_, test_data_, num_clients_, config_.request.fedsv, ctx);
+  }
+  if (config_.request.compute_comfedsv) {
+    comfedsv_ = std::make_unique<ComFedSvEvaluator>(
+        model_, test_data_, num_clients_, config_.request.comfedsv, ctx);
+  }
+  if (config_.request.compute_ground_truth) {
+    ground_truth_ = std::make_unique<GroundTruthEvaluator>(
+        model_, test_data_, num_clients_, ctx);
+  }
+}
+
+void StreamingValuationEngine::OnRound(const RoundRecord& record) {
+  if (fedsv_ != nullptr) fedsv_->OnRound(record);
+  if (comfedsv_ != nullptr) comfedsv_->OnRound(record);
+  if (ground_truth_ != nullptr) ground_truth_->OnRound(record);
+  test_loss_history_.push_back(record.test_loss_before);
+  ++rounds_consumed_;
+}
+
+Result<ValuationOutcome> StreamingValuationEngine::Snapshot() {
+  ValuationOutcome out;
+  out.training.rounds_run = rounds_consumed_;
+  out.training.test_loss_history = test_loss_history_;
+  if (fedsv_ != nullptr) {
+    out.fedsv_values = fedsv_->values();
+    out.fedsv_loss_calls = fedsv_->loss_calls();
+  }
+  if (comfedsv_ != nullptr) {
+    const bool stale_ok =
+        last_output_.has_value() &&
+        rounds_consumed_ - last_solve_round_ < config_.resolve_cadence;
+    if (!stale_ok) {
+      Result<ComFedSvOutput> solved =
+          (config_.warm_start && factors_.has_value())
+              ? comfedsv_->FinalizeWarm(*factors_, config_.warm_max_iters)
+              : comfedsv_->Finalize();
+      if (!solved.ok()) return solved.status();
+      last_output_ = std::move(solved).value();
+      factors_ = FactorPair{last_output_->completion.w,
+                            last_output_->completion.h};
+      last_solve_round_ = rounds_consumed_;
+    }
+    out.comfedsv = *last_output_;
+  }
+  if (ground_truth_ != nullptr) {
+    Result<Vector> values = ground_truth_->Finalize();
+    if (!values.ok()) return values.status();
+    out.ground_truth_values = std::move(values).value();
+    out.ground_truth_loss_calls = ground_truth_->loss_calls();
+  }
+  return out;
+}
+
+Result<ValuationOutcome> StreamingValuationEngine::Finalize() const {
+  ValuationOutcome out;
+  out.training.rounds_run = rounds_consumed_;
+  out.training.test_loss_history = test_loss_history_;
+  if (fedsv_ != nullptr) {
+    out.fedsv_values = fedsv_->values();
+    out.fedsv_loss_calls = fedsv_->loss_calls();
+  }
+  if (comfedsv_ != nullptr) {
+    Result<ComFedSvOutput> solved = comfedsv_->Finalize();
+    if (!solved.ok()) return solved.status();
+    out.comfedsv = std::move(solved).value();
+  }
+  if (ground_truth_ != nullptr) {
+    Result<Vector> values = ground_truth_->Finalize();
+    if (!values.ok()) return values.status();
+    out.ground_truth_values = std::move(values).value();
+    out.ground_truth_loss_calls = ground_truth_->loss_calls();
+  }
+  return out;
+}
+
+uint64_t StreamingValuationEngine::ConfigFingerprint() const {
+  // The engine's own policy knobs (cadence, warm start) do not change
+  // what OnRound accumulates, so the fingerprint covers only the
+  // request-equivalent state — what a checkpoint must agree on for the
+  // restored accumulations to mean the same thing — plus the client
+  // count. (The training trajectory behind the consumed rounds is the
+  // caller's concern: pair this with the trainer's checkpoint, as
+  // RunValuationCheckpointed does.)
+  uint64_t hash = kFingerprintSeed;
+  FingerprintMix(&hash, static_cast<uint64_t>(num_clients_));
+  FingerprintMix(&hash, RequestFingerprint(config_.request));
+  return hash;
+}
+
+void StreamingValuationEngine::SaveState(BinaryWriter* out) const {
+  const size_t handle = out->BeginChunk(ChunkTag::kStreamingEngineState);
+  out->U64(ConfigFingerprint());
+  out->I32(rounds_consumed_);
+  out->U64(test_loss_history_.size());
+  for (double v : test_loss_history_) out->F64(v);
+  SaveEvaluatorStates(fedsv_.get(), comfedsv_.get(), ground_truth_.get(),
+                      out);
+  out->U8(factors_.has_value() ? 1 : 0);
+  if (factors_.has_value()) SaveFactorPair(*factors_, out);
+  out->EndChunk(handle);
+}
+
+Status StreamingValuationEngine::RestoreState(BinaryReader* in) {
+  size_t end = 0;
+  COMFEDSV_RETURN_IF_ERROR(
+      in->BeginChunk(ChunkTag::kStreamingEngineState, &end));
+  uint64_t fingerprint = 0;
+  COMFEDSV_RETURN_IF_ERROR(in->U64(&fingerprint));
+  if (fingerprint != ConfigFingerprint()) {
+    return Status::FailedPrecondition(
+        "streaming engine state was saved under a different "
+        "request/client count");
+  }
+  int32_t rounds = 0;
+  COMFEDSV_RETURN_IF_ERROR(in->I32(&rounds));
+  if (rounds < 0) {
+    return Status::InvalidArgument("corrupt engine state: negative rounds");
+  }
+  uint64_t history_len = 0;
+  COMFEDSV_RETURN_IF_ERROR(in->Count(8, &history_len));
+  if (history_len != static_cast<uint64_t>(rounds)) {
+    return Status::InvalidArgument(
+        "corrupt engine state: history length mismatch");
+  }
+  std::vector<double> history(history_len);
+  for (double& v : history) {
+    COMFEDSV_RETURN_IF_ERROR(in->F64(&v));
+  }
+
+  // The shared evaluator-state section (see checkpointing.h): parses
+  // every state chunk, then applies. If anything from here on fails the
+  // engine may be partially restored — per the RestoreState contract
+  // the caller must discard it and construct a fresh engine to retry.
+  COMFEDSV_RETURN_IF_ERROR(LoadEvaluatorStates(
+      in, fedsv_.get(), comfedsv_.get(), ground_truth_.get()));
+
+  uint8_t has_factors = 0;
+  COMFEDSV_RETURN_IF_ERROR(in->U8(&has_factors));
+  if (has_factors > 1) {
+    return Status::InvalidArgument("corrupt engine state: factor flag");
+  }
+  FactorPair factors;
+  if (has_factors != 0) {
+    COMFEDSV_RETURN_IF_ERROR(LoadFactorPair(in, &factors));
+  }
+  COMFEDSV_RETURN_IF_ERROR(in->EndChunk(end));
+
+  rounds_consumed_ = rounds;
+  test_loss_history_ = std::move(history);
+  if (has_factors != 0) {
+    factors_ = std::move(factors);
+  } else {
+    factors_.reset();
+  }
+  // Snapshot caches are not serialized: the first Snapshot() after a
+  // restore re-solves, warm from the restored factors.
+  last_output_.reset();
+  last_solve_round_ = -1;
+  return Status::Ok();
+}
+
+}  // namespace comfedsv

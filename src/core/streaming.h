@@ -1,0 +1,126 @@
+// StreamingValuationEngine: valuation over rounds that arrive one at a
+// time, instead of one batch pass after training ends.
+//
+// The paper's protocol (Fig. 4) trains T rounds and then values clients
+// once; ComFedSV's structure is friendlier than that: per-round
+// observations only accumulate, and the low-rank completion (Eq. 12) can
+// be re-solved from them after any prefix of rounds. The engine exploits
+// exactly that:
+//
+//   * OnRound(record) appends the round's observations incrementally —
+//     running FedSV sums, ComFedSV recorder triplets, optional
+//     ground-truth rows — at the same per-round cost the batch pipeline
+//     pays.
+//   * Snapshot() produces a ValuationOutcome for the consumed prefix at
+//     any time. The expensive part (the completion solve) is re-run only
+//     every `resolve_cadence` new rounds and warm-starts from the
+//     previous solve's factors (CompleteMatrixWarm), which reaches the
+//     same final objective in measurably fewer sweeps than a cold solve
+//     (bench/streaming.cc records the gap).
+//   * Finalize() is the batch-equivalent read: a cold solve exactly like
+//     ComFedSvEvaluator::Finalize, so after the full round sequence its
+//     outputs are bit-identical to RunValuation on the same trajectory
+//     (tests/determinism_test.cc enforces this).
+//   * SaveState/RestoreState checkpoint the whole engine mid-stream
+//     (io chunk kStreamingEngineState), composing with the trainer's
+//     checkpoint for crash-safe continuous valuation.
+#ifndef COMFEDSV_CORE_STREAMING_H_
+#define COMFEDSV_CORE_STREAMING_H_
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "common/execution_context.h"
+#include "core/checkpointing.h"
+#include "core/pipeline.h"
+
+namespace comfedsv {
+
+/// Streaming-engine policy around a ValuationRequest.
+struct StreamingConfig {
+  /// Which metrics to maintain; semantics identical to RunValuation.
+  ValuationRequest request;
+  /// Snapshot() re-solves the completion only once at least this many
+  /// new rounds arrived since the last solve (1 = every snapshot sees
+  /// fresh factors; larger amortizes the solve over more rounds).
+  /// Snapshots in between reuse the previous ComFedSV output with
+  /// up-to-date FedSV / ground-truth values.
+  int resolve_cadence = 1;
+  /// Warm-start each re-solve from the previous factors. Off = every
+  /// snapshot solve is cold (only useful for measuring the warm-start
+  /// advantage; Finalize() is always cold regardless).
+  bool warm_start = true;
+  /// Sweep cap for warm re-solves; 0 keeps the request's
+  /// completion.max_iters.
+  int warm_max_iters = 0;
+};
+
+/// Consumes RoundRecords one at a time and serves valuation snapshots
+/// after any prefix. Register as the trainer's RoundObserver (alone or
+/// in a FanoutObserver).
+class StreamingValuationEngine : public RoundObserver {
+ public:
+  /// `model` / `test_data` as for the evaluators (must outlive the
+  /// engine; `test_data` is the server test set the trainer holds).
+  /// `ctx` (optional) parallelizes recording and solves; outputs are
+  /// bit-identical for any thread count.
+  StreamingValuationEngine(const Model* model, const Dataset* test_data,
+                           int num_clients, StreamingConfig config,
+                           ExecutionContext* ctx = nullptr);
+
+  void OnRound(const RoundRecord& record) override;
+
+  /// Rounds consumed so far (including empty-selected rounds, which
+  /// contribute zero everywhere).
+  int rounds_consumed() const { return rounds_consumed_; }
+
+  /// Valuation of the consumed prefix. `training` carries only the
+  /// prefix view (rounds_run, per-round test losses); final_params and
+  /// accuracy belong to the trainer. ComFedSV factors refresh per the
+  /// resolve cadence and warm-start policy; FedSV and ground truth are
+  /// always current. Requires at least one recorded (non-empty) round
+  /// when ComFedSV or the ground truth is on.
+  Result<ValuationOutcome> Snapshot();
+
+  /// Batch-equivalent valuation of the consumed prefix: always a cold
+  /// completion solve, bit-identical to RunValuation's outputs on the
+  /// same rounds. Does not disturb the warm-start cache.
+  Result<ValuationOutcome> Finalize() const;
+
+  /// Serializes the engine state (one kStreamingEngineState chunk):
+  /// consumed-round count, per-metric accumulations, and the warm-start
+  /// factor cache.
+  void SaveState(BinaryWriter* out) const;
+
+  /// Restores a SaveState snapshot taken by an engine with an identical
+  /// (num_clients, request) — enforced via fingerprint. The first
+  /// Snapshot() after a restore re-solves (warm from the restored
+  /// factors). On an error Status the engine may be left partially
+  /// restored: discard it and construct a fresh engine to retry.
+  Status RestoreState(BinaryReader* in);
+
+ private:
+  uint64_t ConfigFingerprint() const;
+
+  const Model* model_;
+  const Dataset* test_data_;
+  int num_clients_;
+  StreamingConfig config_;
+
+  std::unique_ptr<FedSvEvaluator> fedsv_;
+  std::unique_ptr<ComFedSvEvaluator> comfedsv_;
+  std::unique_ptr<GroundTruthEvaluator> ground_truth_;
+
+  int rounds_consumed_ = 0;
+  std::vector<double> test_loss_history_;
+
+  // Warm-start cache: factors and output of the last snapshot solve.
+  std::optional<FactorPair> factors_;
+  std::optional<ComFedSvOutput> last_output_;
+  int last_solve_round_ = -1;
+};
+
+}  // namespace comfedsv
+
+#endif  // COMFEDSV_CORE_STREAMING_H_

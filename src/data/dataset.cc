@@ -38,6 +38,19 @@ std::pair<Dataset, Dataset> Dataset::RandomSplit(double fraction,
   COMFEDSV_CHECK_GE(fraction, 0.0);
   COMFEDSV_CHECK_LE(fraction, 1.0);
   COMFEDSV_CHECK(rng != nullptr);
+  // Degenerate splits draw nothing from the RNG: there is exactly one
+  // outcome, so consuming stream state would only shift every later
+  // consumer of `rng` for no reason. The empty side keeps this dataset's
+  // dim/num_classes so downstream shape checks still hold; going through
+  // Subset instead would crash on a default-constructed dataset (its
+  // num_classes of 0 fails the validating constructor).
+  auto empty_like = [this]() {
+    if (num_classes_ == 0) return Dataset();
+    return Dataset(Matrix(0, dim()), {}, num_classes_);
+  };
+  if (empty()) return {empty_like(), empty_like()};
+  if (fraction == 0.0) return {*this, empty_like()};
+  if (fraction == 1.0) return {empty_like(), *this};
   std::vector<size_t> order(num_samples());
   std::iota(order.begin(), order.end(), 0);
   rng->Shuffle(&order);

@@ -51,11 +51,24 @@ struct LearningRateSchedule {
   }
 };
 
+/// Which default client-selection strategy the trainer builds when no
+/// custom ClientSelector is passed to Train/Begin.
+enum class SelectorKind {
+  kUniform,    ///< `clients_per_round` clients uniformly without replacement
+  kBernoulli,  ///< each client independently with `participation_prob`
+};
+
 /// Configuration of a FedAvg run.
 struct FedAvgConfig {
   int num_rounds = 10;
-  /// K: clients selected (aggregated) per round.
+  /// Default selector built by the trainer (both kinds are wrapped in
+  /// EveryoneHeardSelector when `select_all_first_round` is set).
+  SelectorKind selector = SelectorKind::kUniform;
+  /// K: clients selected (aggregated) per round. kUniform only.
   int clients_per_round = 3;
+  /// Per-round participation probability, in [0, 1]. kBernoulli only;
+  /// rounds may select no one (the trainer then skips aggregation).
+  double participation_prob = 0.5;
   /// Local SGD steps per client per round (paper's theory uses 1).
   int local_steps = 1;
   /// Mini-batch size for local steps; 0 = full local batch (deterministic

@@ -4,8 +4,27 @@
 #include <numeric>
 
 #include "common/check.h"
+#include "common/fingerprint.h"
 
 namespace comfedsv {
+namespace {
+
+// Full-content dataset hash: a checkpoint must refuse to resume when
+// the data changed, not just when its shape did — the recorded rounds
+// would belong to a different trajectory.
+void MixDataset(uint64_t* hash, const Dataset& d) {
+  FingerprintMix(hash, static_cast<uint64_t>(d.num_samples()));
+  FingerprintMix(hash, static_cast<uint64_t>(d.dim()));
+  FingerprintMix(hash, static_cast<uint64_t>(d.num_classes()));
+  const double* features = d.features().data();
+  const size_t entries = d.num_samples() * d.dim();
+  for (size_t i = 0; i < entries; ++i) FingerprintMix(hash, features[i]);
+  for (int label : d.labels()) {
+    FingerprintMix(hash, static_cast<uint64_t>(label));
+  }
+}
+
+}  // namespace
 
 FedAvgTrainer::FedAvgTrainer(const Model* model,
                              std::vector<Dataset> client_data,
@@ -46,88 +65,199 @@ Vector FedAvgTrainer::LocalUpdate(int client, const Vector& start, double lr,
   return params;
 }
 
-Result<TrainingResult> FedAvgTrainer::Train(RoundObserver* observer,
-                                            ClientSelector* selector) {
+uint64_t FedAvgTrainer::ConfigFingerprint() const {
+  uint64_t hash = kFingerprintSeed;
+  FingerprintMix(&hash, static_cast<uint64_t>(config_.num_rounds));
+  FingerprintMix(&hash, static_cast<uint64_t>(config_.selector));
+  FingerprintMix(&hash, static_cast<uint64_t>(config_.clients_per_round));
+  FingerprintMix(&hash, config_.participation_prob);
+  FingerprintMix(&hash, static_cast<uint64_t>(config_.local_steps));
+  FingerprintMix(&hash, static_cast<uint64_t>(config_.batch_size));
+  FingerprintMix(&hash, static_cast<uint64_t>(config_.lr.kind));
+  FingerprintMix(&hash, config_.lr.base);
+  FingerprintMix(&hash, config_.lr.mu);
+  FingerprintMix(&hash, config_.lr.gamma);
+  FingerprintMix(&hash,
+                 static_cast<uint64_t>(config_.select_all_first_round));
+  FingerprintMix(&hash, config_.seed);
+  FingerprintMix(&hash, static_cast<uint64_t>(num_clients()));
+  // The data-content hash is O(data): computed on the first fingerprint
+  // request (plain non-checkpointed runs never pay it) and cached — the
+  // datasets are immutable after construction.
+  if (!data_fingerprint_computed_) {
+    data_fingerprint_ = kFingerprintSeed;
+    for (const Dataset& d : client_data_) {
+      MixDataset(&data_fingerprint_, d);
+    }
+    MixDataset(&data_fingerprint_, test_data_);
+    data_fingerprint_computed_ = true;
+  }
+  FingerprintMix(&hash, data_fingerprint_);
+  model_->MixFingerprint(&hash);
+  return hash;
+}
+
+Status FedAvgTrainer::Arm(ClientSelector* selector) {
   if (config_.num_rounds <= 0) {
     return Status::InvalidArgument("num_rounds must be positive");
   }
-  if (config_.clients_per_round <= 0 ||
-      config_.clients_per_round > num_clients()) {
+  if (config_.selector == SelectorKind::kUniform &&
+      (config_.clients_per_round <= 0 ||
+       config_.clients_per_round > num_clients())) {
     return Status::InvalidArgument(
         "clients_per_round must be in [1, num_clients]");
   }
-
-  std::unique_ptr<ClientSelector> default_selector;
-  if (selector == nullptr) {
-    auto uniform = std::make_unique<UniformSelector>(
-        config_.clients_per_round);
-    if (config_.select_all_first_round) {
-      default_selector =
-          std::make_unique<EveryoneHeardSelector>(std::move(uniform));
-    } else {
-      default_selector = std::move(uniform);
-    }
-    selector = default_selector.get();
+  if (config_.selector == SelectorKind::kBernoulli &&
+      (config_.participation_prob < 0.0 ||
+       config_.participation_prob > 1.0)) {
+    return Status::InvalidArgument("participation_prob must be in [0, 1]");
   }
+
+  default_selector_.reset();
+  if (selector == nullptr) {
+    std::unique_ptr<ClientSelector> inner;
+    if (config_.selector == SelectorKind::kBernoulli) {
+      inner =
+          std::make_unique<BernoulliSelector>(config_.participation_prob);
+    } else {
+      inner = std::make_unique<UniformSelector>(config_.clients_per_round);
+    }
+    if (config_.select_all_first_round) {
+      default_selector_ =
+          std::make_unique<EveryoneHeardSelector>(std::move(inner));
+    } else {
+      default_selector_ = std::move(inner);
+    }
+    selector = default_selector_.get();
+  }
+  selector_ = selector;
+  return Status::Ok();
+}
+
+Status FedAvgTrainer::Begin(ClientSelector* selector) {
+  COMFEDSV_RETURN_IF_ERROR(Arm(selector));
 
   Rng root(config_.seed);
   Rng init_rng = root.Split(0x494E4954);  // "INIT"
-  Rng select_rng = root.Split(0x53454C43);  // "SELC"
+  select_rng_ = root.Split(0x53454C43);   // "SELC"
+  model_->InitializeParams(&params_, &init_rng);
 
-  Vector params;
-  model_->InitializeParams(&params, &init_rng);
+  next_round_ = 0;
+  test_loss_history_.clear();
+  test_loss_history_.reserve(config_.num_rounds + 1);
+  record_ = RoundRecord();
+  record_.local_models.resize(num_clients());
+  begun_ = true;
+  return Status::Ok();
+}
 
+const RoundRecord& FedAvgTrainer::Step() {
+  COMFEDSV_CHECK_MSG(begun_, "Step() before Begin()");
+  COMFEDSV_CHECK_MSG(!Done(), "Step() past the last round");
+  const int t = next_round_;
   const int n = num_clients();
+  const double lr = config_.lr.At(t);
+  record_.round = t;
+  record_.global_before = params_;
+  record_.test_loss_before = model_->Loss(params_, test_data_);
+  test_loss_history_.push_back(record_.test_loss_before);
 
-  TrainingResult result;
-  result.test_loss_history.reserve(config_.num_rounds + 1);
-
-  RoundRecord record;
-  record.local_models.resize(n);
-  for (int t = 0; t < config_.num_rounds; ++t) {
-    const double lr = config_.lr.At(t);
-    record.round = t;
-    record.global_before = params;
-    record.test_loss_before = model_->Loss(params, test_data_);
-    result.test_loss_history.push_back(record.test_loss_before);
-
-    // Per-client RNG streams are split from (seed, round, client) so runs
-    // are reproducible regardless of thread scheduling.
-    Rng round_rng = root.Split(0x524F554E).Split(static_cast<uint64_t>(t));
-    std::vector<Rng> client_rngs;
-    client_rngs.reserve(n);
-    for (int i = 0; i < n; ++i) {
-      client_rngs.push_back(round_rng.Split(static_cast<uint64_t>(i)));
-    }
-    ParallelFor(ctx_, n, [&](int i) {
-      record.local_models[i] = LocalUpdate(i, params, lr, &client_rngs[i]);
-    });
-
-    record.selected = selector->Select(t, n, &select_rng);
-
-    if (observer != nullptr) observer->OnRound(record);
-
-    // Aggregate the selected local models into the next global model.
-    // Bernoulli-style selectors can produce an empty round: the server
-    // heard nobody, so the global model simply carries over (observers
-    // record zero contribution for such rounds).
-    if (!record.selected.empty()) {
-      Vector next(params.size());
-      for (int i : record.selected) {
-        COMFEDSV_CHECK_GE(i, 0);
-        COMFEDSV_CHECK_LT(i, n);
-        next.Axpy(1.0, record.local_models[i]);
-      }
-      next.Scale(1.0 / static_cast<double>(record.selected.size()));
-      params = std::move(next);
-    }
+  // Per-client RNG streams are split from (seed, round, client) so runs
+  // are reproducible regardless of thread scheduling — and so a resumed
+  // run re-derives the identical streams without replaying earlier
+  // rounds.
+  Rng round_rng =
+      Rng(config_.seed).Split(0x524F554E).Split(static_cast<uint64_t>(t));
+  std::vector<Rng> client_rngs;
+  client_rngs.reserve(n);
+  for (int i = 0; i < n; ++i) {
+    client_rngs.push_back(round_rng.Split(static_cast<uint64_t>(i)));
   }
+  ParallelFor(ctx_, n, [&](int i) {
+    record_.local_models[i] = LocalUpdate(i, params_, lr, &client_rngs[i]);
+  });
 
-  result.test_loss_history.push_back(model_->Loss(params, test_data_));
-  result.final_test_accuracy = model_->Accuracy(params, test_data_);
+  record_.selected = selector_->Select(t, n, &select_rng_);
+
+  // Aggregate the selected local models into the next global model.
+  // Bernoulli-style selectors can produce an empty round: the server
+  // heard nobody, so the global model simply carries over (observers
+  // record zero contribution for such rounds).
+  if (!record_.selected.empty()) {
+    Vector next(params_.size());
+    for (int i : record_.selected) {
+      COMFEDSV_CHECK_GE(i, 0);
+      COMFEDSV_CHECK_LT(i, n);
+      next.Axpy(1.0, record_.local_models[i]);
+    }
+    next.Scale(1.0 / static_cast<double>(record_.selected.size()));
+    params_ = std::move(next);
+  }
+  ++next_round_;
+  return record_;
+}
+
+Result<TrainingResult> FedAvgTrainer::Finish() const {
+  if (!begun_) {
+    return Status::FailedPrecondition("Finish() before Begin()");
+  }
+  if (!Done()) {
+    return Status::FailedPrecondition("Finish() before the last round");
+  }
+  TrainingResult result;
+  result.test_loss_history = test_loss_history_;
+  result.test_loss_history.push_back(model_->Loss(params_, test_data_));
+  result.final_test_accuracy = model_->Accuracy(params_, test_data_);
   result.rounds_run = config_.num_rounds;
-  result.final_params = std::move(params);
+  result.final_params = params_;
   return result;
+}
+
+FedAvgTrainerState FedAvgTrainer::SaveState() const {
+  COMFEDSV_CHECK_MSG(begun_, "SaveState() before Begin()");
+  FedAvgTrainerState state;
+  state.config_fingerprint = ConfigFingerprint();
+  state.next_round = next_round_;
+  state.params = params_;
+  state.test_loss_history = test_loss_history_;
+  state.select_rng = select_rng_.SaveState();
+  return state;
+}
+
+Status FedAvgTrainer::RestoreState(const FedAvgTrainerState& state,
+                                   ClientSelector* selector) {
+  COMFEDSV_RETURN_IF_ERROR(Begin(selector));
+  if (state.config_fingerprint != ConfigFingerprint()) {
+    return Status::FailedPrecondition(
+        "trainer state was saved under a different config/data/model");
+  }
+  if (state.next_round < 0 || state.next_round > config_.num_rounds) {
+    return Status::InvalidArgument("trainer state round out of range");
+  }
+  if (state.params.size() != params_.size()) {
+    return Status::InvalidArgument(
+        "trainer state parameter dimension mismatch");
+  }
+  if (state.test_loss_history.size() !=
+      static_cast<size_t>(state.next_round)) {
+    return Status::InvalidArgument(
+        "trainer state loss history length mismatch");
+  }
+  next_round_ = state.next_round;
+  params_ = state.params;
+  test_loss_history_ = state.test_loss_history;
+  select_rng_ = Rng::FromState(state.select_rng);
+  return Status::Ok();
+}
+
+Result<TrainingResult> FedAvgTrainer::Train(RoundObserver* observer,
+                                            ClientSelector* selector) {
+  COMFEDSV_RETURN_IF_ERROR(Begin(selector));
+  while (!Done()) {
+    const RoundRecord& record = Step();
+    if (observer != nullptr) observer->OnRound(record);
+  }
+  return Finish();
 }
 
 }  // namespace comfedsv

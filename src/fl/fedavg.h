@@ -5,9 +5,20 @@
 // Every client computes its local update each round even when unselected —
 // that is how Algorithm 1 of the paper obtains the observable utility
 // entries, and it costs no server communication for unselected clients.
+//
+// The trainer exposes two equivalent driving styles:
+//   * `Train(observer)` — the original one-call batch run;
+//   * the streaming lifecycle `Begin` / `Step` / `Finish`, which yields
+//     one RoundRecord at a time and supports mid-run checkpointing
+//     (`SaveState` / `RestoreState`): a run killed after round t and
+//     restored from the round-t state continues bit-identically, because
+//     per-round randomness is derived from (seed, round, client) and the
+//     only sequentially advancing stream — client selection — is part of
+//     the saved state.
 #ifndef COMFEDSV_FL_FEDAVG_H_
 #define COMFEDSV_FL_FEDAVG_H_
 
+#include <memory>
 #include <vector>
 
 #include "common/execution_context.h"
@@ -31,6 +42,24 @@ struct TrainingResult {
   int rounds_run = 0;
 };
 
+/// Checkpointable mid-training state: everything Step() consumes that is
+/// not re-derivable from the (config, data, model) triple. Serialized by
+/// io/checkpoint.h; restored via FedAvgTrainer::RestoreState.
+struct FedAvgTrainerState {
+  /// Fingerprint of the (config, data shape, model dim) the state was
+  /// saved under; RestoreState rejects a mismatch instead of silently
+  /// resuming a different run.
+  uint64_t config_fingerprint = 0;
+  /// Rounds already completed; Step() runs this round next.
+  int next_round = 0;
+  /// Global model w^{next_round}.
+  Vector params;
+  /// Test loss before each completed round (length next_round).
+  std::vector<double> test_loss_history;
+  /// The client-selection stream, advanced by `next_round` selections.
+  RngState select_rng;
+};
+
 /// Simulates FedAvg over in-memory client datasets.
 class FedAvgTrainer {
  public:
@@ -46,11 +75,52 @@ class FedAvgTrainer {
 
   /// Runs the configured number of rounds. `observer` may be null; when
   /// given, OnRound fires once per round with all local updates.
-  /// A custom `selector` may be passed; by default the trainer uses
-  /// UniformSelector wrapped in EveryoneHeardSelector when
-  /// config.select_all_first_round is set.
+  /// A custom `selector` may be passed; by default the trainer builds the
+  /// config's SelectorKind, wrapped in EveryoneHeardSelector when
+  /// config.select_all_first_round is set. Equivalent to Begin + Step
+  /// loop + Finish.
   Result<TrainingResult> Train(RoundObserver* observer = nullptr,
                                ClientSelector* selector = nullptr);
+
+  // --- Streaming lifecycle ---------------------------------------------
+
+  /// Validates the config, (re)initializes the global model and the RNG
+  /// streams, and arms Step(). `selector` as in Train; it must outlive
+  /// the run. Calling Begin again restarts from round 0.
+  Status Begin(ClientSelector* selector = nullptr);
+
+  /// True between Begin/RestoreState and the final Step.
+  bool begun() const { return begun_; }
+  /// Rounds completed so far (the round Step() would run next).
+  int next_round() const { return next_round_; }
+  bool Done() const { return next_round_ >= config_.num_rounds; }
+
+  /// Runs one round — local updates, selection, aggregation — and
+  /// returns its record (valid until the next Step/Begin call). Requires
+  /// Begin() and !Done().
+  const RoundRecord& Step();
+
+  /// Final model metrics. Requires all rounds stepped (Done()).
+  Result<TrainingResult> Finish() const;
+
+  // --- Checkpointing ---------------------------------------------------
+
+  /// Snapshot of the mid-run state after any number of Step()s.
+  /// Requires Begin().
+  FedAvgTrainerState SaveState() const;
+
+  /// Rewinds/forwards the run to `state` (saved from a trainer with an
+  /// identical config/data/model fingerprint). Implies Begin(selector).
+  /// After a successful restore the trainer continues from
+  /// state.next_round bit-identically to the run that saved it.
+  Status RestoreState(const FedAvgTrainerState& state,
+                      ClientSelector* selector = nullptr);
+
+  /// Fingerprint of this trainer's (config, full data contents, model
+  /// identity incl. hyperparameters — Model::MixFingerprint) — the
+  /// compatibility key checked by RestoreState: a checkpoint saved
+  /// under different data or a different model must not resume.
+  uint64_t ConfigFingerprint() const;
 
   int num_clients() const { return static_cast<int>(client_data_.size()); }
   const Dataset& test_data() const { return test_data_; }
@@ -61,11 +131,30 @@ class FedAvgTrainer {
   Vector LocalUpdate(int client, const Vector& start, double lr,
                      Rng* client_rng) const;
 
+  // Validates the config and installs the run's selector (building the
+  // config default when `selector` is null).
+  Status Arm(ClientSelector* selector);
+
   const Model* model_;
   std::vector<Dataset> client_data_;
   Dataset test_data_;
   FedAvgConfig config_;
   ExecutionContext* ctx_;  // not owned; null = inline execution
+  /// Content hash of (client_data, test_data): O(data) to compute, so
+  /// it is evaluated lazily on the first ConfigFingerprint() call and
+  /// cached (the datasets are immutable after construction).
+  mutable uint64_t data_fingerprint_ = 0;
+  mutable bool data_fingerprint_computed_ = false;
+
+  // Lifecycle state (valid while begun_).
+  bool begun_ = false;
+  int next_round_ = 0;
+  Vector params_;
+  std::vector<double> test_loss_history_;
+  Rng select_rng_{0};
+  ClientSelector* selector_ = nullptr;  // not owned (may be default_...)
+  std::unique_ptr<ClientSelector> default_selector_;
+  RoundRecord record_;
 };
 
 }  // namespace comfedsv

@@ -1,0 +1,409 @@
+#include "io/checkpoint.h"
+
+#include <cstdint>
+#include <limits>
+#include <utility>
+#include <vector>
+
+namespace comfedsv {
+namespace {
+
+// Shape fields are written as u64 but must survive the round trip
+// through the types' int/size_t fields; caps keep a corrupt shape from
+// overflowing int arithmetic downstream.
+constexpr uint64_t kMaxDim = std::numeric_limits<int32_t>::max();
+
+Status CheckNonNegative(int64_t v, const char* what) {
+  if (v < 0) {
+    return Status::InvalidArgument(std::string(what) +
+                                   " must be non-negative");
+  }
+  return Status::Ok();
+}
+
+void SaveDoubleSpan(const double* data, uint64_t count, BinaryWriter* out) {
+  out->Reserve((count + 1) * 8);
+  out->U64(count);
+  for (uint64_t i = 0; i < count; ++i) out->F64(data[i]);
+}
+
+Status LoadDoubleSpan(BinaryReader* in, std::vector<double>* values) {
+  uint64_t count = 0;
+  COMFEDSV_RETURN_IF_ERROR(in->Count(8, &count));
+  values->resize(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    COMFEDSV_RETURN_IF_ERROR(in->F64(&(*values)[i]));
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+void SaveVector(const Vector& v, BinaryWriter* out) {
+  const size_t handle = out->BeginChunk(ChunkTag::kVector);
+  SaveDoubleSpan(v.data(), v.size(), out);
+  out->EndChunk(handle);
+}
+
+Status LoadVector(BinaryReader* in, Vector* v) {
+  size_t end = 0;
+  COMFEDSV_RETURN_IF_ERROR(in->BeginChunk(ChunkTag::kVector, &end));
+  std::vector<double> values;
+  COMFEDSV_RETURN_IF_ERROR(LoadDoubleSpan(in, &values));
+  COMFEDSV_RETURN_IF_ERROR(in->EndChunk(end));
+  *v = Vector(std::move(values));
+  return Status::Ok();
+}
+
+void SaveMatrix(const Matrix& m, BinaryWriter* out) {
+  const size_t handle = out->BeginChunk(ChunkTag::kMatrix);
+  const size_t entries = m.rows() * m.cols();
+  out->Reserve((entries + 2) * 8);
+  out->U64(m.rows());
+  out->U64(m.cols());
+  for (size_t i = 0; i < entries; ++i) out->F64(m.data()[i]);
+  out->EndChunk(handle);
+}
+
+Status LoadMatrix(BinaryReader* in, Matrix* m) {
+  size_t end = 0;
+  COMFEDSV_RETURN_IF_ERROR(in->BeginChunk(ChunkTag::kMatrix, &end));
+  uint64_t rows = 0, cols = 0;
+  COMFEDSV_RETURN_IF_ERROR(in->U64(&rows));
+  COMFEDSV_RETURN_IF_ERROR(in->U64(&cols));
+  if (rows > kMaxDim || cols > kMaxDim ||
+      (cols > 0 && rows > in->remaining() / 8 / cols)) {
+    return Status::OutOfRange("corrupt matrix shape: entries cannot fit");
+  }
+  Matrix loaded(rows, cols);
+  for (size_t i = 0; i < loaded.rows() * loaded.cols(); ++i) {
+    COMFEDSV_RETURN_IF_ERROR(in->F64(&loaded.data()[i]));
+  }
+  COMFEDSV_RETURN_IF_ERROR(in->EndChunk(end));
+  *m = std::move(loaded);
+  return Status::Ok();
+}
+
+void SaveDataset(const Dataset& d, BinaryWriter* out) {
+  const size_t handle = out->BeginChunk(ChunkTag::kDataset);
+  out->I32(d.num_classes());
+  SaveMatrix(d.features(), out);
+  out->U64(d.labels().size());
+  for (int label : d.labels()) out->I32(label);
+  out->EndChunk(handle);
+}
+
+Status LoadDataset(BinaryReader* in, Dataset* d) {
+  size_t end = 0;
+  COMFEDSV_RETURN_IF_ERROR(in->BeginChunk(ChunkTag::kDataset, &end));
+  int32_t num_classes = 0;
+  COMFEDSV_RETURN_IF_ERROR(in->I32(&num_classes));
+  Matrix features;
+  COMFEDSV_RETURN_IF_ERROR(LoadMatrix(in, &features));
+  uint64_t num_labels = 0;
+  COMFEDSV_RETURN_IF_ERROR(in->Count(4, &num_labels));
+  if (num_labels != features.rows()) {
+    return Status::InvalidArgument(
+        "corrupt dataset: label count does not match feature rows");
+  }
+  std::vector<int> labels(num_labels);
+  for (uint64_t i = 0; i < num_labels; ++i) {
+    int32_t label = 0;
+    COMFEDSV_RETURN_IF_ERROR(in->I32(&label));
+    if (label < 0 || label >= num_classes) {
+      return Status::InvalidArgument(
+          "corrupt dataset: label out of [0, num_classes)");
+    }
+    labels[i] = label;
+  }
+  COMFEDSV_RETURN_IF_ERROR(in->EndChunk(end));
+  if (num_classes == 0) {
+    // Only the default (empty) dataset has no classes; its constructor
+    // requires num_classes > 0, so rebuild it as a default object.
+    if (features.rows() != 0 || features.cols() != 0) {
+      return Status::InvalidArgument(
+          "corrupt dataset: zero classes with non-empty features");
+    }
+    *d = Dataset();
+    return Status::Ok();
+  }
+  if (num_classes < 0) {
+    return Status::InvalidArgument("corrupt dataset: negative num_classes");
+  }
+  *d = Dataset(std::move(features), std::move(labels), num_classes);
+  return Status::Ok();
+}
+
+void SaveRngState(const RngState& s, BinaryWriter* out) {
+  const size_t handle = out->BeginChunk(ChunkTag::kRngState);
+  for (uint64_t word : s.words) out->U64(word);
+  out->U8(s.has_cached_gaussian ? 1 : 0);
+  out->F64(s.cached_gaussian);
+  out->EndChunk(handle);
+}
+
+Status LoadRngState(BinaryReader* in, RngState* s) {
+  size_t end = 0;
+  COMFEDSV_RETURN_IF_ERROR(in->BeginChunk(ChunkTag::kRngState, &end));
+  RngState loaded;
+  for (uint64_t& word : loaded.words) {
+    COMFEDSV_RETURN_IF_ERROR(in->U64(&word));
+  }
+  uint8_t has_cached = 0;
+  COMFEDSV_RETURN_IF_ERROR(in->U8(&has_cached));
+  if (has_cached > 1) {
+    return Status::InvalidArgument("corrupt rng state: bad gaussian flag");
+  }
+  loaded.has_cached_gaussian = has_cached != 0;
+  COMFEDSV_RETURN_IF_ERROR(in->F64(&loaded.cached_gaussian));
+  COMFEDSV_RETURN_IF_ERROR(in->EndChunk(end));
+  if ((loaded.words[0] | loaded.words[1] | loaded.words[2] |
+       loaded.words[3]) == 0) {
+    return Status::InvalidArgument(
+        "corrupt rng state: all-zero xoshiro state");
+  }
+  *s = loaded;
+  return Status::Ok();
+}
+
+void SaveRoundRecord(const RoundRecord& r, BinaryWriter* out) {
+  const size_t handle = out->BeginChunk(ChunkTag::kRoundRecord);
+  out->I32(r.round);
+  out->F64(r.test_loss_before);
+  SaveVector(r.global_before, out);
+  out->U64(r.local_models.size());
+  for (const Vector& local : r.local_models) SaveVector(local, out);
+  out->U64(r.selected.size());
+  for (int client : r.selected) out->I32(client);
+  out->EndChunk(handle);
+}
+
+Status LoadRoundRecord(BinaryReader* in, RoundRecord* r) {
+  size_t end = 0;
+  COMFEDSV_RETURN_IF_ERROR(in->BeginChunk(ChunkTag::kRoundRecord, &end));
+  RoundRecord loaded;
+  COMFEDSV_RETURN_IF_ERROR(in->I32(&loaded.round));
+  COMFEDSV_RETURN_IF_ERROR(CheckNonNegative(loaded.round, "round"));
+  COMFEDSV_RETURN_IF_ERROR(in->F64(&loaded.test_loss_before));
+  COMFEDSV_RETURN_IF_ERROR(LoadVector(in, &loaded.global_before));
+  uint64_t num_locals = 0;
+  // A serialized Vector chunk costs at least its 12-byte header.
+  COMFEDSV_RETURN_IF_ERROR(in->Count(12, &num_locals));
+  loaded.local_models.resize(num_locals);
+  for (uint64_t i = 0; i < num_locals; ++i) {
+    COMFEDSV_RETURN_IF_ERROR(LoadVector(in, &loaded.local_models[i]));
+    if (loaded.local_models[i].size() != loaded.global_before.size()) {
+      return Status::InvalidArgument(
+          "corrupt round record: local model size mismatch");
+    }
+  }
+  uint64_t num_selected = 0;
+  COMFEDSV_RETURN_IF_ERROR(in->Count(4, &num_selected));
+  if (num_selected > num_locals) {
+    return Status::InvalidArgument(
+        "corrupt round record: more selected clients than clients");
+  }
+  loaded.selected.resize(num_selected);
+  int prev = -1;
+  for (uint64_t i = 0; i < num_selected; ++i) {
+    COMFEDSV_RETURN_IF_ERROR(in->I32(&loaded.selected[i]));
+    if (loaded.selected[i] <= prev ||
+        loaded.selected[i] >= static_cast<int>(num_locals)) {
+      return Status::InvalidArgument(
+          "corrupt round record: selected set not sorted in range");
+    }
+    prev = loaded.selected[i];
+  }
+  COMFEDSV_RETURN_IF_ERROR(in->EndChunk(end));
+  *r = std::move(loaded);
+  return Status::Ok();
+}
+
+void SaveTrainingResult(const TrainingResult& t, BinaryWriter* out) {
+  const size_t handle = out->BeginChunk(ChunkTag::kTrainingResult);
+  out->I32(t.rounds_run);
+  out->F64(t.final_test_accuracy);
+  SaveVector(t.final_params, out);
+  SaveDoubleSpan(t.test_loss_history.data(), t.test_loss_history.size(),
+                 out);
+  out->EndChunk(handle);
+}
+
+Status LoadTrainingResult(BinaryReader* in, TrainingResult* t) {
+  size_t end = 0;
+  COMFEDSV_RETURN_IF_ERROR(in->BeginChunk(ChunkTag::kTrainingResult, &end));
+  TrainingResult loaded;
+  COMFEDSV_RETURN_IF_ERROR(in->I32(&loaded.rounds_run));
+  COMFEDSV_RETURN_IF_ERROR(CheckNonNegative(loaded.rounds_run, "rounds_run"));
+  COMFEDSV_RETURN_IF_ERROR(in->F64(&loaded.final_test_accuracy));
+  COMFEDSV_RETURN_IF_ERROR(LoadVector(in, &loaded.final_params));
+  COMFEDSV_RETURN_IF_ERROR(LoadDoubleSpan(in, &loaded.test_loss_history));
+  COMFEDSV_RETURN_IF_ERROR(in->EndChunk(end));
+  *t = std::move(loaded);
+  return Status::Ok();
+}
+
+void SaveInterner(const CoalitionInterner& interner, BinaryWriter* out) {
+  const size_t handle = out->BeginChunk(ChunkTag::kCoalitionInterner);
+  const int size = interner.size();
+  const int universe =
+      size > 0 ? interner.Get(0).universe_size() : 0;
+  out->I32(universe);
+  out->U64(static_cast<uint64_t>(size));
+  for (int col = 0; col < size; ++col) {
+    const std::vector<int> members = interner.Get(col).Members();
+    out->U64(members.size());
+    for (int member : members) out->I32(member);
+  }
+  out->EndChunk(handle);
+}
+
+Status LoadInterner(BinaryReader* in, CoalitionInterner* interner) {
+  size_t end = 0;
+  COMFEDSV_RETURN_IF_ERROR(
+      in->BeginChunk(ChunkTag::kCoalitionInterner, &end));
+  int32_t universe = 0;
+  COMFEDSV_RETURN_IF_ERROR(in->I32(&universe));
+  COMFEDSV_RETURN_IF_ERROR(CheckNonNegative(universe, "universe size"));
+  uint64_t size = 0;
+  // Each coalition costs at least its 8-byte member count.
+  COMFEDSV_RETURN_IF_ERROR(in->Count(8, &size));
+  CoalitionInterner loaded;
+  for (uint64_t col = 0; col < size; ++col) {
+    uint64_t num_members = 0;
+    COMFEDSV_RETURN_IF_ERROR(in->Count(4, &num_members));
+    if (num_members > static_cast<uint64_t>(universe)) {
+      return Status::InvalidArgument(
+          "corrupt interner: coalition larger than its universe");
+    }
+    Coalition c(universe);
+    int prev = -1;
+    for (uint64_t i = 0; i < num_members; ++i) {
+      int32_t member = 0;
+      COMFEDSV_RETURN_IF_ERROR(in->I32(&member));
+      if (member <= prev || member >= universe) {
+        return Status::InvalidArgument(
+            "corrupt interner: members not sorted in range");
+      }
+      c.Add(member);
+      prev = member;
+    }
+    if (loaded.Intern(c) != static_cast<int>(col)) {
+      return Status::InvalidArgument(
+          "corrupt interner: duplicate coalition breaks dense ids");
+    }
+  }
+  COMFEDSV_RETURN_IF_ERROR(in->EndChunk(end));
+  *interner = std::move(loaded);
+  return Status::Ok();
+}
+
+void SaveObservationSet(const ObservationSet& obs, BinaryWriter* out) {
+  const size_t handle = out->BeginChunk(ChunkTag::kObservationSet);
+  out->I32(obs.num_rows());
+  out->I32(obs.num_cols());
+  out->U8(obs.finalized() ? 1 : 0);
+  out->U64(obs.entries().size());
+  for (const Observation& o : obs.entries()) {
+    out->I32(o.row);
+    out->I32(o.col);
+    out->F64(o.value);
+  }
+  out->EndChunk(handle);
+}
+
+Status LoadObservationSet(BinaryReader* in, ObservationSet* obs) {
+  size_t end = 0;
+  COMFEDSV_RETURN_IF_ERROR(in->BeginChunk(ChunkTag::kObservationSet, &end));
+  int32_t num_rows = 0, num_cols = 0;
+  COMFEDSV_RETURN_IF_ERROR(in->I32(&num_rows));
+  COMFEDSV_RETURN_IF_ERROR(in->I32(&num_cols));
+  if (num_rows <= 0 || num_cols <= 0) {
+    return Status::InvalidArgument(
+        "corrupt observation set: non-positive shape");
+  }
+  uint8_t finalized = 0;
+  COMFEDSV_RETURN_IF_ERROR(in->U8(&finalized));
+  if (finalized > 1) {
+    return Status::InvalidArgument(
+        "corrupt observation set: bad finalized flag");
+  }
+  uint64_t count = 0;
+  COMFEDSV_RETURN_IF_ERROR(in->Count(16, &count));
+  ObservationSet loaded(num_rows, num_cols);
+  loaded.Reserve(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    int32_t row = 0, col = 0;
+    double value = 0.0;
+    COMFEDSV_RETURN_IF_ERROR(in->I32(&row));
+    COMFEDSV_RETURN_IF_ERROR(in->I32(&col));
+    COMFEDSV_RETURN_IF_ERROR(in->F64(&value));
+    if (row < 0 || row >= num_rows || col < 0 || col >= num_cols) {
+      return Status::InvalidArgument(
+          "corrupt observation set: entry out of bounds");
+    }
+    loaded.Add(row, col, value);
+  }
+  COMFEDSV_RETURN_IF_ERROR(in->EndChunk(end));
+  // The CSR/CSC views are a deterministic function of the triplets, so
+  // finalized sets rebuild them rather than trusting serialized arrays.
+  if (finalized != 0) loaded.Finalize();
+  *obs = std::move(loaded);
+  return Status::Ok();
+}
+
+void SaveFactorPair(const FactorPair& f, BinaryWriter* out) {
+  const size_t handle = out->BeginChunk(ChunkTag::kFactorPair);
+  SaveMatrix(f.w, out);
+  SaveMatrix(f.h, out);
+  out->EndChunk(handle);
+}
+
+Status LoadFactorPair(BinaryReader* in, FactorPair* f) {
+  size_t end = 0;
+  COMFEDSV_RETURN_IF_ERROR(in->BeginChunk(ChunkTag::kFactorPair, &end));
+  FactorPair loaded;
+  COMFEDSV_RETURN_IF_ERROR(LoadMatrix(in, &loaded.w));
+  COMFEDSV_RETURN_IF_ERROR(LoadMatrix(in, &loaded.h));
+  if (loaded.w.cols() != loaded.h.cols()) {
+    return Status::InvalidArgument(
+        "corrupt factor pair: W and H rank mismatch");
+  }
+  COMFEDSV_RETURN_IF_ERROR(in->EndChunk(end));
+  *f = std::move(loaded);
+  return Status::Ok();
+}
+
+void SaveTrainerState(const FedAvgTrainerState& s, BinaryWriter* out) {
+  const size_t handle = out->BeginChunk(ChunkTag::kTrainerState);
+  out->U64(s.config_fingerprint);
+  out->I32(s.next_round);
+  SaveVector(s.params, out);
+  SaveDoubleSpan(s.test_loss_history.data(), s.test_loss_history.size(),
+                 out);
+  SaveRngState(s.select_rng, out);
+  out->EndChunk(handle);
+}
+
+Status LoadTrainerState(BinaryReader* in, FedAvgTrainerState* s) {
+  size_t end = 0;
+  COMFEDSV_RETURN_IF_ERROR(in->BeginChunk(ChunkTag::kTrainerState, &end));
+  FedAvgTrainerState loaded;
+  COMFEDSV_RETURN_IF_ERROR(in->U64(&loaded.config_fingerprint));
+  COMFEDSV_RETURN_IF_ERROR(in->I32(&loaded.next_round));
+  COMFEDSV_RETURN_IF_ERROR(
+      CheckNonNegative(loaded.next_round, "next_round"));
+  COMFEDSV_RETURN_IF_ERROR(LoadVector(in, &loaded.params));
+  COMFEDSV_RETURN_IF_ERROR(LoadDoubleSpan(in, &loaded.test_loss_history));
+  COMFEDSV_RETURN_IF_ERROR(LoadRngState(in, &loaded.select_rng));
+  COMFEDSV_RETURN_IF_ERROR(in->EndChunk(end));
+  if (loaded.test_loss_history.size() !=
+      static_cast<size_t>(loaded.next_round)) {
+    return Status::InvalidArgument(
+        "corrupt trainer state: loss history length mismatch");
+  }
+  *s = std::move(loaded);
+  return Status::Ok();
+}
+
+}  // namespace comfedsv

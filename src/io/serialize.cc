@@ -1,0 +1,289 @@
+#include "io/serialize.h"
+
+#include <bit>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <system_error>
+
+#ifndef _WIN32
+#include <fcntl.h>
+#include <unistd.h>
+#endif
+
+#include "common/check.h"
+
+namespace comfedsv {
+namespace {
+
+// Header layout, all little-endian:
+//   [0, 4)   magic "CFSV"
+//   [4, 8)   format version
+//   [8, 12)  root chunk tag
+//   [12, 20) payload length in bytes
+//   [20, 28) FNV-1a 64 checksum of the payload
+//   [28, ..) payload (one complete root chunk)
+constexpr size_t kFileHeaderBytes = 28;
+
+std::string TagName(uint32_t tag) {
+  std::ostringstream out;
+  out << "tag " << tag;
+  return out.str();
+}
+
+}  // namespace
+
+void BinaryWriter::U32(uint32_t v) {
+  char buf[4];
+  for (int b = 0; b < 4; ++b) {
+    buf[b] = static_cast<char>((v >> (8 * b)) & 0xFFu);
+  }
+  out_.append(buf, sizeof(buf));
+}
+
+void BinaryWriter::U64(uint64_t v) {
+  char buf[8];
+  for (int b = 0; b < 8; ++b) {
+    buf[b] = static_cast<char>((v >> (8 * b)) & 0xFFu);
+  }
+  out_.append(buf, sizeof(buf));
+}
+
+void BinaryWriter::F64(double v) { U64(std::bit_cast<uint64_t>(v)); }
+
+size_t BinaryWriter::BeginChunk(ChunkTag tag) {
+  U32(static_cast<uint32_t>(tag));
+  const size_t handle = out_.size();
+  U64(0);  // length placeholder, patched by EndChunk
+  return handle;
+}
+
+void BinaryWriter::EndChunk(size_t handle) {
+  COMFEDSV_CHECK_LE(handle + 8, out_.size());
+  const uint64_t length = out_.size() - (handle + 8);
+  for (int b = 0; b < 8; ++b) {
+    out_[handle + b] = static_cast<char>((length >> (8 * b)) & 0xFFu);
+  }
+}
+
+Status BinaryReader::U8(uint8_t* v) {
+  if (remaining() < 1) {
+    return Status::OutOfRange("truncated input: expected 1 byte");
+  }
+  *v = static_cast<uint8_t>(data_[pos_++]);
+  return Status::Ok();
+}
+
+Status BinaryReader::U32(uint32_t* v) {
+  if (remaining() < 4) {
+    return Status::OutOfRange("truncated input: expected 4 bytes");
+  }
+  uint32_t out = 0;
+  for (int b = 0; b < 4; ++b) {
+    out |= static_cast<uint32_t>(static_cast<uint8_t>(data_[pos_ + b]))
+           << (8 * b);
+  }
+  pos_ += 4;
+  *v = out;
+  return Status::Ok();
+}
+
+Status BinaryReader::U64(uint64_t* v) {
+  if (remaining() < 8) {
+    return Status::OutOfRange("truncated input: expected 8 bytes");
+  }
+  uint64_t out = 0;
+  for (int b = 0; b < 8; ++b) {
+    out |= static_cast<uint64_t>(static_cast<uint8_t>(data_[pos_ + b]))
+           << (8 * b);
+  }
+  pos_ += 8;
+  *v = out;
+  return Status::Ok();
+}
+
+Status BinaryReader::I32(int32_t* v) {
+  uint32_t raw = 0;
+  COMFEDSV_RETURN_IF_ERROR(U32(&raw));
+  *v = static_cast<int32_t>(raw);
+  return Status::Ok();
+}
+
+Status BinaryReader::I64(int64_t* v) {
+  uint64_t raw = 0;
+  COMFEDSV_RETURN_IF_ERROR(U64(&raw));
+  *v = static_cast<int64_t>(raw);
+  return Status::Ok();
+}
+
+Status BinaryReader::F64(double* v) {
+  uint64_t raw = 0;
+  COMFEDSV_RETURN_IF_ERROR(U64(&raw));
+  *v = std::bit_cast<double>(raw);
+  return Status::Ok();
+}
+
+Status BinaryReader::BeginChunk(ChunkTag expected, size_t* end) {
+  uint32_t tag = 0;
+  COMFEDSV_RETURN_IF_ERROR(U32(&tag));
+  if (tag != static_cast<uint32_t>(expected)) {
+    return Status::InvalidArgument(
+        "chunk tag mismatch: expected " +
+        TagName(static_cast<uint32_t>(expected)) + ", found " +
+        TagName(tag));
+  }
+  uint64_t length = 0;
+  COMFEDSV_RETURN_IF_ERROR(U64(&length));
+  if (length > remaining()) {
+    return Status::OutOfRange("chunk length exceeds remaining bytes");
+  }
+  *end = pos_ + static_cast<size_t>(length);
+  return Status::Ok();
+}
+
+Status BinaryReader::EndChunk(size_t end) {
+  if (pos_ != end) {
+    return Status::InvalidArgument(
+        "chunk length mismatch: payload not fully consumed");
+  }
+  return Status::Ok();
+}
+
+Status BinaryReader::Count(size_t element_size, uint64_t* count) {
+  COMFEDSV_CHECK_GT(element_size, 0u);
+  uint64_t raw = 0;
+  COMFEDSV_RETURN_IF_ERROR(U64(&raw));
+  if (raw > remaining() / element_size) {
+    return Status::OutOfRange("corrupt element count: payload cannot fit");
+  }
+  *count = raw;
+  return Status::Ok();
+}
+
+uint64_t Fnv1a64(std::string_view bytes) {
+  uint64_t hash = 0xcbf29ce484222325ULL;
+  for (char c : bytes) {
+    hash ^= static_cast<uint8_t>(c);
+    hash *= 0x100000001b3ULL;
+  }
+  return hash;
+}
+
+Status WriteCheckpointFile(const std::string& path, ChunkTag root_tag,
+                           std::string_view payload) {
+  BinaryWriter header;
+  header.U32(kCheckpointMagic);
+  header.U32(kCheckpointVersion);
+  header.U32(static_cast<uint32_t>(root_tag));
+  header.U64(payload.size());
+  header.U64(Fnv1a64(payload));
+
+  const std::string tmp_path = path + ".tmp";
+  {
+    std::ofstream file(tmp_path, std::ios::binary | std::ios::trunc);
+    if (!file) {
+      return Status::Internal("cannot open " + tmp_path + " for writing");
+    }
+    file.write(header.buffer().data(),
+               static_cast<std::streamsize>(header.buffer().size()));
+    file.write(payload.data(), static_cast<std::streamsize>(payload.size()));
+    file.flush();
+    if (!file) {
+      return Status::Internal("short write to " + tmp_path);
+    }
+  }
+#ifndef _WIN32
+  // Flushing the stream only reaches the page cache; without an fsync a
+  // system crash can persist the rename while the data blocks are lost,
+  // leaving a checkpoint the loader rejects — and the resume path
+  // deliberately refuses to silently restart from scratch on a corrupt
+  // file. Sync the data before the rename makes it visible.
+  {
+    const int fd = open(tmp_path.c_str(), O_RDONLY);
+    if (fd < 0 || fsync(fd) != 0) {
+      if (fd >= 0) close(fd);
+      std::remove(tmp_path.c_str());
+      return Status::Internal("cannot fsync " + tmp_path);
+    }
+    close(fd);
+  }
+#endif
+  // Atomic replace: a crash before the rename leaves the previous
+  // checkpoint intact; a crash after it leaves the new one. There is no
+  // in-between state a reader can observe. std::filesystem::rename
+  // (unlike C rename) replaces an existing destination on every
+  // platform.
+  std::error_code rename_error;
+  std::filesystem::rename(tmp_path, path, rename_error);
+  if (rename_error) {
+    std::remove(tmp_path.c_str());
+    return Status::Internal("cannot rename " + tmp_path + " over " + path +
+                            ": " + rename_error.message());
+  }
+#ifndef _WIN32
+  // Persist the rename itself (the directory entry). Failure here is
+  // not fatal to the checkpoint's correctness — the old or new file
+  // survives either way — so best-effort.
+  const size_t slash = path.find_last_of('/');
+  const std::string dir = slash == std::string::npos
+                              ? std::string(".")
+                              : path.substr(0, slash + 1);
+  const int dir_fd = open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (dir_fd >= 0) {
+    fsync(dir_fd);
+    close(dir_fd);
+  }
+#endif
+  return Status::Ok();
+}
+
+Result<std::string> ReadCheckpointFile(const std::string& path,
+                                       ChunkTag expected_root_tag) {
+  std::ifstream file(path, std::ios::binary);
+  if (!file) {
+    return Status::NotFound("cannot open checkpoint file " + path);
+  }
+  std::ostringstream contents;
+  contents << file.rdbuf();
+  std::string raw = std::move(contents).str();
+
+  if (raw.size() < kFileHeaderBytes) {
+    return Status::OutOfRange("checkpoint file truncated: no header");
+  }
+  BinaryReader reader(raw);
+  uint32_t magic = 0, version = 0, tag = 0;
+  uint64_t payload_len = 0, checksum = 0;
+  COMFEDSV_RETURN_IF_ERROR(reader.U32(&magic));
+  if (magic != kCheckpointMagic) {
+    return Status::InvalidArgument(path + " is not a checkpoint file "
+                                   "(bad magic)");
+  }
+  COMFEDSV_RETURN_IF_ERROR(reader.U32(&version));
+  if (version != kCheckpointVersion) {
+    return Status::InvalidArgument(
+        "unsupported checkpoint format version " + std::to_string(version) +
+        " (this build reads version " +
+        std::to_string(kCheckpointVersion) + ")");
+  }
+  COMFEDSV_RETURN_IF_ERROR(reader.U32(&tag));
+  if (tag != static_cast<uint32_t>(expected_root_tag)) {
+    return Status::InvalidArgument(
+        "checkpoint holds " + TagName(tag) + ", expected " +
+        TagName(static_cast<uint32_t>(expected_root_tag)));
+  }
+  COMFEDSV_RETURN_IF_ERROR(reader.U64(&payload_len));
+  COMFEDSV_RETURN_IF_ERROR(reader.U64(&checksum));
+  if (payload_len != raw.size() - kFileHeaderBytes) {
+    return Status::OutOfRange("checkpoint file truncated or padded: "
+                              "payload length mismatch");
+  }
+  std::string payload = raw.substr(kFileHeaderBytes);
+  if (Fnv1a64(payload) != checksum) {
+    return Status::InvalidArgument("checkpoint payload corrupt: "
+                                   "checksum mismatch");
+  }
+  return payload;
+}
+
+}  // namespace comfedsv

@@ -38,6 +38,11 @@ class Matrix {
   const double* RowPtr(size_t i) const { return data_.data() + i * cols_; }
   double* RowPtr(size_t i) { return data_.data() + i * cols_; }
 
+  /// Contiguous row-major view of all rows*cols entries (no padding) —
+  /// the POD view the serialization layer (src/io/) reads and writes.
+  const double* data() const { return data_.data(); }
+  double* data() { return data_.data(); }
+
   /// Copy of row `i` as a Vector.
   Vector Row(size_t i) const;
 

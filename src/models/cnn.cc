@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/check.h"
+#include "common/fingerprint.h"
 
 namespace comfedsv {
 namespace {
@@ -118,6 +119,14 @@ double Cnn::ForwardSample(const Vector& params, const double* x, int label,
 
   if (label < 0) return 0.0;
   return -std::log(std::max(state->probs[label], 1e-300));
+}
+
+void Cnn::MixFingerprint(uint64_t* hash) const {
+  Model::MixFingerprint(hash);
+  FingerprintMix(hash, static_cast<uint64_t>(config_.image_side));
+  FingerprintMix(hash, static_cast<uint64_t>(config_.channels));
+  FingerprintMix(hash, static_cast<uint64_t>(config_.num_filters));
+  FingerprintMix(hash, config_.l2_penalty);
 }
 
 double Cnn::Loss(const Vector& params, const Dataset& data) const {

@@ -46,6 +46,8 @@ class Cnn : public Model {
                          Vector* grad) const override;
   int Predict(const Vector& params, const double* x) const override;
 
+  void MixFingerprint(uint64_t* hash) const override;
+
   int conv_side() const { return conv_side_; }
   int pool_side() const { return pool_side_; }
   size_t pooled_dim() const { return pooled_dim_; }

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "common/check.h"
+#include "common/fingerprint.h"
 #include "models/batch_kernels.h"
 
 namespace comfedsv {
@@ -45,6 +46,11 @@ double LogisticRegression::ForwardSample(const Vector& params,
   if (label >= 0) loss = -std::log(std::max(probs[label] / sum, 1e-300));
   for (int c = 0; c < classes_; ++c) probs[c] /= sum;
   return loss;
+}
+
+void LogisticRegression::MixFingerprint(uint64_t* hash) const {
+  Model::MixFingerprint(hash);
+  FingerprintMix(hash, l2_penalty_);
 }
 
 double LogisticRegression::Loss(const Vector& params,

@@ -44,6 +44,8 @@ class LogisticRegression : public Model {
 
   double l2_penalty() const { return l2_penalty_; }
 
+  void MixFingerprint(uint64_t* hash) const override;
+
  private:
   // Computes softmax probabilities for sample `x` into `probs` (length
   // classes_); returns the log-sum-exp-normalized log-loss contribution

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/check.h"
+#include "common/fingerprint.h"
 #include "models/batch_kernels.h"
 
 namespace comfedsv {
@@ -89,6 +90,14 @@ double Mlp::ForwardTail(const double* params, int label,
   if (label < 0) return 0.0;
   const double p = (*activations)[layers - 1][label];
   return -std::log(std::max(p, 1e-300));
+}
+
+void Mlp::MixFingerprint(uint64_t* hash) const {
+  Model::MixFingerprint(hash);
+  for (size_t width : layer_sizes_) {
+    FingerprintMix(hash, static_cast<uint64_t>(width));
+  }
+  FingerprintMix(hash, l2_penalty_);
 }
 
 double Mlp::Loss(const Vector& params, const Dataset& data) const {

@@ -47,6 +47,8 @@ class Mlp : public Model {
 
   int num_layers() const { return static_cast<int>(layer_sizes_.size()) - 1; }
 
+  void MixFingerprint(uint64_t* hash) const override;
+
  private:
   struct LayerOffsets {
     size_t weights;  // offset of W_l in the flat vector

@@ -1,6 +1,7 @@
 #include "models/model.h"
 
 #include "common/check.h"
+#include "common/fingerprint.h"
 
 namespace comfedsv {
 
@@ -25,6 +26,15 @@ double Model::Accuracy(const Vector& params, const Dataset& data) const {
   }
   return static_cast<double>(correct) /
          static_cast<double>(data.num_samples());
+}
+
+void Model::MixFingerprint(uint64_t* hash) const {
+  for (char c : name()) {
+    FingerprintMix(hash, static_cast<uint64_t>(static_cast<uint8_t>(c)));
+  }
+  FingerprintMix(hash, static_cast<uint64_t>(num_params()));
+  FingerprintMix(hash, static_cast<uint64_t>(input_dim()));
+  FingerprintMix(hash, static_cast<uint64_t>(num_classes()));
 }
 
 void Model::InitializeParams(Vector* params, Rng* rng, double scale) const {

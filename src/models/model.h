@@ -72,9 +72,23 @@ class Model {
   /// Fraction of `data` classified correctly.
   double Accuracy(const Vector& params, const Dataset& data) const;
 
-  /// Fills `params` with a small random initialization (N(0, scale^2)).
-  void InitializeParams(Vector* params, Rng* rng,
-                        double scale = 0.05) const;
+  /// Fills `params` with a small random initialization (N(0, scale^2)
+  /// by default). Virtual so fixture models can substitute a
+  /// transcendental-free init: the default draws through Box–Muller
+  /// (libm log/sin/cos), whose last-ulp behavior is the one toolchain-
+  /// dependent element of an otherwise bit-stable pipeline (see
+  /// tests/scenario_golden_test.cc).
+  virtual void InitializeParams(Vector* params, Rng* rng,
+                                double scale = 0.05) const;
+
+  /// Mixes everything that determines this model's loss surface into a
+  /// checkpoint-compatibility fingerprint (common/fingerprint.h): the
+  /// base contribution is (name, num_params, input_dim, num_classes);
+  /// concrete models must additionally mix hyperparameters that change
+  /// losses without changing those shapes (e.g. L2 penalties), so a
+  /// checkpointed run can never silently resume under a different
+  /// model.
+  virtual void MixFingerprint(uint64_t* hash) const;
 };
 
 }  // namespace comfedsv

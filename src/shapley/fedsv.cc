@@ -20,6 +20,28 @@ FedSvEvaluator::FedSvEvaluator(const Model* model, const Dataset* test_data,
   COMFEDSV_CHECK_GT(num_clients, 0);
 }
 
+FedSvEvaluatorState FedSvEvaluator::SaveState() const {
+  FedSvEvaluatorState state;
+  state.values = values_;
+  state.rng = rng_.SaveState();
+  state.loss_calls = loss_calls_;
+  return state;
+}
+
+Status FedSvEvaluator::RestoreState(const FedSvEvaluatorState& state) {
+  if (state.values.size() != values_.size()) {
+    return Status::InvalidArgument(
+        "FedSV state has a different client count");
+  }
+  if (state.loss_calls < 0) {
+    return Status::InvalidArgument("FedSV state loss_calls negative");
+  }
+  values_ = state.values;
+  rng_ = Rng::FromState(state.rng);
+  loss_calls_ = state.loss_calls;
+  return Status::Ok();
+}
+
 void FedSvEvaluator::OnRound(const RoundRecord& record) {
   // Bernoulli-style selectors can produce rounds in which no client is
   // selected; the restricted Shapley game then has no players and every

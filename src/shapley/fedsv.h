@@ -12,6 +12,7 @@
 
 #include "common/execution_context.h"
 #include "common/rng.h"
+#include "common/status.h"
 #include "data/dataset.h"
 #include "fl/round_record.h"
 #include "linalg/vector.h"
@@ -37,6 +38,16 @@ struct FedSvConfig {
   uint64_t seed = 0;
 };
 
+/// Checkpointable mid-run FedSV accumulation: the running per-client
+/// sums, the Monte-Carlo permutation stream, and the loss-call counter.
+/// Serialized by the core checkpoint layer; restored via
+/// FedSvEvaluator::RestoreState.
+struct FedSvEvaluatorState {
+  Vector values;
+  RngState rng;
+  int64_t loss_calls = 0;
+};
+
 /// Accumulates FedSV over a training run. Plug into FedAvgTrainer::Train
 /// as the RoundObserver, then read values().
 class FedSvEvaluator : public RoundObserver {
@@ -56,6 +67,14 @@ class FedSvEvaluator : public RoundObserver {
 
   /// Total test-loss evaluations spent (the Fig. 8 cost unit).
   int64_t loss_calls() const { return loss_calls_; }
+
+  /// Snapshot of the accumulation after any number of rounds.
+  FedSvEvaluatorState SaveState() const;
+
+  /// Resumes a snapshot taken from an evaluator with the same
+  /// num_clients/config; OnRound then continues bit-identically to the
+  /// run that saved it.
+  Status RestoreState(const FedSvEvaluatorState& state);
 
  private:
   const Model* model_;

@@ -74,6 +74,57 @@ TEST(DatasetTest, RandomSplitExtremes) {
   EXPECT_EQ(all.num_samples(), 4u);
   EXPECT_EQ(none.num_samples(), 0u);
   EXPECT_TRUE(none.empty());
+  // The empty side keeps the dataset's shape metadata.
+  EXPECT_EQ(none.dim(), d.dim());
+  EXPECT_EQ(none.num_classes(), d.num_classes());
+
+  auto [empty, everything] = d.RandomSplit(1.0, &rng);
+  EXPECT_TRUE(empty.empty());
+  EXPECT_EQ(empty.dim(), d.dim());
+  EXPECT_EQ(empty.num_classes(), d.num_classes());
+  EXPECT_EQ(everything.num_samples(), 4u);
+}
+
+TEST(DatasetTest, RandomSplitExtremesPreserveOrderAndSkipTheRng) {
+  // Degenerate fractions have exactly one outcome: they must not consume
+  // RNG state (which would shift every later consumer of the stream) and
+  // must hand the data back in its original order.
+  Dataset d = MakeToy();
+  Rng rng(42);
+  auto [all, none] = d.RandomSplit(0.0, &rng);
+  auto [empty, everything] = d.RandomSplit(1.0, &rng);
+  Rng fresh(42);
+  EXPECT_EQ(rng.NextUint64(), fresh.NextUint64()) << "stream advanced";
+  for (size_t i = 0; i < d.num_samples(); ++i) {
+    EXPECT_DOUBLE_EQ(all.sample(i)[0], d.sample(i)[0]);
+    EXPECT_DOUBLE_EQ(everything.sample(i)[0], d.sample(i)[0]);
+    EXPECT_EQ(all.label(i), d.label(i));
+    EXPECT_EQ(everything.label(i), d.label(i));
+  }
+}
+
+TEST(DatasetTest, RandomSplitOnEmptyAndDefaultDatasets) {
+  // A default-constructed dataset (num_classes == 0) used to crash in
+  // Subset's validating constructor; any fraction must now yield two
+  // empty datasets and leave the RNG untouched.
+  Dataset default_ds;
+  Rng rng(7);
+  for (double fraction : {0.0, 0.5, 1.0}) {
+    auto [a, b] = default_ds.RandomSplit(fraction, &rng);
+    EXPECT_TRUE(a.empty()) << fraction;
+    EXPECT_TRUE(b.empty()) << fraction;
+  }
+  // An empty-but-typed dataset keeps its shape metadata on both sides.
+  Dataset typed_empty(Matrix(0, 3), {}, 4);
+  auto [a, b] = typed_empty.RandomSplit(0.5, &rng);
+  EXPECT_TRUE(a.empty());
+  EXPECT_TRUE(b.empty());
+  EXPECT_EQ(a.dim(), 3u);
+  EXPECT_EQ(a.num_classes(), 4);
+  EXPECT_EQ(b.dim(), 3u);
+  EXPECT_EQ(b.num_classes(), 4);
+  Rng fresh(7);
+  EXPECT_EQ(rng.NextUint64(), fresh.NextUint64()) << "stream advanced";
 }
 
 TEST(DatasetTest, ConcatStacksSamples) {
