@@ -106,6 +106,7 @@ Result<ComFedSvOutput> ComFedSvEvaluator::FinalizeImpl(
     out.values = std::move(values).value();
     out.completion = std::move(completion).value();
     out.loss_calls = full_recorder_->loss_calls();
+    out.stats = full_recorder_->stats();
     out.seconds = full_recorder_->seconds() + timer.ElapsedSeconds();
     return out;
   }
@@ -130,6 +131,7 @@ Result<ComFedSvOutput> ComFedSvEvaluator::FinalizeImpl(
   out.values = std::move(values).value();
   out.completion = std::move(completion).value();
   out.loss_calls = sampled_recorder_->loss_calls();
+  out.stats = sampled_recorder_->stats();
   out.seconds = sampled_recorder_->seconds() + timer.ElapsedSeconds();
   return out;
 }

@@ -53,6 +53,10 @@ struct ComFedSvOutput {
   int64_t loss_calls = 0;         ///< test-loss evaluations spent
   double seconds = 0.0;           ///< recording + completion + formula time
   double completion_seconds = 0.0;  ///< wall time inside CompleteMatrix
+  /// Measured evaluation accounting from the active recorder: loss
+  /// calls, batch passes, memo hits, and — under surrogate screening —
+  /// skips and the accumulated skip-bias bound.
+  UtilityStats stats;
 };
 
 /// Observer-plus-finalizer implementing ComFedSV end to end.

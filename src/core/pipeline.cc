@@ -122,6 +122,7 @@ Result<ValuationOutcome> RunValuationImpl(const Model& model,
     outcome.fedsv_values = fedsv->values();
     outcome.fedsv_loss_calls = fedsv->loss_calls();
     outcome.fedsv_seconds = fedsv_timed.seconds;
+    outcome.fedsv_stats = fedsv->stats();
   }
   if (comfedsv != nullptr) {
     Result<ComFedSvOutput> finalized = comfedsv->Finalize();

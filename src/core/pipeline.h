@@ -35,6 +35,9 @@ struct ValuationOutcome {
   std::optional<Vector> fedsv_values;
   int64_t fedsv_loss_calls = 0;
   double fedsv_seconds = 0.0;
+  /// Measured FedSV evaluation accounting (loss calls, batch passes,
+  /// memo hits); ComFedSV's equivalent rides inside `comfedsv->stats`.
+  UtilityStats fedsv_stats;
 
   std::optional<ComFedSvOutput> comfedsv;
 

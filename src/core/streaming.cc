@@ -47,6 +47,7 @@ Result<ValuationOutcome> StreamingValuationEngine::Snapshot() {
   if (fedsv_ != nullptr) {
     out.fedsv_values = fedsv_->values();
     out.fedsv_loss_calls = fedsv_->loss_calls();
+    out.fedsv_stats = fedsv_->stats();
   }
   if (comfedsv_ != nullptr) {
     const bool stale_ok =
@@ -62,6 +63,7 @@ Result<ValuationOutcome> StreamingValuationEngine::Snapshot() {
       factors_ = FactorPair{last_output_->completion.w,
                             last_output_->completion.h};
       last_solve_round_ = rounds_consumed_;
+      ArmSurrogate();
     }
     out.comfedsv = *last_output_;
   }
@@ -81,6 +83,7 @@ Result<ValuationOutcome> StreamingValuationEngine::Finalize() const {
   if (fedsv_ != nullptr) {
     out.fedsv_values = fedsv_->values();
     out.fedsv_loss_calls = fedsv_->loss_calls();
+    out.fedsv_stats = fedsv_->stats();
   }
   if (comfedsv_ != nullptr) {
     Result<ComFedSvOutput> solved = comfedsv_->Finalize();
@@ -96,6 +99,36 @@ Result<ValuationOutcome> StreamingValuationEngine::Finalize() const {
   return out;
 }
 
+double StreamingValuationEngine::PredictedUtility(
+    int round, const Coalition& coalition) const {
+  if (!factors_.has_value() || comfedsv_ == nullptr) return 0.0;
+  const CoalitionInterner* interner = nullptr;
+  if (comfedsv_->sampled_recorder() != nullptr) {
+    interner = &comfedsv_->sampled_recorder()->interner();
+  } else if (comfedsv_->full_recorder() != nullptr) {
+    interner = &comfedsv_->full_recorder()->interner();
+  }
+  if (interner == nullptr) return 0.0;
+  const int col = interner->Find(coalition);
+  if (col < 0 || static_cast<size_t>(col) >= factors_->h.rows()) return 0.0;
+  return ::comfedsv::PredictedUtility(*factors_, round, col);
+}
+
+void StreamingValuationEngine::ArmSurrogate() {
+  if (!config_.surrogate_screening || comfedsv_ == nullptr) return;
+  SampledUtilityRecorder* recorder = comfedsv_->sampled_recorder();
+  if (recorder == nullptr || !factors_.has_value()) return;
+  // The predictor reads factors_ at call time (not a snapshot), so every
+  // re-solve refreshes the surrogate without re-arming.
+  recorder->SetSurrogatePredictor([this](int round, int col) {
+    if (!factors_.has_value() ||
+        static_cast<size_t>(col) >= factors_->h.rows()) {
+      return 0.0;
+    }
+    return ::comfedsv::PredictedUtility(*factors_, round, col);
+  });
+}
+
 uint64_t StreamingValuationEngine::ConfigFingerprint() const {
   // The engine's own policy knobs (cadence, warm start) do not change
   // what OnRound accumulates, so the fingerprint covers only the
@@ -107,6 +140,12 @@ uint64_t StreamingValuationEngine::ConfigFingerprint() const {
   uint64_t hash = kFingerprintSeed;
   FingerprintMix(&hash, static_cast<uint64_t>(num_clients_));
   FingerprintMix(&hash, RequestFingerprint(config_.request));
+  // Screening changes what the sampled recorder accumulates, so it must
+  // break fingerprint compatibility — but only when on, so checkpoints
+  // from before the knob existed keep their fingerprints.
+  if (config_.surrogate_screening) {
+    FingerprintMix(&hash, uint64_t{0x5355524F});  // "SURO"
+  }
   return hash;
 }
 
@@ -179,6 +218,10 @@ Status StreamingValuationEngine::RestoreState(BinaryReader* in) {
   // restore re-solves, warm from the restored factors.
   last_output_.reset();
   last_solve_round_ = -1;
+  // Screening resumes exactly where it left off: the restored factors
+  // re-arm the surrogate (the recorder's audit/candidate state came back
+  // through LoadEvaluatorStates).
+  ArmSurrogate();
   return Status::Ok();
 }
 

@@ -54,6 +54,15 @@ struct StreamingConfig {
   /// Sweep cap for warm re-solves; 0 keeps the request's
   /// completion.max_iters.
   int warm_max_iters = 0;
+  /// Arm the sampled recorder's factor-based utility surrogate after
+  /// each completion solve: subsequent rounds can then skip the real
+  /// BatchLoss call for coalitions whose predicted marginal is
+  /// confidently below request.comfedsv.sampler.screen_threshold (which
+  /// must also be > 0 for screening to engage — see SamplerConfig's
+  /// screening knobs and SampledUtilityRecorder::SetSurrogatePredictor
+  /// for the trust/audit/bias-bound contract). Only meaningful in
+  /// ComFedSvConfig::Mode::kSampled.
+  bool surrogate_screening = false;
 };
 
 /// Consumes RoundRecords one at a time and serves valuation snapshots
@@ -88,6 +97,14 @@ class StreamingValuationEngine : public RoundObserver {
   /// same rounds. Does not disturb the warm-start cache.
   Result<ValuationOutcome> Finalize() const;
 
+  /// Factor-predicted utility of `coalition` at `round` from the last
+  /// completion solve: w_round . h_col with `round` clamped to the last
+  /// fitted round (temporal smoothness, Proposition 1). Returns 0 when
+  /// no solve has happened yet, ComFedSV is off, or the coalition is not
+  /// a column of the completion problem. This is the surrogate the
+  /// screening path consults before spending a BatchLoss call.
+  double PredictedUtility(int round, const Coalition& coalition) const;
+
   /// Serializes the engine state (one kStreamingEngineState chunk):
   /// consumed-round count, per-metric accumulations, and the warm-start
   /// factor cache.
@@ -102,6 +119,10 @@ class StreamingValuationEngine : public RoundObserver {
 
  private:
   uint64_t ConfigFingerprint() const;
+  /// Points the sampled recorder's surrogate at the current factors
+  /// (no-op unless config_.surrogate_screening and a sampled recorder
+  /// and factors exist). Called after every solve and after a restore.
+  void ArmSurrogate();
 
   const Model* model_;
   const Dataset* test_data_;

@@ -49,7 +49,8 @@ void FedSvEvaluator::OnRound(const RoundRecord& record) {
   // tripping the estimators' "no players" guard.
   if (record.selected.empty()) return;
   const int n = static_cast<int>(values_.size());
-  RoundUtility utility(model_, test_data_, &record, &loss_calls_, ctx_);
+  RoundUtility utility(model_, test_data_, &record, &loss_calls_, ctx_,
+                       &stats_);
   UtilityFn fn = [&utility](const Coalition& c) {
     return utility.Utility(c);
   };

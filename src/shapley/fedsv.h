@@ -18,6 +18,7 @@
 #include "linalg/vector.h"
 #include "models/model.h"
 #include "shapley/sampler.h"
+#include "shapley/utility.h"
 
 namespace comfedsv {
 
@@ -48,6 +49,16 @@ struct FedSvEvaluatorState {
   int64_t loss_calls = 0;
 };
 
+/// Everything a FedSV run produced: the accumulated values plus the
+/// measured evaluation-cost accounting (satellite of the adaptive
+/// estimator work — benches read measured counts from here instead of
+/// re-deriving them).
+struct FedSvOutput {
+  Vector values;
+  int64_t loss_calls = 0;
+  UtilityStats stats;
+};
+
 /// Accumulates FedSV over a training run. Plug into FedAvgTrainer::Train
 /// as the RoundObserver, then read values().
 class FedSvEvaluator : public RoundObserver {
@@ -68,6 +79,16 @@ class FedSvEvaluator : public RoundObserver {
   /// Total test-loss evaluations spent (the Fig. 8 cost unit).
   int64_t loss_calls() const { return loss_calls_; }
 
+  /// Measured evaluation accounting accumulated across rounds (loss
+  /// calls, batched passes, memo hits, distinct coalitions). Diagnostic:
+  /// not checkpointed, so after RestoreState it covers the resumed
+  /// portion only (loss_calls stays authoritative either way).
+  const UtilityStats& stats() const { return stats_; }
+
+  /// values/loss_calls/stats bundled for callers that surface them
+  /// together (bench, pipeline).
+  FedSvOutput Output() const { return {values_, loss_calls_, stats_}; }
+
   /// Snapshot of the accumulation after any number of rounds.
   FedSvEvaluatorState SaveState() const;
 
@@ -84,6 +105,7 @@ class FedSvEvaluator : public RoundObserver {
   Vector values_;
   Rng rng_;
   int64_t loss_calls_ = 0;
+  UtilityStats stats_;
 };
 
 }  // namespace comfedsv

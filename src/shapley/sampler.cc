@@ -21,6 +21,10 @@ const char* SamplerKindName(SamplerKind kind) {
 }
 
 int RoundBudgetForSampler(const SamplerConfig& config, int budget) {
+  // Floor before pairing: a 0/negative budget (degenerate config or an
+  // aggressive adaptive split) must still produce at least one draw, or
+  // the estimators' positive-budget guard aborts downstream.
+  budget = std::max(budget, 1);
   if (config.kind == SamplerKind::kAntithetic && (budget % 2) != 0) {
     return budget + 1;
   }

@@ -40,6 +40,7 @@
 #include <vector>
 
 #include "common/rng.h"
+#include "shapley/budget_allocator.h"
 
 namespace comfedsv {
 
@@ -60,6 +61,35 @@ struct SamplerConfig {
   /// exact saturation (a plateau), which is already enough for games
   /// whose utility caps out early.
   double truncation_tolerance = 1e-3;
+
+  /// Adaptive Neyman budget allocation (shapley/budget_allocator.h).
+  /// When enabled, MonteCarloShapley (and the per-round FedSV estimate)
+  /// spends the permutation budget in reallocation waves steered toward
+  /// the highest-variance (player, |S|) cells instead of uniformly;
+  /// `kind` then only selects how the pilot walks are drawn. Budgets
+  /// below 2 * |players| permutations fall back to the plain sampler
+  /// (too small to cover the cell grid).
+  AdaptiveBudgetConfig adaptive;
+
+  /// Utility-surrogate screening for the adaptive SampledUtilityRecorder
+  /// path (streaming ComFedSV): a coalition whose factor-predicted
+  /// marginal is confidently below `screen_threshold` is recorded at the
+  /// predicted value without spending its real BatchLoss call. 0
+  /// disables screening. "Confidently" means the surrogate's audited
+  /// mean absolute error, scaled by `screen_confidence`, still fits
+  /// under the threshold together with the predicted marginal — the
+  /// loss call is spent exactly when the surrogate is uncertain.
+  double screen_threshold = 0.0;
+  /// Multiplier on the surrogate's audited mean absolute error in the
+  /// skip test (larger = more conservative screening).
+  double screen_confidence = 3.0;
+  /// Every k-th skip-eligible coalition is measured anyway (an audit):
+  /// the realized |predicted - measured| gap feeds the error estimate
+  /// and is the *measured* part of the bias-bound contract.
+  int screen_audit_every = 8;
+  /// Audits required before any skip is allowed (the bootstrap spend
+  /// while the surrogate is still unproven).
+  int screen_min_audits = 4;
 };
 
 /// Human-readable sampler name (bench/JSON labels).
@@ -69,7 +99,9 @@ const char* SamplerKindName(SamplerKind kind);
 /// natural pairing size: antithetic draws come in forward/reverse pairs,
 /// so an odd budget would leave one draw unpaired and forfeit part of
 /// the cancellation. Explicit user budgets are honored as given (an
-/// unpaired draw is still unbiased, just higher-variance).
+/// unpaired draw is still unbiased, just higher-variance). Non-positive
+/// budgets are floored at one draw (two for antithetic) so degenerate
+/// configurations never reach the estimators' positive-budget guard.
 int RoundBudgetForSampler(const SamplerConfig& config, int budget);
 
 /// Draws `count` orderings of `players` from `rng` according to

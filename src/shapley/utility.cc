@@ -74,12 +74,13 @@ void CoalitionAggregator::MeanInto(const Coalition& coalition, double* out) {
 
 RoundUtility::RoundUtility(const Model* model, const Dataset* test_data,
                            const RoundRecord* record, int64_t* loss_calls,
-                           ExecutionContext* ctx)
+                           ExecutionContext* ctx, UtilityStats* stats)
     : model_(model),
       test_data_(test_data),
       record_(record),
       loss_calls_(loss_calls),
-      ctx_(ctx) {
+      ctx_(ctx),
+      stats_(stats) {
   COMFEDSV_CHECK(model_ != nullptr);
   COMFEDSV_CHECK(test_data_ != nullptr);
   COMFEDSV_CHECK(record_ != nullptr);
@@ -90,7 +91,10 @@ double RoundUtility::Utility(const Coalition& coalition) {
   {
     std::lock_guard<std::mutex> lock(mu_);
     auto it = cache_.find(coalition);
-    if (it != cache_.end()) return it->second;
+    if (it != cache_.end()) {
+      if (stats_ != nullptr) ++stats_->memo_hits;
+      return it->second;
+    }
   }
 
   // Average the coalition members' local models. Computed outside the
@@ -112,8 +116,31 @@ double RoundUtility::Utility(const Coalition& coalition) {
   if (inserted) {
     if (loss_calls_ != nullptr) ++(*loss_calls_);
     ++distinct_evaluations_;
+    if (stats_ != nullptr) {
+      ++stats_->loss_calls;
+      ++stats_->distinct_coalitions;
+    }
+  } else if (stats_ != nullptr) {
+    // Lost a compute race: the value was already cached by another
+    // thread, so this thread's work resolved as a hit.
+    ++stats_->memo_hits;
   }
   return it->second;
+}
+
+void RoundUtility::RecordPredicted(const Coalition& coalition, double value,
+                                   double bias_bound) {
+  if (coalition.IsEmpty()) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  auto [it, inserted] = cache_.emplace(coalition, value);
+  (void)it;
+  if (!inserted) return;
+  ++distinct_evaluations_;
+  if (stats_ != nullptr) {
+    ++stats_->distinct_coalitions;
+    ++stats_->surrogate_skips;
+    stats_->surrogate_bias_bound += bias_bound;
+  }
 }
 
 void RoundUtility::EvaluateBatch(const std::vector<Coalition>& coalitions) {
@@ -126,8 +153,15 @@ void RoundUtility::EvaluateBatch(const std::vector<Coalition>& coalitions) {
     seen.reserve(coalitions.size());
     for (const Coalition& c : coalitions) {
       if (c.IsEmpty()) continue;
-      if (cache_.find(c) != cache_.end()) continue;
-      if (seen.insert(c).second) pending.push_back(c);
+      if (cache_.find(c) != cache_.end()) {
+        if (stats_ != nullptr) ++stats_->memo_hits;
+        continue;
+      }
+      if (seen.insert(c).second) {
+        pending.push_back(c);
+      } else if (stats_ != nullptr) {
+        ++stats_->memo_hits;
+      }
     }
   }
   if (pending.empty()) return;
@@ -149,12 +183,17 @@ void RoundUtility::EvaluateBatch(const std::vector<Coalition>& coalitions) {
     model_->BatchLoss(stacked, *test_data_, &losses, ctx_);
 
     std::lock_guard<std::mutex> lock(mu_);
+    if (stats_ != nullptr) ++stats_->batched_calls;
     for (size_t r = 0; r < n; ++r) {
       auto [it, inserted] = cache_.emplace(
           pending[c0 + r], record_->test_loss_before - losses[r]);
       if (inserted) {
         if (loss_calls_ != nullptr) ++(*loss_calls_);
         ++distinct_evaluations_;
+        if (stats_ != nullptr) {
+          ++stats_->loss_calls;
+          ++stats_->distinct_coalitions;
+        }
       }
     }
   }

@@ -29,6 +29,42 @@
 
 namespace comfedsv {
 
+/// Measured evaluation-cost accounting for one estimator run. Filled by
+/// RoundUtility (counting fields) and the surrogate-screening recorder
+/// path (skip fields); surfaced through FedSvOutput / ComFedSvOutput so
+/// benches report measured counts instead of re-deriving them.
+struct UtilityStats {
+  /// Test-loss evaluations actually spent: one per distinct non-empty
+  /// coalition measured (the unit of the paper's Fig. 8 cost axis).
+  int64_t loss_calls = 0;
+  /// Model::BatchLoss passes issued by the batched engine (each covers a
+  /// chunk of coalitions with one sweep over the test set).
+  int64_t batched_calls = 0;
+  /// Cache hits: queries answered from the per-round memo without a loss
+  /// call (repeated Monte-Carlo draws, batch re-submissions).
+  int64_t memo_hits = 0;
+  /// Distinct non-empty coalitions evaluated (= loss_calls unless a
+  /// surrogate recorded predicted values without measuring).
+  int64_t distinct_coalitions = 0;
+  /// Coalitions recorded at their factor-predicted utility with the real
+  /// loss call skipped (surrogate screening only).
+  int64_t surrogate_skips = 0;
+  /// Accumulated worst-case absolute error of the skipped recordings:
+  /// each skip adds its confidence-scaled audited error estimate. The
+  /// screening bias-bound contract (README): the total absolute
+  /// perturbation of recorded utilities is <= this value.
+  double surrogate_bias_bound = 0.0;
+
+  void MergeFrom(const UtilityStats& other) {
+    loss_calls += other.loss_calls;
+    batched_calls += other.batched_calls;
+    memo_hits += other.memo_hits;
+    distinct_coalitions += other.distinct_coalitions;
+    surrogate_skips += other.surrogate_skips;
+    surrogate_bias_bound += other.surrogate_bias_bound;
+  }
+};
+
 /// Forms coalition parameter averages incrementally. Keeps the ascending
 /// chain of partial sums of the previous coalition's members; a new
 /// coalition reuses the longest shared ascending prefix and extends it
@@ -75,10 +111,21 @@ class RoundUtility {
   /// `loss_calls` is an optional shared counter of test-loss evaluations,
   /// accumulated across rounds by the callers that own it. `ctx`
   /// (optional) parallelizes EvaluateBatch; a null context evaluates
-  /// batches inline.
+  /// batches inline. `stats` (optional) accumulates the full measured
+  /// accounting (loss calls, batch passes, memo hits) across rounds;
+  /// its loss_calls field advances in lockstep with `loss_calls`.
   RoundUtility(const Model* model, const Dataset* test_data,
                const RoundRecord* record, int64_t* loss_calls = nullptr,
-               ExecutionContext* ctx = nullptr);
+               ExecutionContext* ctx = nullptr, UtilityStats* stats = nullptr);
+
+  /// Records a utility value supplied by a surrogate predictor instead of
+  /// a measurement: future Utility()/EvaluateBatch queries for this
+  /// coalition are cache hits at `value`, and no loss call is ever spent
+  /// on it. Counts as a distinct coalition and a surrogate skip, with
+  /// `bias_bound` added to the accumulated skip-bias bound. No-op if the
+  /// coalition was already evaluated.
+  void RecordPredicted(const Coalition& coalition, double value,
+                       double bias_bound);
 
   /// U_t(S). The empty coalition has utility 0 by convention
   /// (u_t(w^t) = 0).
@@ -107,6 +154,7 @@ class RoundUtility {
   const RoundRecord* record_;
   int64_t* loss_calls_;
   ExecutionContext* ctx_;  // not owned; null = inline batch evaluation
+  UtilityStats* stats_;    // not owned; optional
   int64_t distinct_evaluations_ = 0;
   mutable std::mutex mu_;  // guards cache_ and the counters
   std::unordered_map<Coalition, double, CoalitionHash> cache_;

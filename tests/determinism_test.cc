@@ -5,6 +5,8 @@
 // ExecutionContext parallelism safe to enable everywhere.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <optional>
 #include <string>
@@ -689,6 +691,173 @@ TEST(DeterminismTest, StreamingWarmSnapshotsTrackColdSolvesInFullMode) {
         << ": 10 warm sweeps nowhere near the cold fit — misaligned "
            "warm-start rows?";
   }
+}
+
+// Drives the trainer through a StreamingValuationEngine, snapshotting
+// after every round (which re-solves the completion and re-arms the
+// utility surrogate when screening is configured), then finalizes.
+ValuationOutcome RunStreaming(const Workload& w, const Model& model,
+                              const FedAvgConfig& fed_cfg,
+                              const StreamingConfig& streaming,
+                              ExecutionContext* ctx) {
+  StreamingValuationEngine engine(&model, &w.test,
+                                  static_cast<int>(w.clients.size()),
+                                  streaming, ctx);
+  FedAvgTrainer trainer(&model, w.clients, w.test, fed_cfg, ctx);
+  EXPECT_TRUE(trainer.Begin().ok());
+  while (!trainer.Done()) {
+    engine.OnRound(trainer.Step());
+    Result<ValuationOutcome> snap = engine.Snapshot();
+    EXPECT_TRUE(snap.ok()) << snap.status().ToString();
+  }
+  Result<ValuationOutcome> out = engine.Finalize();
+  EXPECT_TRUE(out.ok()) << out.status().ToString();
+  return std::move(out).value();
+}
+
+TEST(DeterminismTest, AdaptiveAndScreenedPipelineIsThreadCountInvariant) {
+  // The two PR-6 paths that make data-dependent decisions — adaptive
+  // Neyman budget waves in Monte-Carlo FedSV and surrogate screening in
+  // the sampled ComFedSV recorder — must stay bit-identical across
+  // inline, 1-thread, and 4-thread execution: every allocation plan and
+  // every skip/measure/audit decision is taken on the calling thread in
+  // fixed wave/permutation order, with parallelism confined to the
+  // batched loss evaluator.
+  const int n = 5;
+  Workload w = MakeWorkload(n, 1111);
+  LogisticRegression model(w.test.dim(), 10);
+
+  FedAvgConfig fed_cfg;
+  fed_cfg.num_rounds = 5;
+  fed_cfg.clients_per_round = 3;
+  fed_cfg.seed = 101;
+
+  ValuationRequest request;
+  request.compute_fedsv = true;
+  request.fedsv.mode = FedSvConfig::Mode::kMonteCarlo;
+  request.fedsv.permutations_per_round = 8;
+  request.fedsv.sampler.adaptive.enabled = true;
+  request.fedsv.seed = 102;
+  request.compute_comfedsv = true;
+  request.comfedsv.mode = ComFedSvConfig::Mode::kSampled;
+  request.comfedsv.num_permutations = 6;
+  request.comfedsv.sampler.screen_threshold = 0.5;
+  request.comfedsv.sampler.screen_confidence = 1.0;
+  request.comfedsv.sampler.screen_audit_every = 4;
+  request.comfedsv.sampler.screen_min_audits = 2;
+  request.comfedsv.completion.rank = 2;
+  request.comfedsv.completion.lambda = 1e-3;
+  request.comfedsv.completion.max_iters = 40;
+  request.comfedsv.seed = 103;
+
+  StreamingConfig streaming;
+  streaming.request = request;
+  streaming.resolve_cadence = 1;
+  streaming.warm_start = true;
+  streaming.surrogate_screening = true;
+
+  ValuationOutcome inline_run =
+      RunStreaming(w, model, fed_cfg, streaming, nullptr);
+  ExecutionContext single(1, 100);
+  ValuationOutcome single_run =
+      RunStreaming(w, model, fed_cfg, streaming, &single);
+  ExecutionContext threaded(4, 100);
+  ValuationOutcome threaded_run =
+      RunStreaming(w, model, fed_cfg, streaming, &threaded);
+
+  ASSERT_TRUE(inline_run.fedsv_values.has_value());
+  ExpectBitIdentical(*inline_run.fedsv_values, *single_run.fedsv_values,
+                     "adaptive FedSV inline vs threads=1");
+  ExpectBitIdentical(*inline_run.fedsv_values, *threaded_run.fedsv_values,
+                     "adaptive FedSV inline vs threads=4");
+  ASSERT_TRUE(inline_run.comfedsv.has_value());
+  ExpectBitIdentical(inline_run.comfedsv->values,
+                     single_run.comfedsv->values,
+                     "screened ComFedSV inline vs threads=1");
+  ExpectBitIdentical(inline_run.comfedsv->values,
+                     threaded_run.comfedsv->values,
+                     "screened ComFedSV inline vs threads=4");
+
+  // The full accounting — loss calls, memo hits, skips, and the bias
+  // bound — is part of the determinism contract too.
+  EXPECT_EQ(inline_run.fedsv_loss_calls, threaded_run.fedsv_loss_calls);
+  EXPECT_EQ(inline_run.comfedsv->loss_calls,
+            threaded_run.comfedsv->loss_calls);
+  EXPECT_EQ(inline_run.comfedsv->stats.loss_calls,
+            threaded_run.comfedsv->stats.loss_calls);
+  EXPECT_EQ(inline_run.comfedsv->stats.memo_hits,
+            threaded_run.comfedsv->stats.memo_hits);
+  EXPECT_EQ(inline_run.comfedsv->stats.surrogate_skips,
+            threaded_run.comfedsv->stats.surrogate_skips);
+  EXPECT_EQ(inline_run.comfedsv->stats.surrogate_bias_bound,
+            threaded_run.comfedsv->stats.surrogate_bias_bound);
+
+  // The run must actually exercise the screened path, or this test
+  // proves nothing.
+  EXPECT_GT(inline_run.comfedsv->stats.surrogate_skips, 0);
+}
+
+TEST(DeterminismTest, ScreenedComFedSvStaysCloseToUniformBudget) {
+  // Regression pin for the surrogate's accuracy contract: screening
+  // perturbs each skipped utility by at most its confidence bound, and
+  // the resulting ComFedSV vector must stay within a small L-inf
+  // distance of the unscreened (uniform-budget) run on the same
+  // trajectory — while spending strictly fewer loss calls. The 0.1
+  // tolerance is the documented contract (README, "Utility surrogates").
+  const int n = 5;
+  Workload w = MakeWorkload(n, 2222);
+  LogisticRegression model(w.test.dim(), 10);
+
+  FedAvgConfig fed_cfg;
+  fed_cfg.num_rounds = 6;
+  fed_cfg.clients_per_round = 3;
+  fed_cfg.seed = 111;
+
+  ValuationRequest request;
+  request.compute_fedsv = false;
+  request.compute_comfedsv = true;
+  request.comfedsv.mode = ComFedSvConfig::Mode::kSampled;
+  request.comfedsv.num_permutations = 6;
+  request.comfedsv.completion.rank = 2;
+  request.comfedsv.completion.lambda = 1e-3;
+  request.comfedsv.completion.max_iters = 40;
+  request.comfedsv.seed = 113;
+
+  StreamingConfig uniform;
+  uniform.request = request;
+  uniform.resolve_cadence = 1;
+  uniform.warm_start = true;
+  ValuationOutcome baseline =
+      RunStreaming(w, model, fed_cfg, uniform, nullptr);
+
+  StreamingConfig screened = uniform;
+  screened.surrogate_screening = true;
+  screened.request.comfedsv.sampler.screen_threshold = 0.2;
+  screened.request.comfedsv.sampler.screen_confidence = 1.0;
+  screened.request.comfedsv.sampler.screen_audit_every = 4;
+  screened.request.comfedsv.sampler.screen_min_audits = 2;
+  ValuationOutcome run =
+      RunStreaming(w, model, fed_cfg, screened, nullptr);
+
+  ASSERT_TRUE(baseline.comfedsv.has_value());
+  ASSERT_TRUE(run.comfedsv.has_value());
+  const Vector& base = baseline.comfedsv->values;
+  const Vector& got = run.comfedsv->values;
+  ASSERT_EQ(base.size(), got.size());
+  double linf = 0.0;
+  for (size_t i = 0; i < base.size(); ++i) {
+    linf = std::max(linf, std::fabs(base[i] - got[i]));
+  }
+  EXPECT_LE(linf, 0.1) << "screened ComFedSV drifted past the documented "
+                          "tolerance of the uniform-budget run";
+
+  // Screening must pay for itself: skips happened, every skip saved a
+  // distinct-coalition loss call, and the recorded bias stayed within
+  // the accumulated per-skip bounds.
+  EXPECT_GT(run.comfedsv->stats.surrogate_skips, 0);
+  EXPECT_LT(run.comfedsv->stats.loss_calls,
+            baseline.comfedsv->stats.loss_calls);
+  EXPECT_GE(run.comfedsv->stats.surrogate_bias_bound, 0.0);
 }
 
 TEST(DeterminismTest, FullModeAndGroundTruthAreThreadCountInvariant) {

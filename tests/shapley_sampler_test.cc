@@ -143,6 +143,47 @@ TEST(DrawOrderingsTest, DefaultBudgetRoundsUpToAntitheticPairs) {
   EXPECT_EQ(RoundBudgetForSampler(uniform, 9), 9);
 }
 
+TEST(DrawOrderingsTest, DegenerateBudgetsAreFlooredNotDropped) {
+  // Budget 0 (or negative, from integer division upstream) must still
+  // yield at least one draw — a zero budget would make the estimate an
+  // empty average (NaN / silent zeros). Antithetic floors at one full
+  // forward/reverse pair.
+  SamplerConfig uniform;
+  EXPECT_EQ(RoundBudgetForSampler(uniform, 0), 1);
+  EXPECT_EQ(RoundBudgetForSampler(uniform, -5), 1);
+  EXPECT_EQ(RoundBudgetForSampler(uniform, 1), 1);
+  SamplerConfig antithetic;
+  antithetic.kind = SamplerKind::kAntithetic;
+  EXPECT_EQ(RoundBudgetForSampler(antithetic, 0), 2);
+  EXPECT_EQ(RoundBudgetForSampler(antithetic, -5), 2);
+  EXPECT_EQ(RoundBudgetForSampler(antithetic, 1), 2);
+  SamplerConfig stratified;
+  stratified.kind = SamplerKind::kStratified;
+  EXPECT_EQ(RoundBudgetForSampler(stratified, 0), 1);
+  SamplerConfig truncated;
+  truncated.kind = SamplerKind::kTruncated;
+  EXPECT_EQ(RoundBudgetForSampler(truncated, 0), 1);
+}
+
+TEST(SamplerEstimatesTest, SingleClientGameWorksForEverySampler) {
+  // A single-player game is all edge case: one ordering, one stratum,
+  // antithetic pairs that are their own reverse. No sampler may crash,
+  // deadlock, or mis-estimate the lone player's value.
+  for (SamplerKind kind :
+       {SamplerKind::kUniformIid, SamplerKind::kAntithetic,
+        SamplerKind::kStratified, SamplerKind::kTruncated}) {
+    SamplerConfig cfg;
+    cfg.kind = kind;
+    Rng rng(5);
+    const int budget = RoundBudgetForSampler(cfg, 0);
+    Result<Vector> est = MonteCarloShapley(
+        1, {0}, AdditiveGame({4.25}), budget, &rng, nullptr, nullptr, cfg);
+    ASSERT_TRUE(est.ok()) << "kind " << static_cast<int>(kind);
+    EXPECT_NEAR(est.value()[0], 4.25, 1e-12)
+        << "kind " << static_cast<int>(kind);
+  }
+}
+
 TEST(SamplerEstimatesTest, AllSamplersExactOnAdditiveGames) {
   // For additive games every ordering's marginal is the own weight, so
   // every sampler (including truncated walks — partial sums of positive
