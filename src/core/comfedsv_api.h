@@ -36,8 +36,10 @@
 #include "data/noise.h"
 #include "data/partition.h"
 #include "data/synthetic.h"
+#include "fl/adversary.h"
 #include "fl/fedavg.h"
 #include "io/checkpoint.h"
+#include "metrics/fairness.h"
 #include "io/serialize.h"
 #include "linalg/eps_rank.h"
 #include "linalg/svd.h"

@@ -1,0 +1,241 @@
+#include "fl/adversary.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <string>
+
+#include "common/check.h"
+#include "common/fingerprint.h"
+#include "data/noise.h"
+
+namespace comfedsv {
+namespace {
+
+std::string SpecLabel(const AdversarySpec& spec) {
+  return "adversary spec for client " + std::to_string(spec.client);
+}
+
+bool IsRate(double v) { return v >= 0.0 && v <= 1.0; }
+
+}  // namespace
+
+Status AdversaryModel::Validate(const AdversaryConfig& config,
+                                int num_clients) {
+  std::vector<bool> seen(static_cast<size_t>(num_clients), false);
+  for (const AdversarySpec& spec : config.specs) {
+    if (spec.client < 0 || spec.client >= num_clients) {
+      return Status::InvalidArgument(SpecLabel(spec) +
+                                     ": client out of range");
+    }
+    if (seen[spec.client]) {
+      return Status::InvalidArgument(SpecLabel(spec) +
+                                     ": duplicate spec for client");
+    }
+    seen[spec.client] = true;
+    if (!std::isfinite(spec.intensity)) {
+      return Status::InvalidArgument(SpecLabel(spec) +
+                                     ": intensity must be finite");
+    }
+    switch (spec.kind) {
+      case AdversaryKind::kHonest:
+        break;
+      case AdversaryKind::kFreeRider:
+        if (!std::isfinite(spec.camouflage) || spec.camouflage < 0.0) {
+          return Status::InvalidArgument(
+              SpecLabel(spec) + ": camouflage must be finite and >= 0");
+        }
+        break;
+      case AdversaryKind::kGradientScaler:
+        break;
+      case AdversaryKind::kColluder:
+        if (spec.accomplice < 0 || spec.accomplice >= num_clients) {
+          return Status::InvalidArgument(SpecLabel(spec) +
+                                         ": accomplice out of range");
+        }
+        if (spec.accomplice == spec.client) {
+          return Status::InvalidArgument(
+              SpecLabel(spec) + ": accomplice must be another client");
+        }
+        break;
+      case AdversaryKind::kLabelFlipper:
+        if (!IsRate(spec.intensity)) {
+          return Status::InvalidArgument(
+              SpecLabel(spec) + ": flip rate must be in [0, 1]");
+        }
+        break;
+      case AdversaryKind::kDropout:
+        if (!IsRate(spec.intensity)) {
+          return Status::InvalidArgument(
+              SpecLabel(spec) + ": dropout probability must be in [0, 1]");
+        }
+        break;
+      case AdversaryKind::kNanCorrupter:
+        if (spec.intensity <= 0.0 || spec.intensity > 1.0) {
+          return Status::InvalidArgument(
+              SpecLabel(spec) + ": corrupt fraction must be in (0, 1]");
+        }
+        break;
+      default:
+        return Status::InvalidArgument(SpecLabel(spec) +
+                                       ": unknown adversary kind");
+    }
+  }
+  return Status::Ok();
+}
+
+AdversaryModel::AdversaryModel(AdversaryConfig config, int num_clients)
+    : config_(std::move(config)),
+      num_clients_(num_clients),
+      spec_of_client_(static_cast<size_t>(num_clients), -1) {
+  COMFEDSV_CHECK_OK(Validate(config_, num_clients));
+  for (size_t s = 0; s < config_.specs.size(); ++s) {
+    spec_of_client_[config_.specs[s].client] = static_cast<int>(s);
+  }
+}
+
+const AdversarySpec& AdversaryModel::spec(int client) const {
+  COMFEDSV_CHECK_GE(client, 0);
+  COMFEDSV_CHECK_LT(client, num_clients_);
+  static const AdversarySpec kHonestSpec;
+  const int idx = spec_of_client_[client];
+  return idx < 0 ? kHonestSpec : config_.specs[idx];
+}
+
+Rng AdversaryModel::ClientRoundRng(int round, int client) const {
+  // (seed, round, client)-derived, mirroring the trainer's per-round
+  // stream discipline: a resumed run re-derives identical draws without
+  // replaying earlier rounds.
+  return Rng(config_.seed)
+      .Split(0x41445652)  // "ADVR"
+      .Split(static_cast<uint64_t>(round))
+      .Split(static_cast<uint64_t>(client));
+}
+
+int AdversaryModel::PoisonData(std::vector<Dataset>* client_data) const {
+  COMFEDSV_CHECK(client_data != nullptr);
+  COMFEDSV_CHECK_EQ(static_cast<int>(client_data->size()), num_clients_);
+  int flipped = 0;
+  for (const AdversarySpec& spec : config_.specs) {
+    if (spec.kind != AdversaryKind::kLabelFlipper) continue;
+    Rng rng = Rng(config_.seed)
+                  .Split(0x464C4950)  // "FLIP"
+                  .Split(static_cast<uint64_t>(spec.client));
+    flipped +=
+        FlipLabels(&(*client_data)[spec.client], spec.intensity, &rng);
+  }
+  return flipped;
+}
+
+void AdversaryModel::TransformRound(int round, const Vector& global_before,
+                                    std::vector<Vector>* local_models) const {
+  COMFEDSV_CHECK(local_models != nullptr);
+  COMFEDSV_CHECK_EQ(static_cast<int>(local_models->size()), num_clients_);
+
+  // Colluders duplicate their accomplice's *honest* update: snapshot the
+  // deltas they may read before any transform rewrites them, so the
+  // result does not depend on client ordering.
+  std::vector<Vector> honest_snapshot(static_cast<size_t>(num_clients_));
+  for (const AdversarySpec& spec : config_.specs) {
+    if (spec.kind == AdversaryKind::kColluder) {
+      honest_snapshot[spec.accomplice] = (*local_models)[spec.accomplice];
+    }
+  }
+
+  for (int client = 0; client < num_clients_; ++client) {
+    const int idx = spec_of_client_[client];
+    if (idx < 0) continue;
+    const AdversarySpec& spec = config_.specs[idx];
+    Vector& update = (*local_models)[client];
+    switch (spec.kind) {
+      case AdversaryKind::kHonest:
+      case AdversaryKind::kLabelFlipper:  // poisoned at the data layer
+      case AdversaryKind::kDropout:       // intervenes at selection
+        break;
+      case AdversaryKind::kFreeRider: {
+        update = global_before;
+        if (spec.intensity != 1.0) update.Scale(spec.intensity);
+        if (spec.camouflage > 0.0) {
+          Rng rng = ClientRoundRng(round, client);
+          for (size_t i = 0; i < update.size(); ++i) {
+            update[i] += rng.NextGaussian(0.0, spec.camouflage);
+          }
+        }
+        break;
+      }
+      case AdversaryKind::kGradientScaler: {
+        // w^t + s * (w_i - w^t), in place.
+        update.Scale(spec.intensity);
+        update.Axpy(1.0 - spec.intensity, global_before);
+        break;
+      }
+      case AdversaryKind::kColluder: {
+        const Vector& accomplice = honest_snapshot[spec.accomplice];
+        if (spec.intensity == 1.0) {
+          update = accomplice;
+        } else {
+          update.Scale(1.0 - spec.intensity);
+          update.Axpy(spec.intensity, accomplice);
+        }
+        break;
+      }
+      case AdversaryKind::kNanCorrupter: {
+        const size_t dim = update.size();
+        const size_t corrupt = std::max<size_t>(
+            1, static_cast<size_t>(spec.intensity *
+                                   static_cast<double>(dim)));
+        for (size_t i = 0; i < std::min(corrupt, dim); ++i) {
+          switch (i % 3) {
+            case 0:
+              update[i] = std::numeric_limits<double>::quiet_NaN();
+              break;
+            case 1:
+              update[i] = std::numeric_limits<double>::infinity();
+              break;
+            default:
+              update[i] = -std::numeric_limits<double>::infinity();
+              break;
+          }
+        }
+        break;
+      }
+    }
+  }
+}
+
+std::vector<int> AdversaryModel::ApplyDropouts(
+    int round, std::vector<int>* selected) const {
+  COMFEDSV_CHECK(selected != nullptr);
+  std::vector<int> dropped;
+  for (int client : *selected) {
+    const int idx = spec_of_client_[client];
+    if (idx < 0) continue;
+    const AdversarySpec& spec = config_.specs[idx];
+    if (spec.kind != AdversaryKind::kDropout) continue;
+    Rng rng = ClientRoundRng(round, client);
+    if (rng.NextBernoulli(spec.intensity)) dropped.push_back(client);
+  }
+  if (!dropped.empty()) {
+    std::vector<int> kept;
+    kept.reserve(selected->size() - dropped.size());
+    std::set_difference(selected->begin(), selected->end(),
+                        dropped.begin(), dropped.end(),
+                        std::back_inserter(kept));
+    *selected = std::move(kept);
+  }
+  return dropped;
+}
+
+void AdversaryModel::MixFingerprint(uint64_t* hash) const {
+  FingerprintMix(hash, config_.seed);
+  FingerprintMix(hash, static_cast<uint64_t>(config_.specs.size()));
+  for (const AdversarySpec& spec : config_.specs) {
+    FingerprintMix(hash, static_cast<uint64_t>(spec.client));
+    FingerprintMix(hash, static_cast<uint64_t>(spec.kind));
+    FingerprintMix(hash, spec.intensity);
+    FingerprintMix(hash, spec.camouflage);
+    FingerprintMix(hash, static_cast<uint64_t>(spec.accomplice));
+  }
+}
+
+}  // namespace comfedsv

@@ -1,0 +1,137 @@
+// Adversarial-client injection layer: composable per-client behaviors
+// wrapping the honest FedAvg update path, for the detection workloads of
+// the robustness literature ("Data Valuation and Detections in Federated
+// Learning", arXiv 2311.05304). The paper's own experiments (Figs. 6, 7)
+// only degrade data quality; this layer additionally misbehaves on the
+// *update* path — free-riders, gradient scalers, colluders, mid-round
+// dropouts, and NaN/Inf corrupters — so FedSV / ComFedSV detection power
+// can be benchmarked per attack (bench/detection.cc).
+//
+// Determinism contract: every behavior is stateless across rounds — all
+// randomness derives from (adversary seed, round, client), and the
+// transforms run sequentially on one thread — so adversarial runs stay
+// bit-identical across thread counts and across checkpoint kill/resume
+// (nothing beyond the trainer's existing state needs persisting).
+#ifndef COMFEDSV_FL_ADVERSARY_H_
+#define COMFEDSV_FL_ADVERSARY_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "data/dataset.h"
+#include "linalg/vector.h"
+
+namespace comfedsv {
+
+/// The behavior catalog. Every kind maps to one intervention point:
+/// data poisoning (applied once, before training), the update path
+/// (applied after honest local updates, before selection), or the
+/// selection path (applied after the selector ran).
+enum class AdversaryKind : int32_t {
+  kHonest = 0,
+  /// Submits `intensity * w^t + camouflage * N(0, I)` instead of
+  /// training — a stale/rescaled copy of the broadcast global model
+  /// (intensity 1, camouflage 0 is the pure free-rider).
+  kFreeRider = 1,
+  /// Submits `w^t + intensity * (w_i^{t+1} - w^t)`: scales its honest
+  /// update delta. intensity >> 1 is the boosting/poisoning attack,
+  /// intensity < 0 the sign-flip attack.
+  kGradientScaler = 2,
+  /// Submits `w^t + intensity * (w_a^{t+1} - w^t) + (1 - intensity) *
+  /// (w_i^{t+1} - w^t)` where a = `accomplice`: duplicates another
+  /// client's update (intensity 1 is a pure copy — the update-path
+  /// equivalent of colluding duplicate-data clients). The accomplice's
+  /// *honest* update is copied, independent of transform order.
+  kColluder = 3,
+  /// Trains honestly on data whose labels were flipped at rate
+  /// `intensity` (FlipLabels, applied once before training).
+  kLabelFlipper = 4,
+  /// Straggler: when selected, drops out of the round (the server never
+  /// hears it) independently with probability `intensity`.
+  kDropout = 5,
+  /// Overwrites a `max(1, intensity * dim)`-coordinate prefix slice of
+  /// its update with alternating NaN / +-Inf — the malformed-update
+  /// crash test for the aggregation guard.
+  kNanCorrupter = 6,
+};
+
+/// One client's assigned behavior. At most one spec per client.
+struct AdversarySpec {
+  int client = -1;
+  AdversaryKind kind = AdversaryKind::kHonest;
+  /// Kind-specific knob; see the AdversaryKind comments. Rates
+  /// (kLabelFlipper, kDropout) must lie in [0, 1]; scales must be
+  /// finite; kNanCorrupter's fraction must lie in (0, 1].
+  double intensity = 1.0;
+  /// kFreeRider only: stddev of the Gaussian camouflage noise.
+  double camouflage = 0.0;
+  /// kColluder only: the client whose update is duplicated.
+  int accomplice = -1;
+};
+
+/// The full adversarial population of a run. Rides inside FedAvgConfig,
+/// so the pipeline, checkpointing, and streaming layers plumb it through
+/// without new surface; an empty spec list is the honest default.
+struct AdversaryConfig {
+  std::vector<AdversarySpec> specs;
+  /// Root seed of the adversary randomness (camouflage noise, dropout
+  /// coin flips, label-flip positions); independent of the trainer seed.
+  uint64_t seed = 0;
+
+  bool any() const { return !specs.empty(); }
+};
+
+/// Compiled, validated adversarial population. Built by FedAvgTrainer
+/// from FedAvgConfig::adversary; usable standalone in tests/benches.
+class AdversaryModel {
+ public:
+  /// Validates `config` against the population size: clients in range
+  /// and unique, accomplices valid (distinct existing clients),
+  /// intensities within their kind's domain. Returns InvalidArgument
+  /// with a message naming the offending spec otherwise.
+  static Status Validate(const AdversaryConfig& config, int num_clients);
+
+  /// Requires Validate(config, num_clients).ok().
+  AdversaryModel(AdversaryConfig config, int num_clients);
+
+  /// Applies the data-poisoning behaviors (kLabelFlipper) in place.
+  /// Call exactly once, before training begins. Returns the number of
+  /// labels flipped.
+  int PoisonData(std::vector<Dataset>* client_data) const;
+
+  /// Applies the update-path behaviors to this round's local models, in
+  /// ascending client order. Colluders read their accomplice's honest
+  /// (pre-transform) update. Deterministic in (seed, round, client).
+  void TransformRound(int round, const Vector& global_before,
+                      std::vector<Vector>* local_models) const;
+
+  /// Removes this round's dropouts from the sorted selected set and
+  /// returns them (sorted). Deterministic in (seed, round, client).
+  std::vector<int> ApplyDropouts(int round,
+                                 std::vector<int>* selected) const;
+
+  /// Mixes the full adversarial population into a config fingerprint —
+  /// a checkpoint saved under one attack scenario must not resume under
+  /// another.
+  void MixFingerprint(uint64_t* hash) const;
+
+  /// The spec governing `client` (kHonest default for unlisted clients).
+  const AdversarySpec& spec(int client) const;
+
+  int num_clients() const { return num_clients_; }
+
+ private:
+  Rng ClientRoundRng(int round, int client) const;
+
+  AdversaryConfig config_;
+  int num_clients_;
+  /// spec index per client; -1 = honest.
+  std::vector<int> spec_of_client_;
+};
+
+}  // namespace comfedsv
+
+#endif  // COMFEDSV_FL_ADVERSARY_H_

@@ -5,8 +5,47 @@
 #include <cstdint>
 
 #include "common/check.h"
+#include "fl/adversary.h"
 
 namespace comfedsv {
+
+/// Server-side aggregation hardening (see README "Adversarial
+/// robustness & detection" for the full contract). The guard runs after
+/// local updates, adversarial transforms, and client selection, in one
+/// deterministic sequential pass over the selected set:
+///
+///   1. A selected update containing any NaN/Inf is *rejected*: it is
+///      excluded from the aggregate, the client's recorded local model
+///      is sanitized to the round's broadcast global (a zero-information
+///      update, so every downstream valuation stays finite and scores
+///      the client near zero), and the client's quarantine counter is
+///      incremented. The client stays in RoundRecord::selected (so
+///      Assumption 1 and the completion layer are unaffected) but is
+///      listed in RoundRecord::rejected.
+///   2. A finite update whose delta-vs-global L2 norm exceeds
+///      `clip_norm` (when > 0) is scaled back onto the clip sphere; the
+///      clipped update is what both the aggregate and the valuation
+///      observers see.
+///   3. A client whose quarantine counter has reached
+///      `quarantine_after` (when > 0) is preemptively dropped from the
+///      selected set of every later round (RoundRecord::dropped).
+///
+/// If every selected update is rejected the round degrades to the
+/// empty-selection path: the global model carries over unchanged. All
+/// guard state (per-client counters) is part of FedAvgTrainerState, so
+/// degraded runs checkpoint/resume bit-identically.
+struct AggregationGuardConfig {
+  /// Reject non-finite updates (rule 1). Defaults on: a single NaN
+  /// update would otherwise silently poison the aggregate and every
+  /// valuation downstream.
+  bool reject_nonfinite = true;
+  /// Maximum L2 norm of a client's update delta vs the broadcast global
+  /// (rule 2); 0 disables clipping.
+  double clip_norm = 0.0;
+  /// Rejections before a client is quarantined (rule 3); 0 disables
+  /// auto-quarantine (rejected updates are still excluded per round).
+  int quarantine_after = 0;
+};
 
 /// Learning-rate schedule for local SGD steps.
 struct LearningRateSchedule {
@@ -78,6 +117,14 @@ struct FedAvgConfig {
   /// Assumption 1 ("Everyone Being Heard"): select every client in the
   /// first round. Required by the ComFedSV completion path.
   bool select_all_first_round = true;
+  /// Adversarial-client population (fl/adversary.h); empty = all honest.
+  /// Lives in the config so the pipeline, streaming, and checkpoint
+  /// layers plumb attack scenarios through without new surface — the
+  /// trainer compiles it into an AdversaryModel at construction and
+  /// mixes it into ConfigFingerprint().
+  AdversaryConfig adversary;
+  /// Server-side aggregation hardening against malformed updates.
+  AggregationGuardConfig guard;
   /// Parallelism is no longer configured here: pass an ExecutionContext
   /// (common/execution_context.h) to FedAvgTrainer / RunValuation instead.
   uint64_t seed = 0;

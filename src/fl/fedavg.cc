@@ -1,13 +1,23 @@
 #include "fl/fedavg.h"
 
+#include <algorithm>
+#include <cmath>
 #include <memory>
 #include <numeric>
+#include <string>
 
 #include "common/check.h"
 #include "common/fingerprint.h"
 
 namespace comfedsv {
 namespace {
+
+bool AllFinite(const Vector& v) {
+  for (size_t i = 0; i < v.size(); ++i) {
+    if (!std::isfinite(v[i])) return false;
+  }
+  return true;
+}
 
 // Full-content dataset hash: a checkpoint must refuse to resume when
 // the data changed, not just when its shape did — the recorded rounds
@@ -42,6 +52,18 @@ FedAvgTrainer::FedAvgTrainer(const Model* model,
     COMFEDSV_CHECK(!d.empty());
   }
   COMFEDSV_CHECK_EQ(test_data_.dim(), model_->input_dim());
+
+  // Compile the adversarial population (if any) and apply its
+  // data-poisoning behaviors exactly once, before the data fingerprint
+  // is computed and before any training touches the datasets. Invalid
+  // specs surface as a Status from Begin()/Train(), not a crash here.
+  adversary_status_ = AdversaryModel::Validate(config_.adversary,
+                                               num_clients());
+  if (adversary_status_.ok() && config_.adversary.any()) {
+    adversary_ = std::make_unique<AdversaryModel>(config_.adversary,
+                                                  num_clients());
+    adversary_->PoisonData(&client_data_);
+  }
 }
 
 Vector FedAvgTrainer::LocalUpdate(int client, const Vector& start, double lr,
@@ -81,6 +103,15 @@ uint64_t FedAvgTrainer::ConfigFingerprint() const {
                  static_cast<uint64_t>(config_.select_all_first_round));
   FingerprintMix(&hash, config_.seed);
   FingerprintMix(&hash, static_cast<uint64_t>(num_clients()));
+  // Guard + adversary scenario: a checkpoint saved under one attack /
+  // hardening configuration must not resume under another — the guard
+  // changes selection (quarantine drops) and the aggregate itself.
+  FingerprintMix(&hash,
+                 static_cast<uint64_t>(config_.guard.reject_nonfinite));
+  FingerprintMix(&hash, config_.guard.clip_norm);
+  FingerprintMix(&hash,
+                 static_cast<uint64_t>(config_.guard.quarantine_after));
+  if (adversary_ != nullptr) adversary_->MixFingerprint(&hash);
   // The data-content hash is O(data): computed on the first fingerprint
   // request (plain non-checkpointed runs never pay it) and cached — the
   // datasets are immutable after construction.
@@ -98,8 +129,17 @@ uint64_t FedAvgTrainer::ConfigFingerprint() const {
 }
 
 Status FedAvgTrainer::Arm(ClientSelector* selector) {
+  COMFEDSV_RETURN_IF_ERROR(adversary_status_);
   if (config_.num_rounds <= 0) {
     return Status::InvalidArgument("num_rounds must be positive");
+  }
+  if (!std::isfinite(config_.guard.clip_norm) ||
+      config_.guard.clip_norm < 0.0) {
+    return Status::InvalidArgument(
+        "guard.clip_norm must be finite and >= 0");
+  }
+  if (config_.guard.quarantine_after < 0) {
+    return Status::InvalidArgument("guard.quarantine_after must be >= 0");
   }
   if (config_.selector == SelectorKind::kUniform &&
       (config_.clients_per_round <= 0 ||
@@ -147,8 +187,71 @@ Status FedAvgTrainer::Begin(ClientSelector* selector) {
   test_loss_history_.reserve(config_.num_rounds + 1);
   record_ = RoundRecord();
   record_.local_models.resize(num_clients());
+  quarantine_ = QuarantineReport();
+  quarantine_.rejected.assign(num_clients(), 0);
+  quarantine_.clipped.assign(num_clients(), 0);
+  quarantine_.quarantine_drops.assign(num_clients(), 0);
+  poisoned_at_round_ = -1;
   begun_ = true;
   return Status::Ok();
+}
+
+void FedAvgTrainer::ApplyAggregationGuard() {
+  record_.rejected.clear();
+
+  // Rule 3 first: a client already quarantined (from earlier rounds'
+  // rejections) is dropped before its update is even looked at.
+  if (config_.guard.quarantine_after > 0) {
+    std::vector<int> kept;
+    kept.reserve(record_.selected.size());
+    for (int i : record_.selected) {
+      if (quarantine_.IsQuarantined(i, config_.guard.quarantine_after)) {
+        record_.dropped.push_back(i);
+        ++quarantine_.quarantine_drops[i];
+      } else {
+        kept.push_back(i);
+      }
+    }
+    if (kept.size() != record_.selected.size()) {
+      record_.selected = std::move(kept);
+      std::sort(record_.dropped.begin(), record_.dropped.end());
+    }
+  }
+
+  const size_t selected_before = record_.selected.size();
+  for (int i : record_.selected) {
+    Vector& update = record_.local_models[i];
+    // Rule 1: non-finite updates never reach the aggregate. The
+    // recorded local model is sanitized to the broadcast global — a
+    // zero-information update — so valuation arithmetic downstream
+    // stays finite and scores the client near zero.
+    if (config_.guard.reject_nonfinite && !AllFinite(update)) {
+      update = record_.global_before;
+      record_.rejected.push_back(i);
+      ++quarantine_.rejected[i];
+      continue;
+    }
+    // Rule 2: norm-clip the update delta. The clipped update is
+    // canonical — aggregate and observers see the same vector.
+    if (config_.guard.clip_norm > 0.0) {
+      Vector delta = update;
+      delta.Axpy(-1.0, record_.global_before);
+      const double norm = delta.Norm2();
+      if (norm > config_.guard.clip_norm) {
+        update = record_.global_before;
+        update.Axpy(config_.guard.clip_norm / norm, delta);
+        ++quarantine_.clipped[i];
+      }
+    }
+  }
+
+  if (!record_.rejected.empty() || !record_.dropped.empty()) {
+    ++quarantine_.rounds_degraded;
+  }
+  if (selected_before > 0 &&
+      record_.rejected.size() == selected_before) {
+    ++quarantine_.rounds_fully_rejected;
+  }
 }
 
 const RoundRecord& FedAvgTrainer::Step() {
@@ -177,21 +280,44 @@ const RoundRecord& FedAvgTrainer::Step() {
     record_.local_models[i] = LocalUpdate(i, params_, lr, &client_rngs[i]);
   });
 
-  record_.selected = selector_->Select(t, n, &select_rng_);
+  // Adversarial transforms rewrite the updates the server *receives*;
+  // they run sequentially after the parallel honest computation, so the
+  // round stays thread-count invariant.
+  if (adversary_ != nullptr) {
+    adversary_->TransformRound(t, record_.global_before,
+                               &record_.local_models);
+  }
 
-  // Aggregate the selected local models into the next global model.
-  // Bernoulli-style selectors can produce an empty round: the server
-  // heard nobody, so the global model simply carries over (observers
-  // record zero contribution for such rounds).
-  if (!record_.selected.empty()) {
+  record_.selected = selector_->Select(t, n, &select_rng_);
+  record_.dropped.clear();
+  if (adversary_ != nullptr) {
+    record_.dropped = adversary_->ApplyDropouts(t, &record_.selected);
+  }
+  ApplyAggregationGuard();
+
+  // Aggregate the surviving selected local models into the next global
+  // model. Empty rounds (Bernoulli selectors hearing nobody, or every
+  // update rejected by the guard) carry the global model over unchanged;
+  // observers record zero contribution for such rounds.
+  std::vector<int> aggregated;
+  aggregated.reserve(record_.selected.size());
+  std::set_difference(record_.selected.begin(), record_.selected.end(),
+                      record_.rejected.begin(), record_.rejected.end(),
+                      std::back_inserter(aggregated));
+  if (!aggregated.empty()) {
     Vector next(params_.size());
-    for (int i : record_.selected) {
+    for (int i : aggregated) {
       COMFEDSV_CHECK_GE(i, 0);
       COMFEDSV_CHECK_LT(i, n);
       next.Axpy(1.0, record_.local_models[i]);
     }
-    next.Scale(1.0 / static_cast<double>(record_.selected.size()));
+    next.Scale(1.0 / static_cast<double>(aggregated.size()));
     params_ = std::move(next);
+    // Only reachable with the guard disabled (or honest divergence):
+    // remember the first poisoned round and surface it from Finish().
+    if (poisoned_at_round_ < 0 && !AllFinite(params_)) {
+      poisoned_at_round_ = t;
+    }
   }
   ++next_round_;
   return record_;
@@ -204,12 +330,19 @@ Result<TrainingResult> FedAvgTrainer::Finish() const {
   if (!Done()) {
     return Status::FailedPrecondition("Finish() before the last round");
   }
+  if (poisoned_at_round_ >= 0) {
+    return Status::NumericalError(
+        "global model became non-finite at round " +
+        std::to_string(poisoned_at_round_) +
+        " (enable guard.reject_nonfinite to degrade gracefully)");
+  }
   TrainingResult result;
   result.test_loss_history = test_loss_history_;
   result.test_loss_history.push_back(model_->Loss(params_, test_data_));
   result.final_test_accuracy = model_->Accuracy(params_, test_data_);
   result.rounds_run = config_.num_rounds;
   result.final_params = params_;
+  result.quarantine = quarantine_;
   return result;
 }
 
@@ -221,6 +354,7 @@ FedAvgTrainerState FedAvgTrainer::SaveState() const {
   state.params = params_;
   state.test_loss_history = test_loss_history_;
   state.select_rng = select_rng_.SaveState();
+  state.quarantine = quarantine_;
   return state;
 }
 
@@ -243,10 +377,34 @@ Status FedAvgTrainer::RestoreState(const FedAvgTrainerState& state,
     return Status::InvalidArgument(
         "trainer state loss history length mismatch");
   }
+  const size_t n = static_cast<size_t>(num_clients());
+  if (state.quarantine.rejected.size() != n ||
+      state.quarantine.clipped.size() != n ||
+      state.quarantine.quarantine_drops.size() != n) {
+    return Status::InvalidArgument(
+        "trainer state quarantine counters length mismatch");
+  }
+  for (size_t i = 0; i < n; ++i) {
+    if (state.quarantine.rejected[i] < 0 ||
+        state.quarantine.clipped[i] < 0 ||
+        state.quarantine.quarantine_drops[i] < 0) {
+      return Status::InvalidArgument(
+          "trainer state quarantine counters must be non-negative");
+    }
+  }
+  if (state.quarantine.rounds_degraded < 0 ||
+      state.quarantine.rounds_fully_rejected < 0 ||
+      state.quarantine.rounds_degraded > state.next_round ||
+      state.quarantine.rounds_fully_rejected >
+          state.quarantine.rounds_degraded) {
+    return Status::InvalidArgument(
+        "trainer state quarantine round counters out of range");
+  }
   next_round_ = state.next_round;
   params_ = state.params;
   test_loss_history_ = state.test_loss_history;
   select_rng_ = Rng::FromState(state.select_rng);
+  quarantine_ = state.quarantine;
   return Status::Ok();
 }
 

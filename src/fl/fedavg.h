@@ -31,6 +31,34 @@
 
 namespace comfedsv {
 
+/// Per-client accounting of the aggregation guard
+/// (AggregationGuardConfig): how often each client's update was
+/// rejected as non-finite, norm-clipped, or preemptively dropped under
+/// quarantine, plus round-level degradation counters. A run containing
+/// a NaN-corrupting client completes and reports here instead of
+/// aborting.
+struct QuarantineReport {
+  /// Non-finite updates rejected, per client (length num_clients).
+  std::vector<int64_t> rejected;
+  /// Updates norm-clipped onto the clip sphere, per client.
+  std::vector<int64_t> clipped;
+  /// Rounds in which the client was preemptively dropped because its
+  /// rejection count had reached AggregationGuardConfig::quarantine_after.
+  std::vector<int64_t> quarantine_drops;
+  /// Rounds where at least one selected update was rejected or dropped.
+  int64_t rounds_degraded = 0;
+  /// Rounds where *every* selected update was rejected — the global
+  /// model carried over unchanged (the empty-round degradation path).
+  int64_t rounds_fully_rejected = 0;
+
+  /// True if client i is currently quarantined under `quarantine_after`
+  /// (0 = never).
+  bool IsQuarantined(int client, int quarantine_after) const {
+    return quarantine_after > 0 &&
+           rejected[static_cast<size_t>(client)] >= quarantine_after;
+  }
+};
+
 /// Outcome of a FedAvg run.
 struct TrainingResult {
   Vector final_params;
@@ -40,6 +68,9 @@ struct TrainingResult {
   /// Test accuracy of the final global model.
   double final_test_accuracy = 0.0;
   int rounds_run = 0;
+  /// Aggregation-guard accounting for the whole run (all-zero when the
+  /// guard never fired).
+  QuarantineReport quarantine;
 };
 
 /// Checkpointable mid-training state: everything Step() consumes that is
@@ -58,6 +89,11 @@ struct FedAvgTrainerState {
   std::vector<double> test_loss_history;
   /// The client-selection stream, advanced by `next_round` selections.
   RngState select_rng;
+  /// Aggregation-guard accounting accumulated over the completed
+  /// rounds. Part of the state so degraded (quarantine-active) runs
+  /// resume bit-identically: the preemptive-drop decision of round t
+  /// depends on the rejection counts accumulated before t.
+  QuarantineReport quarantine;
 };
 
 /// Simulates FedAvg over in-memory client datasets.
@@ -100,8 +136,18 @@ class FedAvgTrainer {
   /// Begin() and !Done().
   const RoundRecord& Step();
 
-  /// Final model metrics. Requires all rounds stepped (Done()).
+  /// Final model metrics (including the quarantine report). Requires
+  /// all rounds stepped (Done()). Returns NumericalError if the global
+  /// model became non-finite during the run — possible only with
+  /// `config.guard.reject_nonfinite` disabled (or honest numerical
+  /// divergence); the guarded path degrades gracefully instead.
   Result<TrainingResult> Finish() const;
+
+  /// Aggregation-guard accounting accumulated so far. Requires Begin().
+  const QuarantineReport& quarantine_report() const {
+    COMFEDSV_CHECK_MSG(begun_, "quarantine_report() before Begin()");
+    return quarantine_;
+  }
 
   // --- Checkpointing ---------------------------------------------------
 
@@ -146,6 +192,19 @@ class FedAvgTrainer {
   mutable uint64_t data_fingerprint_ = 0;
   mutable bool data_fingerprint_computed_ = false;
 
+  // Applies the aggregation guard (quarantine drops, non-finite
+  // rejection, norm clipping) to the freshly selected round; runs
+  // sequentially so results are thread-count invariant.
+  void ApplyAggregationGuard();
+
+  /// Compiled adversarial population (null when config.adversary is
+  /// empty or invalid); built once at construction, which is also when
+  /// the data-poisoning behaviors are applied to client_data_.
+  std::unique_ptr<AdversaryModel> adversary_;
+  /// Validation outcome of config.adversary/config.guard at
+  /// construction; surfaced by Begin()/Train() instead of crashing.
+  Status adversary_status_ = Status::Ok();
+
   // Lifecycle state (valid while begun_).
   bool begun_ = false;
   int next_round_ = 0;
@@ -155,6 +214,11 @@ class FedAvgTrainer {
   ClientSelector* selector_ = nullptr;  // not owned (may be default_...)
   std::unique_ptr<ClientSelector> default_selector_;
   RoundRecord record_;
+  QuarantineReport quarantine_;
+  /// Set when aggregation produced a non-finite global model (only
+  /// reachable with the guard disabled); Finish() turns it into a
+  /// NumericalError instead of handing poisoned params downstream.
+  int poisoned_at_round_ = -1;
 };
 
 }  // namespace comfedsv

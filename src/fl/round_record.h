@@ -17,8 +17,21 @@ struct RoundRecord {
   Vector global_before;
   /// Local models w_i^{t+1} for every client i (indexed by client id).
   std::vector<Vector> local_models;
-  /// Sorted selected set I_t (the clients whose updates are aggregated).
+  /// Sorted selected set I_t: the clients the server *heard* this round.
+  /// With the aggregation guard active this is the valuation-facing set;
+  /// the aggregate averages `selected` minus `rejected`.
   std::vector<int> selected;
+  /// Sorted subset of `selected` whose updates the aggregation guard
+  /// rejected as non-finite this round. Their entries in `local_models`
+  /// are sanitized to `global_before` (a zero-information update), so
+  /// downstream valuation arithmetic stays finite and scores them near
+  /// zero; the server aggregate excludes them entirely.
+  std::vector<int> rejected;
+  /// Sorted clients removed from the selected set before aggregation:
+  /// adversarial mid-round dropouts plus quarantined clients. Disjoint
+  /// from `selected`; observers treat them exactly like unselected
+  /// clients (zero contribution this round).
+  std::vector<int> dropped;
   /// Test loss of the global model before the round: l(w^t; D_c). The
   /// per-round utility is u_t(w) = test_loss_before - l(w; D_c).
   double test_loss_before = 0.0;

@@ -1,5 +1,6 @@
 #include "io/checkpoint.h"
 
+#include <algorithm>
 #include <cstdint>
 #include <limits>
 #include <utility>
@@ -34,6 +35,88 @@ Status LoadDoubleSpan(BinaryReader* in, std::vector<double>* values) {
   for (uint64_t i = 0; i < count; ++i) {
     COMFEDSV_RETURN_IF_ERROR(in->F64(&(*values)[i]));
   }
+  return Status::Ok();
+}
+
+void SaveInt64Span(const std::vector<int64_t>& values, BinaryWriter* out) {
+  out->Reserve((values.size() + 1) * 8);
+  out->U64(values.size());
+  for (int64_t v : values) out->I64(v);
+}
+
+Status LoadInt64Span(BinaryReader* in, std::vector<int64_t>* values,
+                     const char* what) {
+  uint64_t count = 0;
+  COMFEDSV_RETURN_IF_ERROR(in->Count(8, &count));
+  values->resize(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    COMFEDSV_RETURN_IF_ERROR(in->I64(&(*values)[i]));
+    COMFEDSV_RETURN_IF_ERROR(CheckNonNegative((*values)[i], what));
+  }
+  return Status::Ok();
+}
+
+void SaveClientSet(const std::vector<int>& clients, BinaryWriter* out) {
+  out->U64(clients.size());
+  for (int client : clients) out->I32(client);
+}
+
+// Loads a sorted, strictly increasing client set bounded by
+// `num_clients`; `what` names the set in error messages.
+Status LoadClientSet(BinaryReader* in, uint64_t num_clients,
+                     const char* what, std::vector<int>* clients) {
+  uint64_t count = 0;
+  COMFEDSV_RETURN_IF_ERROR(in->Count(4, &count));
+  if (count > num_clients) {
+    return Status::InvalidArgument(std::string("corrupt ") + what +
+                                   ": more entries than clients");
+  }
+  clients->resize(count);
+  int prev = -1;
+  for (uint64_t i = 0; i < count; ++i) {
+    COMFEDSV_RETURN_IF_ERROR(in->I32(&(*clients)[i]));
+    if ((*clients)[i] <= prev ||
+        (*clients)[i] >= static_cast<int>(num_clients)) {
+      return Status::InvalidArgument(std::string("corrupt ") + what +
+                                     ": set not sorted in range");
+    }
+    prev = (*clients)[i];
+  }
+  return Status::Ok();
+}
+
+void SaveQuarantineReport(const QuarantineReport& q, BinaryWriter* out) {
+  SaveInt64Span(q.rejected, out);
+  SaveInt64Span(q.clipped, out);
+  SaveInt64Span(q.quarantine_drops, out);
+  out->I64(q.rounds_degraded);
+  out->I64(q.rounds_fully_rejected);
+}
+
+Status LoadQuarantineReport(BinaryReader* in, QuarantineReport* q) {
+  QuarantineReport loaded;
+  COMFEDSV_RETURN_IF_ERROR(
+      LoadInt64Span(in, &loaded.rejected, "quarantine rejection count"));
+  COMFEDSV_RETURN_IF_ERROR(
+      LoadInt64Span(in, &loaded.clipped, "quarantine clip count"));
+  COMFEDSV_RETURN_IF_ERROR(LoadInt64Span(in, &loaded.quarantine_drops,
+                                         "quarantine drop count"));
+  if (loaded.clipped.size() != loaded.rejected.size() ||
+      loaded.quarantine_drops.size() != loaded.rejected.size()) {
+    return Status::InvalidArgument(
+        "corrupt quarantine report: counter lengths differ");
+  }
+  COMFEDSV_RETURN_IF_ERROR(in->I64(&loaded.rounds_degraded));
+  COMFEDSV_RETURN_IF_ERROR(
+      CheckNonNegative(loaded.rounds_degraded, "rounds_degraded"));
+  COMFEDSV_RETURN_IF_ERROR(in->I64(&loaded.rounds_fully_rejected));
+  COMFEDSV_RETURN_IF_ERROR(CheckNonNegative(loaded.rounds_fully_rejected,
+                                            "rounds_fully_rejected"));
+  if (loaded.rounds_fully_rejected > loaded.rounds_degraded) {
+    return Status::InvalidArgument(
+        "corrupt quarantine report: fully-rejected exceeds degraded");
+  }
+  *q = loaded;
   return Status::Ok();
 }
 
@@ -173,8 +256,9 @@ void SaveRoundRecord(const RoundRecord& r, BinaryWriter* out) {
   SaveVector(r.global_before, out);
   out->U64(r.local_models.size());
   for (const Vector& local : r.local_models) SaveVector(local, out);
-  out->U64(r.selected.size());
-  for (int client : r.selected) out->I32(client);
+  SaveClientSet(r.selected, out);
+  SaveClientSet(r.rejected, out);
+  SaveClientSet(r.dropped, out);
   out->EndChunk(handle);
 }
 
@@ -197,22 +281,24 @@ Status LoadRoundRecord(BinaryReader* in, RoundRecord* r) {
           "corrupt round record: local model size mismatch");
     }
   }
-  uint64_t num_selected = 0;
-  COMFEDSV_RETURN_IF_ERROR(in->Count(4, &num_selected));
-  if (num_selected > num_locals) {
+  COMFEDSV_RETURN_IF_ERROR(LoadClientSet(
+      in, num_locals, "round record selected set", &loaded.selected));
+  COMFEDSV_RETURN_IF_ERROR(LoadClientSet(
+      in, num_locals, "round record rejected set", &loaded.rejected));
+  COMFEDSV_RETURN_IF_ERROR(LoadClientSet(
+      in, num_locals, "round record dropped set", &loaded.dropped));
+  if (!std::includes(loaded.selected.begin(), loaded.selected.end(),
+                     loaded.rejected.begin(), loaded.rejected.end())) {
     return Status::InvalidArgument(
-        "corrupt round record: more selected clients than clients");
+        "corrupt round record: rejected set not a subset of selected");
   }
-  loaded.selected.resize(num_selected);
-  int prev = -1;
-  for (uint64_t i = 0; i < num_selected; ++i) {
-    COMFEDSV_RETURN_IF_ERROR(in->I32(&loaded.selected[i]));
-    if (loaded.selected[i] <= prev ||
-        loaded.selected[i] >= static_cast<int>(num_locals)) {
-      return Status::InvalidArgument(
-          "corrupt round record: selected set not sorted in range");
-    }
-    prev = loaded.selected[i];
+  std::vector<int> overlap;
+  std::set_intersection(loaded.selected.begin(), loaded.selected.end(),
+                        loaded.dropped.begin(), loaded.dropped.end(),
+                        std::back_inserter(overlap));
+  if (!overlap.empty()) {
+    return Status::InvalidArgument(
+        "corrupt round record: dropped set overlaps selected");
   }
   COMFEDSV_RETURN_IF_ERROR(in->EndChunk(end));
   *r = std::move(loaded);
@@ -226,6 +312,7 @@ void SaveTrainingResult(const TrainingResult& t, BinaryWriter* out) {
   SaveVector(t.final_params, out);
   SaveDoubleSpan(t.test_loss_history.data(), t.test_loss_history.size(),
                  out);
+  SaveQuarantineReport(t.quarantine, out);
   out->EndChunk(handle);
 }
 
@@ -238,6 +325,7 @@ Status LoadTrainingResult(BinaryReader* in, TrainingResult* t) {
   COMFEDSV_RETURN_IF_ERROR(in->F64(&loaded.final_test_accuracy));
   COMFEDSV_RETURN_IF_ERROR(LoadVector(in, &loaded.final_params));
   COMFEDSV_RETURN_IF_ERROR(LoadDoubleSpan(in, &loaded.test_loss_history));
+  COMFEDSV_RETURN_IF_ERROR(LoadQuarantineReport(in, &loaded.quarantine));
   COMFEDSV_RETURN_IF_ERROR(in->EndChunk(end));
   *t = std::move(loaded);
   return Status::Ok();
@@ -382,6 +470,7 @@ void SaveTrainerState(const FedAvgTrainerState& s, BinaryWriter* out) {
   SaveDoubleSpan(s.test_loss_history.data(), s.test_loss_history.size(),
                  out);
   SaveRngState(s.select_rng, out);
+  SaveQuarantineReport(s.quarantine, out);
   out->EndChunk(handle);
 }
 
@@ -396,6 +485,7 @@ Status LoadTrainerState(BinaryReader* in, FedAvgTrainerState* s) {
   COMFEDSV_RETURN_IF_ERROR(LoadVector(in, &loaded.params));
   COMFEDSV_RETURN_IF_ERROR(LoadDoubleSpan(in, &loaded.test_loss_history));
   COMFEDSV_RETURN_IF_ERROR(LoadRngState(in, &loaded.select_rng));
+  COMFEDSV_RETURN_IF_ERROR(LoadQuarantineReport(in, &loaded.quarantine));
   COMFEDSV_RETURN_IF_ERROR(in->EndChunk(end));
   if (loaded.test_loss_history.size() !=
       static_cast<size_t>(loaded.next_round)) {

@@ -32,7 +32,9 @@ namespace comfedsv {
 /// First four bytes of every checkpoint file: "CFSV".
 inline constexpr uint32_t kCheckpointMagic = 0x56534643u;
 /// Format version written by this build; readers reject any other.
-inline constexpr uint32_t kCheckpointVersion = 1;
+/// v2: RoundRecord gained rejected/dropped client sets; trainer state
+/// and training result gained the aggregation-guard QuarantineReport.
+inline constexpr uint32_t kCheckpointVersion = 2;
 
 /// Chunk type tags. Stable on disk — append, never renumber.
 enum class ChunkTag : uint32_t {

@@ -1,0 +1,68 @@
+#include "metrics/fairness.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace comfedsv {
+
+Result<FairnessReport> ComputeFairness(const std::vector<double>& values) {
+  if (values.empty()) {
+    return Status::InvalidArgument(
+        "fairness of an empty valuation is undefined");
+  }
+  for (double v : values) {
+    if (!std::isfinite(v)) {
+      return Status::NumericalError(
+          "valuation vector contains non-finite entries");
+    }
+  }
+
+  FairnessReport report;
+  report.n = static_cast<int>(values.size());
+  const double n = static_cast<double>(values.size());
+
+  double sum = 0.0, sum_sq = 0.0;
+  report.min_value = values[0];
+  report.max_value = values[0];
+  for (double v : values) {
+    sum += v;
+    sum_sq += v * v;
+    report.min_value = std::min(report.min_value, v);
+    report.max_value = std::max(report.max_value, v);
+  }
+  report.mean = sum / n;
+  report.worst_case_gap = report.max_value - report.min_value;
+
+  // Two-pass variance: numerically safer than sum_sq - n*mean^2 for
+  // near-constant vectors, and exact zero for constant ones.
+  double var = 0.0;
+  for (double v : values) {
+    const double d = v - report.mean;
+    var += d * d;
+  }
+  var /= n;
+  report.stddev = std::sqrt(var);
+
+  // Jain: (sum v)^2 / (n * sum v^2). sum_sq == 0 means every entry is 0
+  // — a degenerate but perfectly even allocation, index 1 by convention.
+  report.jain_index =
+      sum_sq == 0.0 ? 1.0 : (sum * sum) / (n * sum_sq);
+
+  if (report.stddev == 0.0) {
+    report.coefficient_of_variation = 0.0;
+  } else if (report.mean == 0.0) {
+    report.coefficient_of_variation =
+        std::numeric_limits<double>::infinity();
+  } else {
+    report.coefficient_of_variation = report.stddev / std::abs(report.mean);
+  }
+  return report;
+}
+
+Result<FairnessReport> ComputeFairness(const Vector& values) {
+  return ComputeFairness(
+      std::vector<double>(values.data(), values.data() + values.size()));
+}
+
+}  // namespace comfedsv

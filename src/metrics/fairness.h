@@ -1,0 +1,50 @@
+// Distributional fairness statistics over a valuation vector — how
+// evenly a Shapley-style valuation spreads credit across clients. Used
+// by bench/detection.cc to report how each attack scenario distorts the
+// value distribution, alongside the paper's pairwise fairness statistic
+// (metrics.h RelativeDifference, Eq. 7).
+#ifndef COMFEDSV_METRICS_FAIRNESS_H_
+#define COMFEDSV_METRICS_FAIRNESS_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "linalg/vector.h"
+
+namespace comfedsv {
+
+/// Summary of how evenly a valuation vector distributes value.
+///
+/// Edge conventions (unit-tested in metrics_test.cc):
+///   * the all-zero vector is perfectly even: jain_index = 1, cov = 0;
+///   * a single client is trivially fair: jain_index = 1, gap = 0;
+///   * zero mean with nonzero spread makes cov = +infinity (the honest
+///     answer — any finite value would understate the imbalance).
+struct FairnessReport {
+  int n = 0;
+  double mean = 0.0;
+  /// Population standard deviation (divide by n, not n - 1).
+  double stddev = 0.0;
+  /// Jain's fairness index (sum v)^2 / (n * sum v^2), in [0, 1]:
+  /// 1 = perfectly even, 1/n = all value on one client. Most meaningful
+  /// for non-negative valuations; defined for any input.
+  double jain_index = 1.0;
+  /// Coefficient of variation stddev / |mean| (0 when stddev is 0).
+  double coefficient_of_variation = 0.0;
+  /// Worst-case gap max - min: the spread between the best- and
+  /// worst-valued client.
+  double worst_case_gap = 0.0;
+  double min_value = 0.0;
+  double max_value = 0.0;
+};
+
+/// Computes the fairness summary of a valuation vector. Fails with
+/// InvalidArgument on an empty vector and NumericalError on non-finite
+/// entries (a poisoned valuation must not silently launder into finite
+/// fairness numbers).
+Result<FairnessReport> ComputeFairness(const std::vector<double>& values);
+Result<FairnessReport> ComputeFairness(const Vector& values);
+
+}  // namespace comfedsv
+
+#endif  // COMFEDSV_METRICS_FAIRNESS_H_

@@ -860,6 +860,184 @@ TEST(DeterminismTest, ScreenedComFedSvStaysCloseToUniformBudget) {
   EXPECT_GE(run.comfedsv->stats.surrogate_bias_bound, 0.0);
 }
 
+AdversaryConfig OneAdversary(int client, AdversaryKind kind,
+                             double intensity, double camouflage = 0.0,
+                             int accomplice = -1) {
+  AdversarySpec spec;
+  spec.client = client;
+  spec.kind = kind;
+  spec.intensity = intensity;
+  spec.camouflage = camouflage;
+  spec.accomplice = accomplice;
+  AdversaryConfig cfg;
+  cfg.specs.push_back(spec);
+  cfg.seed = 4242;
+  return cfg;
+}
+
+TEST(DeterminismTest, AdversarialScenariosAreThreadCountInvariant) {
+  // Every adversarial behavior — including the degraded aggregation-guard
+  // paths it triggers — must keep the full valuation pipeline
+  // bit-identical across inline, 1-thread, and 4-thread execution: the
+  // transforms and the guard run sequentially after the parallel local
+  // updates, and all adversary randomness derives from
+  // (seed, round, client).
+  const int n = 5;
+  Workload w = MakeWorkload(n, 3434);
+  LogisticRegression model(w.test.dim(), 10);
+
+  struct Scenario {
+    const char* name;
+    AdversaryConfig adversary;
+    AggregationGuardConfig guard;
+  };
+  std::vector<Scenario> scenarios = {
+      {"free-rider",
+       OneAdversary(1, AdversaryKind::kFreeRider, 1.0, /*camouflage=*/0.05),
+       {}},
+      {"gradient-scaler",
+       OneAdversary(2, AdversaryKind::kGradientScaler, 25.0),
+       {true, /*clip_norm=*/0.5, 0}},
+      {"colluder",
+       OneAdversary(3, AdversaryKind::kColluder, 1.0, 0.0,
+                    /*accomplice=*/0),
+       {}},
+      {"label-flipper",
+       OneAdversary(0, AdversaryKind::kLabelFlipper, 0.4), {}},
+      {"dropout", OneAdversary(4, AdversaryKind::kDropout, 0.5), {}},
+      {"nan-corrupter",
+       OneAdversary(2, AdversaryKind::kNanCorrupter, 1.0),
+       {true, 0.0, /*quarantine_after=*/2}},
+  };
+
+  for (const Scenario& scenario : scenarios) {
+    SCOPED_TRACE(scenario.name);
+    FedAvgConfig fed_cfg;
+    fed_cfg.num_rounds = 4;
+    fed_cfg.clients_per_round = 3;
+    fed_cfg.seed = 3535;
+    fed_cfg.adversary = scenario.adversary;
+    fed_cfg.guard = scenario.guard;
+
+    ValuationRequest request;
+    request.compute_fedsv = true;
+    request.fedsv.mode = FedSvConfig::Mode::kMonteCarlo;
+    request.fedsv.permutations_per_round = 6;
+    request.fedsv.seed = 3636;
+    request.compute_comfedsv = true;
+    request.comfedsv.mode = ComFedSvConfig::Mode::kSampled;
+    request.comfedsv.num_permutations = 5;
+    request.comfedsv.completion.rank = 2;
+    request.comfedsv.completion.lambda = 1e-3;
+    request.comfedsv.completion.max_iters = 30;
+    request.comfedsv.seed = 3737;
+
+    ValuationOutcome inline_run =
+        RunWith(w, model, fed_cfg, request, nullptr);
+    ExecutionContext single(1, 30);
+    ValuationOutcome single_run =
+        RunWith(w, model, fed_cfg, request, &single);
+    ExecutionContext threaded(4, 30);
+    ValuationOutcome threaded_run =
+        RunWith(w, model, fed_cfg, request, &threaded);
+
+    ExpectOutcomesBitIdentical(inline_run, single_run,
+                               "adversarial inline vs threads=1");
+    ExpectOutcomesBitIdentical(inline_run, threaded_run,
+                               "adversarial inline vs threads=4");
+    ExpectBitIdentical(inline_run.training.final_params,
+                       threaded_run.training.final_params,
+                       "adversarial final params inline vs threads=4");
+    EXPECT_EQ(inline_run.training.quarantine.rounds_degraded,
+              threaded_run.training.quarantine.rounds_degraded);
+    EXPECT_EQ(inline_run.training.quarantine.rejected,
+              threaded_run.training.quarantine.rejected);
+  }
+}
+
+TEST(DeterminismTest, AdversarialResumeFromCheckpointIsBitIdentical) {
+  // The degraded path is checkpoint/resume-safe: a NaN-corrupting client
+  // under an active quarantine policy accumulates per-client rejection
+  // counters, and the round-t preemptive-drop decision depends on the
+  // counters accumulated before t — so a kill/resume straddling the
+  // quarantine trigger must still match the straight run bit for bit.
+  const int n = 5;
+  Workload w = MakeWorkload(n, 4646);
+  LogisticRegression model(w.test.dim(), 10);
+
+  FedAvgConfig fed_cfg;
+  fed_cfg.num_rounds = 5;
+  fed_cfg.clients_per_round = 4;
+  fed_cfg.seed = 4747;
+  fed_cfg.adversary = OneAdversary(2, AdversaryKind::kNanCorrupter, 1.0);
+  fed_cfg.guard.quarantine_after = 2;
+
+  ValuationRequest request;
+  request.compute_fedsv = true;
+  request.fedsv.mode = FedSvConfig::Mode::kMonteCarlo;
+  request.fedsv.permutations_per_round = 6;
+  request.fedsv.seed = 4848;
+  request.compute_comfedsv = true;
+  request.comfedsv.mode = ComFedSvConfig::Mode::kSampled;
+  request.comfedsv.num_permutations = 5;
+  request.comfedsv.completion.rank = 2;
+  request.comfedsv.completion.lambda = 1e-3;
+  request.comfedsv.completion.max_iters = 30;
+  request.comfedsv.seed = 4949;
+
+  for (int threads : {1, 4}) {
+    SCOPED_TRACE("threads=" + std::to_string(threads));
+    ExecutionContext straight_ctx(threads, 46);
+    ValuationOutcome straight =
+        RunWith(w, model, fed_cfg, request, &straight_ctx);
+    // The scenario actually exercises quarantine: two rejections, then
+    // preemptive drops for the remaining rounds.
+    EXPECT_EQ(straight.training.quarantine.rejected[2], 2);
+    EXPECT_GT(straight.training.quarantine.quarantine_drops[2], 0);
+
+    // Crash after round 1 (pre-quarantine) and round 3 (post-trigger):
+    // the resumed run must re-derive the same drop decisions.
+    for (int crash_round : {1, 3}) {
+      SCOPED_TRACE("crash after round " + std::to_string(crash_round));
+      const std::string path = ::testing::TempDir() +
+                               "comfedsv_adv_resume_t" +
+                               std::to_string(threads) + "_r" +
+                               std::to_string(crash_round) + ".ckpt";
+      std::remove(path.c_str());
+
+      CheckpointConfig ckpt;
+      ckpt.path = path;
+      ckpt.every_rounds = 1;
+      ckpt.inject_crash_after_round = crash_round;
+      ExecutionContext crash_ctx(threads, 46);
+      ASSERT_FALSE(RunValuationCheckpointed(model, w.clients, w.test,
+                                            fed_cfg, request, ckpt,
+                                            &crash_ctx)
+                       .ok());
+
+      CheckpointConfig resume = ckpt;
+      resume.inject_crash_after_round = -1;
+      ExecutionContext resume_ctx(threads, 46);
+      Result<ValuationOutcome> resumed = RunValuationCheckpointed(
+          model, w.clients, w.test, fed_cfg, request, resume, &resume_ctx);
+      ASSERT_TRUE(resumed.ok()) << resumed.status().ToString();
+
+      ExpectOutcomesBitIdentical(resumed.value(), straight,
+                                 "adversarial resumed vs straight");
+      ExpectBitIdentical(resumed.value().training.final_params,
+                         straight.training.final_params,
+                         "adversarial resumed final params");
+      EXPECT_EQ(resumed.value().training.quarantine.rejected,
+                straight.training.quarantine.rejected);
+      EXPECT_EQ(resumed.value().training.quarantine.quarantine_drops,
+                straight.training.quarantine.quarantine_drops);
+      EXPECT_EQ(resumed.value().training.quarantine.rounds_degraded,
+                straight.training.quarantine.rounds_degraded);
+      std::remove(path.c_str());
+    }
+  }
+}
+
 TEST(DeterminismTest, FullModeAndGroundTruthAreThreadCountInvariant) {
   // kFull exercises ObservedUtilityRecorder (parallel subset evaluation +
   // sequential interning) and the ground truth exercises

@@ -1,0 +1,396 @@
+#include "fl/adversary.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "data/image_sim.h"
+#include "data/partition.h"
+#include "fl/fedavg.h"
+#include "fl/selection.h"
+#include "models/logistic.h"
+
+namespace comfedsv {
+namespace {
+
+struct Workload {
+  std::vector<Dataset> clients;
+  Dataset test;
+};
+
+Workload MakeWorkload(int num_clients, uint64_t seed) {
+  SimulatedImageConfig cfg;
+  cfg.num_samples = 60 * num_clients + 120;
+  cfg.seed = seed;
+  Dataset pool = GenerateSimulatedImages(cfg);
+  Rng rng(seed + 1);
+  auto [train_pool, test] = pool.RandomSplit(0.2, &rng);
+  return {PartitionIid(train_pool, num_clients, &rng), std::move(test)};
+}
+
+AdversaryConfig OneSpec(int client, AdversaryKind kind, double intensity,
+                        double camouflage = 0.0, int accomplice = -1) {
+  AdversarySpec spec;
+  spec.client = client;
+  spec.kind = kind;
+  spec.intensity = intensity;
+  spec.camouflage = camouflage;
+  spec.accomplice = accomplice;
+  AdversaryConfig cfg;
+  cfg.specs.push_back(spec);
+  cfg.seed = 123;
+  return cfg;
+}
+
+std::vector<Vector> HonestUpdates(int n, size_t dim) {
+  std::vector<Vector> updates;
+  for (int i = 0; i < n; ++i) {
+    Vector u(dim);
+    for (size_t j = 0; j < dim; ++j) {
+      u[j] = static_cast<double>(i + 1) + 0.1 * static_cast<double>(j);
+    }
+    updates.push_back(std::move(u));
+  }
+  return updates;
+}
+
+TEST(AdversaryValidateTest, RejectsMalformedSpecs) {
+  EXPECT_FALSE(AdversaryModel::Validate(
+                   OneSpec(5, AdversaryKind::kFreeRider, 1.0), 4)
+                   .ok());
+  EXPECT_FALSE(AdversaryModel::Validate(
+                   OneSpec(-1, AdversaryKind::kFreeRider, 1.0), 4)
+                   .ok());
+  AdversaryConfig dup = OneSpec(1, AdversaryKind::kFreeRider, 1.0);
+  dup.specs.push_back(dup.specs[0]);
+  EXPECT_FALSE(AdversaryModel::Validate(dup, 4).ok());
+  EXPECT_FALSE(
+      AdversaryModel::Validate(
+          OneSpec(0, AdversaryKind::kGradientScaler,
+                  std::numeric_limits<double>::infinity()),
+          4)
+          .ok());
+  EXPECT_FALSE(AdversaryModel::Validate(
+                   OneSpec(0, AdversaryKind::kFreeRider, 1.0, -0.5), 4)
+                   .ok());
+  EXPECT_FALSE(
+      AdversaryModel::Validate(
+          OneSpec(0, AdversaryKind::kColluder, 1.0, 0.0, /*accomplice=*/0),
+          4)
+          .ok());
+  EXPECT_FALSE(
+      AdversaryModel::Validate(
+          OneSpec(0, AdversaryKind::kColluder, 1.0, 0.0, /*accomplice=*/9),
+          4)
+          .ok());
+  EXPECT_FALSE(AdversaryModel::Validate(
+                   OneSpec(0, AdversaryKind::kLabelFlipper, 1.5), 4)
+                   .ok());
+  EXPECT_FALSE(AdversaryModel::Validate(
+                   OneSpec(0, AdversaryKind::kDropout, -0.1), 4)
+                   .ok());
+  EXPECT_FALSE(AdversaryModel::Validate(
+                   OneSpec(0, AdversaryKind::kNanCorrupter, 0.0), 4)
+                   .ok());
+  EXPECT_TRUE(AdversaryModel::Validate(
+                  OneSpec(0, AdversaryKind::kGradientScaler, -5.0), 4)
+                  .ok());
+}
+
+TEST(AdversaryModelTest, FreeRiderSubmitsScaledGlobal) {
+  AdversaryModel adv(OneSpec(1, AdversaryKind::kFreeRider, 0.5), 3);
+  std::vector<Vector> updates = HonestUpdates(3, 4);
+  Vector global{1.0, 2.0, 3.0, 4.0};
+  const std::vector<Vector> before = updates;
+  adv.TransformRound(0, global, &updates);
+  for (size_t j = 0; j < 4; ++j) {
+    EXPECT_DOUBLE_EQ(updates[1][j], 0.5 * global[j]);
+    EXPECT_DOUBLE_EQ(updates[0][j], before[0][j]);
+    EXPECT_DOUBLE_EQ(updates[2][j], before[2][j]);
+  }
+}
+
+TEST(AdversaryModelTest, FreeRiderCamouflageIsRoundDeterministic) {
+  AdversaryModel adv(OneSpec(0, AdversaryKind::kFreeRider, 1.0, 0.1), 2);
+  Vector global{1.0, 2.0};
+  std::vector<Vector> a = HonestUpdates(2, 2);
+  std::vector<Vector> b = HonestUpdates(2, 2);
+  adv.TransformRound(3, global, &a);
+  adv.TransformRound(3, global, &b);
+  EXPECT_TRUE(a[0] == b[0]);
+  // Noise actually moved the update off the pure copy.
+  EXPECT_FALSE(a[0] == global);
+  // A different round draws different noise.
+  std::vector<Vector> c = HonestUpdates(2, 2);
+  adv.TransformRound(4, global, &c);
+  EXPECT_FALSE(a[0] == c[0]);
+}
+
+TEST(AdversaryModelTest, GradientScalerScalesDelta) {
+  AdversaryModel adv(OneSpec(0, AdversaryKind::kGradientScaler, -2.0), 2);
+  std::vector<Vector> updates = HonestUpdates(2, 3);
+  Vector global{1.0, 1.0, 1.0};
+  const Vector honest = updates[0];
+  adv.TransformRound(0, global, &updates);
+  for (size_t j = 0; j < 3; ++j) {
+    EXPECT_NEAR(updates[0][j], global[j] - 2.0 * (honest[j] - global[j]),
+                1e-12);
+  }
+}
+
+TEST(AdversaryModelTest, ColluderCopiesAccompliceHonestUpdate) {
+  // The accomplice is itself a free-rider: the colluder must still copy
+  // the accomplice's *honest* (pre-transform) update, independent of
+  // client ordering.
+  AdversaryConfig cfg = OneSpec(0, AdversaryKind::kFreeRider, 1.0);
+  AdversarySpec colluder;
+  colluder.client = 2;
+  colluder.kind = AdversaryKind::kColluder;
+  colluder.intensity = 1.0;
+  colluder.accomplice = 0;
+  cfg.specs.push_back(colluder);
+  AdversaryModel adv(cfg, 3);
+  std::vector<Vector> updates = HonestUpdates(3, 2);
+  const Vector honest0 = updates[0];
+  Vector global{5.0, 5.0};
+  adv.TransformRound(0, global, &updates);
+  EXPECT_TRUE(updates[2] == honest0);  // honest copy, not the free-ride
+  EXPECT_TRUE(updates[0] == global);   // the accomplice still free-rides
+}
+
+TEST(AdversaryModelTest, PoisonDataFlipsRequestedFraction) {
+  Workload w = MakeWorkload(3, 41);
+  const std::vector<int> before = w.clients[1].labels();
+  AdversaryModel adv(OneSpec(1, AdversaryKind::kLabelFlipper, 0.5), 3);
+  const int flipped = adv.PoisonData(&w.clients);
+  const std::vector<int>& after = w.clients[1].labels();
+  int changed = 0;
+  for (size_t i = 0; i < before.size(); ++i) {
+    if (before[i] != after[i]) ++changed;
+  }
+  EXPECT_EQ(changed, flipped);
+  EXPECT_EQ(flipped,
+            static_cast<int>(0.5 * static_cast<double>(before.size())));
+}
+
+TEST(AdversaryModelTest, DropoutRemovesFromSelectedDeterministically) {
+  AdversaryModel adv(OneSpec(1, AdversaryKind::kDropout, 1.0), 4);
+  std::vector<int> selected = {0, 1, 2};
+  std::vector<int> dropped = adv.ApplyDropouts(0, &selected);
+  EXPECT_EQ(dropped, (std::vector<int>{1}));
+  EXPECT_EQ(selected, (std::vector<int>{0, 2}));
+  // Probability 0 never drops.
+  AdversaryModel never(OneSpec(1, AdversaryKind::kDropout, 0.0), 4);
+  selected = {0, 1, 2};
+  EXPECT_TRUE(never.ApplyDropouts(0, &selected).empty());
+  EXPECT_EQ(selected, (std::vector<int>{0, 1, 2}));
+}
+
+TEST(AdversaryModelTest, NanCorrupterPoisonsPrefix) {
+  AdversaryModel adv(OneSpec(0, AdversaryKind::kNanCorrupter, 0.5), 1);
+  std::vector<Vector> updates = HonestUpdates(1, 8);
+  Vector global(8);
+  adv.TransformRound(0, global, &updates);
+  int bad = 0;
+  for (size_t j = 0; j < 8; ++j) {
+    if (!std::isfinite(updates[0][j])) ++bad;
+  }
+  EXPECT_EQ(bad, 4);
+}
+
+// --- Trainer integration: the aggregation guard ------------------------
+
+class CaptureObserver : public RoundObserver {
+ public:
+  void OnRound(const RoundRecord& record) override {
+    records.push_back(record);
+  }
+  std::vector<RoundRecord> records;
+};
+
+TEST(AggregationGuardTest, NanClientIsRejectedNotPropagated) {
+  Workload w = MakeWorkload(4, 51);
+  LogisticRegression model(w.test.dim(), 10);
+  FedAvgConfig cfg;
+  cfg.num_rounds = 5;
+  cfg.clients_per_round = 4;
+  cfg.seed = 52;
+  cfg.adversary = OneSpec(2, AdversaryKind::kNanCorrupter, 1.0);
+
+  CaptureObserver obs;
+  FedAvgTrainer trainer(&model, w.clients, w.test, cfg);
+  Result<TrainingResult> result = trainer.Train(&obs);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+
+  const QuarantineReport& q = result.value().quarantine;
+  ASSERT_EQ(q.rejected.size(), 4u);
+  EXPECT_EQ(q.rejected[2], 5);  // rejected every round it was heard
+  EXPECT_EQ(q.rejected[0] + q.rejected[1] + q.rejected[3], 0);
+  EXPECT_EQ(q.rounds_degraded, 5);
+  EXPECT_EQ(q.rounds_fully_rejected, 0);
+
+  for (const RoundRecord& r : obs.records) {
+    // The corrupter stays selected (Assumption 1 intact) but is listed
+    // as rejected, and its recorded local model is the sanitized
+    // zero-information copy of the broadcast global.
+    EXPECT_EQ(r.rejected, (std::vector<int>{2}));
+    ASSERT_TRUE(std::binary_search(r.selected.begin(), r.selected.end(), 2));
+    EXPECT_TRUE(r.local_models[2] == r.global_before);
+  }
+  for (size_t i = 0; i < result.value().final_params.size(); ++i) {
+    EXPECT_TRUE(std::isfinite(result.value().final_params[i]));
+  }
+}
+
+TEST(AggregationGuardTest, UnguardedNanRunFailsWithNumericalError) {
+  Workload w = MakeWorkload(3, 53);
+  LogisticRegression model(w.test.dim(), 10);
+  FedAvgConfig cfg;
+  cfg.num_rounds = 3;
+  cfg.clients_per_round = 3;
+  cfg.seed = 54;
+  cfg.adversary = OneSpec(0, AdversaryKind::kNanCorrupter, 1.0);
+  cfg.guard.reject_nonfinite = false;
+
+  FedAvgTrainer trainer(&model, w.clients, w.test, cfg);
+  Result<TrainingResult> result = trainer.Train();
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kNumericalError);
+}
+
+TEST(AggregationGuardTest, AllRejectedRoundCarriesGlobalOver) {
+  Workload w = MakeWorkload(2, 55);
+  LogisticRegression model(w.test.dim(), 10);
+  FedAvgConfig cfg;
+  cfg.num_rounds = 2;
+  cfg.clients_per_round = 2;
+  cfg.seed = 56;
+  cfg.adversary.seed = 57;
+  for (int i = 0; i < 2; ++i) {
+    AdversarySpec spec;
+    spec.client = i;
+    spec.kind = AdversaryKind::kNanCorrupter;
+    cfg.adversary.specs.push_back(spec);
+  }
+
+  CaptureObserver obs;
+  FedAvgTrainer trainer(&model, w.clients, w.test, cfg);
+  Result<TrainingResult> result = trainer.Train(&obs);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result.value().quarantine.rounds_fully_rejected, 2);
+  // Nothing was ever aggregated: the global model never moves.
+  ASSERT_EQ(obs.records.size(), 2u);
+  EXPECT_TRUE(obs.records[1].global_before == obs.records[0].global_before);
+  EXPECT_TRUE(result.value().final_params == obs.records[0].global_before);
+}
+
+TEST(AggregationGuardTest, NormClippingBoundsTheDelta) {
+  Workload w = MakeWorkload(3, 61);
+  LogisticRegression model(w.test.dim(), 10);
+  FedAvgConfig cfg;
+  cfg.num_rounds = 3;
+  cfg.clients_per_round = 3;
+  cfg.seed = 62;
+  cfg.adversary = OneSpec(1, AdversaryKind::kGradientScaler, 100.0);
+  cfg.guard.clip_norm = 0.05;
+
+  CaptureObserver obs;
+  FedAvgTrainer trainer(&model, w.clients, w.test, cfg);
+  Result<TrainingResult> result = trainer.Train(&obs);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_GT(result.value().quarantine.clipped[1], 0);
+  for (const RoundRecord& r : obs.records) {
+    for (int i : r.selected) {
+      Vector delta = r.local_models[i];
+      delta.Axpy(-1.0, r.global_before);
+      EXPECT_LE(delta.Norm2(), cfg.guard.clip_norm * (1.0 + 1e-12));
+    }
+  }
+}
+
+TEST(AggregationGuardTest, QuarantineDropsRepeatOffenders) {
+  Workload w = MakeWorkload(4, 63);
+  LogisticRegression model(w.test.dim(), 10);
+  FedAvgConfig cfg;
+  cfg.num_rounds = 6;
+  cfg.clients_per_round = 4;
+  cfg.seed = 64;
+  cfg.adversary = OneSpec(3, AdversaryKind::kNanCorrupter, 1.0);
+  cfg.guard.quarantine_after = 2;
+
+  CaptureObserver obs;
+  FedAvgTrainer trainer(&model, w.clients, w.test, cfg);
+  Result<TrainingResult> result = trainer.Train(&obs);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  const QuarantineReport& q = result.value().quarantine;
+  EXPECT_EQ(q.rejected[3], 2);          // two strikes ...
+  EXPECT_EQ(q.quarantine_drops[3], 4);  // ... then dropped for the rest
+  ASSERT_EQ(obs.records.size(), 6u);
+  for (size_t t = 0; t < 2; ++t) {
+    EXPECT_EQ(obs.records[t].rejected, (std::vector<int>{3}));
+    EXPECT_TRUE(obs.records[t].dropped.empty());
+  }
+  for (size_t t = 2; t < 6; ++t) {
+    EXPECT_TRUE(obs.records[t].rejected.empty());
+    EXPECT_EQ(obs.records[t].dropped, (std::vector<int>{3}));
+    EXPECT_FALSE(std::binary_search(obs.records[t].selected.begin(),
+                                    obs.records[t].selected.end(), 3));
+  }
+}
+
+TEST(AggregationGuardTest, DropoutsAreRecordedAndExcluded) {
+  Workload w = MakeWorkload(3, 65);
+  LogisticRegression model(w.test.dim(), 10);
+  FedAvgConfig cfg;
+  cfg.num_rounds = 4;
+  cfg.clients_per_round = 3;
+  cfg.seed = 66;
+  cfg.adversary = OneSpec(1, AdversaryKind::kDropout, 1.0);
+
+  CaptureObserver obs;
+  FedAvgTrainer trainer(&model, w.clients, w.test, cfg);
+  ASSERT_TRUE(trainer.Train(&obs).ok());
+  for (const RoundRecord& r : obs.records) {
+    EXPECT_EQ(r.dropped, (std::vector<int>{1}));
+    EXPECT_FALSE(
+        std::binary_search(r.selected.begin(), r.selected.end(), 1));
+  }
+}
+
+TEST(AggregationGuardTest, InvalidAdversaryConfigSurfacesFromTrain) {
+  Workload w = MakeWorkload(3, 67);
+  LogisticRegression model(w.test.dim(), 10);
+  FedAvgConfig cfg;
+  cfg.adversary = OneSpec(9, AdversaryKind::kFreeRider, 1.0);
+  FedAvgTrainer trainer(&model, w.clients, w.test, cfg);
+  Result<TrainingResult> result = trainer.Train();
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+
+  FedAvgConfig bad_guard;
+  bad_guard.guard.clip_norm = -1.0;
+  FedAvgTrainer t2(&model, w.clients, w.test, bad_guard);
+  EXPECT_FALSE(t2.Train().ok());
+}
+
+TEST(AggregationGuardTest, FreeRiderRunStaysHealthy) {
+  Workload w = MakeWorkload(4, 71);
+  LogisticRegression model(w.test.dim(), 10);
+  FedAvgConfig cfg;
+  cfg.num_rounds = 8;
+  cfg.clients_per_round = 3;
+  cfg.lr = LearningRateSchedule::Constant(0.5);
+  cfg.seed = 72;
+  cfg.adversary = OneSpec(0, AdversaryKind::kFreeRider, 1.0);
+  FedAvgTrainer trainer(&model, w.clients, w.test, cfg);
+  Result<TrainingResult> result = trainer.Train();
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  // An honest majority still learns despite the free-rider.
+  const auto& history = result.value().test_loss_history;
+  EXPECT_LT(history.back(), history.front());
+  EXPECT_EQ(result.value().quarantine.rounds_degraded, 0);
+}
+
+}  // namespace
+}  // namespace comfedsv

@@ -192,6 +192,8 @@ TEST(RoundTripTest, RoundRecordAndTrainingResult) {
     record.local_models.push_back(RandomVector(9, &rng));
   }
   record.selected = {0, 2, 4};
+  record.rejected = {2};
+  record.dropped = {1, 3};
 
   BinaryWriter w;
   SaveRoundRecord(record, &w);
@@ -206,12 +208,19 @@ TEST(RoundTripTest, RoundRecordAndTrainingResult) {
     EXPECT_TRUE(loaded.local_models[i] == record.local_models[i]);
   }
   EXPECT_EQ(loaded.selected, record.selected);
+  EXPECT_EQ(loaded.rejected, record.rejected);
+  EXPECT_EQ(loaded.dropped, record.dropped);
 
   TrainingResult result;
   result.final_params = RandomVector(9, &rng);
   result.test_loss_history = {0.9, 0.5, 0.3};
   result.final_test_accuracy = 0.75;
   result.rounds_run = 2;
+  result.quarantine.rejected = {0, 3, 0};
+  result.quarantine.clipped = {1, 0, 0};
+  result.quarantine.quarantine_drops = {0, 2, 0};
+  result.quarantine.rounds_degraded = 4;
+  result.quarantine.rounds_fully_rejected = 1;
   BinaryWriter tw;
   SaveTrainingResult(result, &tw);
   BinaryReader tr(tw.buffer());
@@ -221,6 +230,116 @@ TEST(RoundTripTest, RoundRecordAndTrainingResult) {
   EXPECT_EQ(tloaded.test_loss_history, result.test_loss_history);
   EXPECT_EQ(tloaded.final_test_accuracy, result.final_test_accuracy);
   EXPECT_EQ(tloaded.rounds_run, result.rounds_run);
+  EXPECT_EQ(tloaded.quarantine.rejected, result.quarantine.rejected);
+  EXPECT_EQ(tloaded.quarantine.clipped, result.quarantine.clipped);
+  EXPECT_EQ(tloaded.quarantine.quarantine_drops,
+            result.quarantine.quarantine_drops);
+  EXPECT_EQ(tloaded.quarantine.rounds_degraded,
+            result.quarantine.rounds_degraded);
+  EXPECT_EQ(tloaded.quarantine.rounds_fully_rejected,
+            result.quarantine.rounds_fully_rejected);
+}
+
+TEST(RoundTripTest, TrainerStateCarriesQuarantineCounters) {
+  Rng rng(45);
+  FedAvgTrainerState state;
+  state.config_fingerprint = 0xDEADBEEFu;
+  state.next_round = 3;
+  state.params = RandomVector(6, &rng);
+  state.test_loss_history = {1.0, 0.8, 0.6};
+  state.select_rng = Rng(99).SaveState();
+  state.quarantine.rejected = {2, 0};
+  state.quarantine.clipped = {0, 1};
+  state.quarantine.quarantine_drops = {1, 0};
+  state.quarantine.rounds_degraded = 3;
+  state.quarantine.rounds_fully_rejected = 0;
+
+  BinaryWriter w;
+  SaveTrainerState(state, &w);
+  BinaryReader r(w.buffer());
+  FedAvgTrainerState loaded;
+  ASSERT_TRUE(LoadTrainerState(&r, &loaded).ok());
+  EXPECT_EQ(loaded.quarantine.rejected, state.quarantine.rejected);
+  EXPECT_EQ(loaded.quarantine.clipped, state.quarantine.clipped);
+  EXPECT_EQ(loaded.quarantine.quarantine_drops,
+            state.quarantine.quarantine_drops);
+  EXPECT_EQ(loaded.quarantine.rounds_degraded,
+            state.quarantine.rounds_degraded);
+  EXPECT_EQ(loaded.quarantine.rounds_fully_rejected,
+            state.quarantine.rounds_fully_rejected);
+}
+
+TEST(MalformedFieldTest, RoundRecordGuardSetInvariantsEnforced) {
+  Rng rng(46);
+  RoundRecord record;
+  record.round = 1;
+  record.global_before = RandomVector(4, &rng);
+  for (int i = 0; i < 4; ++i) {
+    record.local_models.push_back(RandomVector(4, &rng));
+  }
+  record.selected = {0, 2};
+
+  // rejected must be a subset of selected.
+  record.rejected = {1};
+  record.dropped = {};
+  BinaryWriter w1;
+  SaveRoundRecord(record, &w1);
+  BinaryReader r1(w1.buffer());
+  RoundRecord loaded;
+  EXPECT_FALSE(LoadRoundRecord(&r1, &loaded).ok());
+
+  // dropped must be disjoint from selected.
+  record.rejected = {};
+  record.dropped = {2};
+  BinaryWriter w2;
+  SaveRoundRecord(record, &w2);
+  BinaryReader r2(w2.buffer());
+  EXPECT_FALSE(LoadRoundRecord(&r2, &loaded).ok());
+
+  // A well-formed degraded record loads.
+  record.rejected = {0};
+  record.dropped = {1};
+  BinaryWriter w3;
+  SaveRoundRecord(record, &w3);
+  BinaryReader r3(w3.buffer());
+  EXPECT_TRUE(LoadRoundRecord(&r3, &loaded).ok());
+}
+
+TEST(MalformedFieldTest, QuarantineCountersValidated) {
+  Rng rng(47);
+  FedAvgTrainerState state;
+  state.next_round = 1;
+  state.params = RandomVector(3, &rng);
+  state.test_loss_history = {1.0};
+  state.select_rng = Rng(7).SaveState();
+  state.quarantine.rejected = {0, 0};
+  state.quarantine.clipped = {0, 0};
+  state.quarantine.quarantine_drops = {0, 0};
+
+  // Negative counters are rejected.
+  state.quarantine.rejected[0] = -1;
+  BinaryWriter w1;
+  SaveTrainerState(state, &w1);
+  BinaryReader r1(w1.buffer());
+  FedAvgTrainerState loaded;
+  EXPECT_FALSE(LoadTrainerState(&r1, &loaded).ok());
+  state.quarantine.rejected[0] = 0;
+
+  // Per-client counter vectors must agree in length.
+  state.quarantine.clipped = {0};
+  BinaryWriter w2;
+  SaveTrainerState(state, &w2);
+  BinaryReader r2(w2.buffer());
+  EXPECT_FALSE(LoadTrainerState(&r2, &loaded).ok());
+  state.quarantine.clipped = {0, 0};
+
+  // Fully-rejected rounds cannot exceed degraded rounds.
+  state.quarantine.rounds_degraded = 1;
+  state.quarantine.rounds_fully_rejected = 2;
+  BinaryWriter w3;
+  SaveTrainerState(state, &w3);
+  BinaryReader r3(w3.buffer());
+  EXPECT_FALSE(LoadTrainerState(&r3, &loaded).ok());
 }
 
 TEST(RoundTripTest, InternerKeepsColumnIdsAndRejectsDuplicates) {

@@ -3,6 +3,9 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
+
+#include "metrics/fairness.h"
 
 namespace comfedsv {
 namespace {
@@ -95,6 +98,122 @@ TEST(EmpiricalCdfTest, StepFunctionValues) {
 TEST(EmpiricalCdfTest, SortedSamplesExposed) {
   EmpiricalCdf cdf({3.0, 1.0, 2.0});
   EXPECT_EQ(cdf.sorted_samples(), (std::vector<double>{1.0, 2.0, 3.0}));
+}
+
+// --- Edge-convention audit of the paper metrics ------------------------
+
+TEST(RelativeDifferenceTest, ZeroDenominatorEdges) {
+  // max(a, b) == 0 with unequal values: defined as 1 (maximal
+  // difference), never a division by zero.
+  EXPECT_DOUBLE_EQ(RelativeDifference(0.0, -3.0), 1.0);
+  EXPECT_DOUBLE_EQ(RelativeDifference(-3.0, 0.0), 1.0);
+  // Both negative: the raw ratio against |max|.
+  EXPECT_DOUBLE_EQ(RelativeDifference(-1.0, -2.0), 1.0);
+  // Signed zeros still count as "both zero".
+  EXPECT_DOUBLE_EQ(RelativeDifference(-0.0, 0.0), 0.0);
+}
+
+TEST(AverageRanksTest, DegenerateInputs) {
+  EXPECT_TRUE(AverageRanks({}).empty());
+  EXPECT_EQ(AverageRanks({7.0}), (std::vector<double>{1.0}));
+  // All-equal vector (e.g. a zero valuation): every rank is the mean.
+  EXPECT_EQ(AverageRanks({0.0, 0.0, 0.0}),
+            (std::vector<double>{2.0, 2.0, 2.0}));
+}
+
+TEST(SpearmanTest, ZeroValuationVectorIsAnErrorNotACrash) {
+  // A constant (e.g. all-zero) valuation has no rank variance; the
+  // correlation is undefined and must surface as a Status.
+  Result<double> r = SpearmanCorrelation({0.0, 0.0, 0.0}, {1.0, 2.0, 3.0});
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNumericalError);
+}
+
+TEST(JaccardTest, SingleElementGroups) {
+  EXPECT_DOUBLE_EQ(JaccardIndex({3}, {3}), 1.0);
+  EXPECT_DOUBLE_EQ(JaccardIndex({3}, {4}), 0.0);
+}
+
+// --- Fairness summary (metrics/fairness.h) -----------------------------
+
+// Disambiguates the vector<double>/Vector overloads for braced lists.
+Result<FairnessReport> Fair(std::vector<double> v) {
+  return ComputeFairness(v);
+}
+
+TEST(FairnessTest, UniformVectorIsPerfectlyFair) {
+  Result<FairnessReport> r = Fair({2.5, 2.5, 2.5, 2.5});
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().n, 4);
+  EXPECT_DOUBLE_EQ(r.value().mean, 2.5);
+  EXPECT_DOUBLE_EQ(r.value().stddev, 0.0);
+  EXPECT_DOUBLE_EQ(r.value().jain_index, 1.0);
+  EXPECT_DOUBLE_EQ(r.value().coefficient_of_variation, 0.0);
+  EXPECT_DOUBLE_EQ(r.value().worst_case_gap, 0.0);
+}
+
+TEST(FairnessTest, OneHotVectorIsMaximallyUnfair) {
+  Result<FairnessReport> r = Fair({0.0, 0.0, 0.0, 4.0});
+  ASSERT_TRUE(r.ok());
+  EXPECT_DOUBLE_EQ(r.value().jain_index, 0.25);  // 1/n
+  EXPECT_DOUBLE_EQ(r.value().worst_case_gap, 4.0);
+  EXPECT_DOUBLE_EQ(r.value().min_value, 0.0);
+  EXPECT_DOUBLE_EQ(r.value().max_value, 4.0);
+}
+
+TEST(FairnessTest, KnownHandComputedValues) {
+  // {1, 3}: mean 2, stddev 1, jain (4)^2/(2*10) = 0.8, cov 0.5, gap 2.
+  Result<FairnessReport> r = Fair({1.0, 3.0});
+  ASSERT_TRUE(r.ok());
+  EXPECT_DOUBLE_EQ(r.value().mean, 2.0);
+  EXPECT_DOUBLE_EQ(r.value().stddev, 1.0);
+  EXPECT_DOUBLE_EQ(r.value().jain_index, 0.8);
+  EXPECT_DOUBLE_EQ(r.value().coefficient_of_variation, 0.5);
+  EXPECT_DOUBLE_EQ(r.value().worst_case_gap, 2.0);
+}
+
+TEST(FairnessTest, ZeroValuationVectorEdges) {
+  // All-zero: degenerate but perfectly even — jain 1, cov 0, no crash.
+  Result<FairnessReport> r = Fair({0.0, 0.0, 0.0});
+  ASSERT_TRUE(r.ok());
+  EXPECT_DOUBLE_EQ(r.value().jain_index, 1.0);
+  EXPECT_DOUBLE_EQ(r.value().coefficient_of_variation, 0.0);
+  EXPECT_DOUBLE_EQ(r.value().worst_case_gap, 0.0);
+}
+
+TEST(FairnessTest, ZeroMeanNonzeroSpreadHasInfiniteCov) {
+  Result<FairnessReport> r = Fair({-1.0, 1.0});
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(std::isinf(r.value().coefficient_of_variation));
+  EXPECT_GT(r.value().coefficient_of_variation, 0.0);
+  EXPECT_DOUBLE_EQ(r.value().jain_index, 0.0);  // (sum)^2 = 0
+}
+
+TEST(FairnessTest, SingleClientGroup) {
+  Result<FairnessReport> r = Fair({7.0});
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().n, 1);
+  EXPECT_DOUBLE_EQ(r.value().jain_index, 1.0);
+  EXPECT_DOUBLE_EQ(r.value().worst_case_gap, 0.0);
+  EXPECT_DOUBLE_EQ(r.value().coefficient_of_variation, 0.0);
+}
+
+TEST(FairnessTest, EmptyAndNonFiniteInputsAreErrors) {
+  EXPECT_EQ(ComputeFairness(std::vector<double>{}).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(Fair({1.0, std::nan("")}).status().code(),
+            StatusCode::kNumericalError);
+  EXPECT_EQ(Fair({std::numeric_limits<double>::infinity()}).status().code(),
+            StatusCode::kNumericalError);
+}
+
+TEST(FairnessTest, VectorOverloadMatches) {
+  Vector v{1.0, 2.0, 3.0};
+  Result<FairnessReport> a = ComputeFairness(v);
+  Result<FairnessReport> b = Fair({1.0, 2.0, 3.0});
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_DOUBLE_EQ(a.value().jain_index, b.value().jain_index);
+  EXPECT_DOUBLE_EQ(a.value().stddev, b.value().stddev);
 }
 
 TEST(EmpiricalCdfTest, MonotoneNonDecreasing) {

@@ -166,7 +166,14 @@ struct ScenarioResult {
   std::vector<double> comfedsv;
 };
 
-ScenarioResult RunScenario(const Scenario& s) {
+// `attack` (nullptr = honest) injects one adversarial client into the
+// run. The adversarial cells stay on the exact-FedSV tolerance policy:
+// free-rider uses camouflage 0 (the Gaussian camouflage path is the one
+// libm-dependent adversary ingredient), gradient-scaler is pure IEEE
+// arithmetic, and label-flip draws flip positions through the integer
+// Rng only.
+ScenarioResult RunScenario(const Scenario& s,
+                           const char* attack = nullptr) {
   QuadraticModel model;
   Rng data_rng(20240731);
   const bool noisy = std::string(s.noise) == "noisy";
@@ -193,6 +200,26 @@ ScenarioResult RunScenario(const Scenario& s) {
   } else {
     fed_cfg.selector = SelectorKind::kBernoulli;
     fed_cfg.participation_prob = 0.6;
+  }
+
+  if (attack != nullptr) {
+    AdversarySpec spec;
+    spec.client = 1;
+    const std::string kind = attack;
+    if (kind == "free_rider") {
+      spec.kind = AdversaryKind::kFreeRider;
+      spec.intensity = 1.0;
+      spec.camouflage = 0.0;  // keep the FedSV path libm-free
+    } else if (kind == "grad_scaler") {
+      spec.kind = AdversaryKind::kGradientScaler;
+      spec.intensity = 8.0;
+    } else {
+      COMFEDSV_CHECK(kind == "label_flip");
+      spec.kind = AdversaryKind::kLabelFlipper;
+      spec.intensity = 0.4;
+    }
+    fed_cfg.adversary.specs.push_back(spec);
+    fed_cfg.adversary.seed = 7007;
   }
 
   SamplerConfig sampler;
@@ -482,6 +509,90 @@ constexpr GoldenRow kGolden[] = {
      {-3.7013638593033792e-05, 2.9208784573805902e-05, -0.0010856119435893694, 0.00018685875636428019}},
     // COMFEDSV_GOLDEN_TABLE_END
 };
+
+// Adversarial golden cells: the honest base cell (all/uniform/als/clean)
+// re-run with one attacking client (client 1) per attack kind. Checked
+// in separately from the honest matrix so the attack layer cannot
+// silently move detection-facing numbers either. Same tolerance policy
+// as above: FedSV exact (all three attacks are libm-free — see
+// RunScenario), ComFedSV to 1e-9 relative.
+constexpr const char* kAdversarialAttacks[] = {"free_rider", "grad_scaler",
+                                               "label_flip"};
+
+struct AdversarialGoldenRow {
+  const char* attack;
+  double fedsv[kNumClients];
+  double comfedsv[kNumClients];
+};
+
+constexpr AdversarialGoldenRow kAdversarialGolden[] = {
+    // COMFEDSV_ADVERSARIAL_GOLDEN_TABLE_BEGIN
+    {"free_rider",
+     {0.10930272802749627, -0.085123119917020276, 0.1141167664714698, 0.098868560558722354},
+     {0.14366478518947157, -0.041332792992165607, 0.033709354209335879, 0.10102639545693437}},
+    {"grad_scaler",
+     {0.10694785035575861, 0.20728475382724737, 0.040945766733776937, 0.028952723822437961},
+     {0.22094433860921259, 0.14272966377526744, -0.016794017499468353, 0.03691330842605596}},
+    {"label_flip",
+     {0.077189258662472074, 0.030833143588298081, 0.094067200737007806, 0.074882418999899919},
+     {0.069789058096651951, 0.12438709461920934, 0.013498136921511444, 0.069169317971802036}},
+    // COMFEDSV_ADVERSARIAL_GOLDEN_TABLE_END
+};
+
+TEST(ScenarioGoldenTest, AdversarialCellsMatchCheckedInGoldens) {
+  const Scenario base{"all", "uniform", "als", "clean"};
+
+  if (std::getenv("COMFEDSV_GOLDEN_REGEN") != nullptr) {
+    for (const char* attack : kAdversarialAttacks) {
+      const ScenarioResult r = RunScenario(base, attack);
+      std::printf("    {\"%s\",\n     {", attack);
+      for (int i = 0; i < kNumClients; ++i) {
+        std::printf("%s%.17g", i ? ", " : "", r.fedsv[i]);
+      }
+      std::printf("},\n     {");
+      for (int i = 0; i < kNumClients; ++i) {
+        std::printf("%s%.17g", i ? ", " : "", r.comfedsv[i]);
+      }
+      std::printf("}},\n");
+    }
+    GTEST_SKIP() << "golden regeneration run (adversarial table above)";
+  }
+
+  ASSERT_EQ(std::size(kAdversarialGolden), std::size(kAdversarialAttacks));
+  for (size_t idx = 0; idx < std::size(kAdversarialAttacks); ++idx) {
+    const char* attack = kAdversarialAttacks[idx];
+    SCOPED_TRACE(attack);
+    const AdversarialGoldenRow& golden = kAdversarialGolden[idx];
+    ASSERT_EQ(std::string(attack), golden.attack)
+        << "adversarial golden table order out of sync — regenerate";
+    const ScenarioResult r = RunScenario(base, attack);
+    for (int i = 0; i < kNumClients; ++i) {
+      EXPECT_EQ(r.fedsv[i], golden.fedsv[i]) << "FedSV client " << i;
+      const double tol =
+          1e-9 * std::max(1.0, std::abs(golden.comfedsv[i]));
+      EXPECT_NEAR(r.comfedsv[i], golden.comfedsv[i], tol)
+          << "ComFedSV client " << i;
+    }
+  }
+}
+
+TEST(ScenarioGoldenTest, AdversarialCellsDivergeFromHonestBaseline) {
+  // Sanity on the attack axis itself: each adversarial cell must move
+  // the FedSV vector away from the honest base cell, i.e. every attack
+  // is actually wired through the trainer.
+  const Scenario base{"all", "uniform", "als", "clean"};
+  const ScenarioResult honest = RunScenario(base);
+  for (const char* attack : kAdversarialAttacks) {
+    SCOPED_TRACE(attack);
+    const ScenarioResult attacked = RunScenario(base, attack);
+    bool any_difference = false;
+    for (int i = 0; i < kNumClients; ++i) {
+      if (honest.fedsv[i] != attacked.fedsv[i]) any_difference = true;
+    }
+    EXPECT_TRUE(any_difference)
+        << "attack does not change the valuation at all";
+  }
+}
 
 TEST(ScenarioGoldenTest, MatrixMatchesCheckedInGoldens) {
   const std::vector<Scenario> scenarios = AllScenarios();
