@@ -7,7 +7,11 @@
 //      either way; only the checkpoint file survives),
 //   2. call RunValuationCheckpointed again with the same inputs: it
 //      finds the round-4 checkpoint and replays only rounds 5..8,
-//   3. compare against a straight (never-interrupted) run.
+//   3. compare against a straight (never-interrupted) run,
+//   4. repeat with rotated generations (keep_generations=3) and a
+//      deliberately corrupted newest checkpoint: the resume quarantines
+//      the corrupt file to `*.corrupt`, falls back to the next-newest
+//      generation, and still finishes bit-identical.
 //
 // Build & run:  ./build/examples/example_resume_after_crash
 #include <cstdio>
@@ -15,6 +19,8 @@
 #include <cstring>
 
 #include "core/comfedsv_api.h"
+#include "io/checkpoint_manager.h"
+#include "io/file_env.h"
 
 int main() {
   using namespace comfedsv;
@@ -103,5 +109,65 @@ int main() {
   std::printf("\nresumed == straight, bit for bit: %s\n",
               identical ? "yes" : "NO (bug!)");
   std::remove(checkpoint.path.c_str());
-  return identical ? 0 : 1;
+
+  // 4. Generation fallback: with keep_generations >= 2 each save lands
+  //    in its own rotated file, so even a checkpoint that goes bad *on
+  //    disk* (bit rot, torn rename) costs one generation of progress,
+  //    not the run.
+  CheckpointConfig rotated = checkpoint;
+  rotated.path = "resume_example_rotated.ckpt";
+  rotated.keep_generations = 3;
+  CheckpointConfig rotated_crashing = rotated;
+  rotated_crashing.inject_crash_after_round = 4;
+  Result<ValuationOutcome> crashed2 = RunValuationCheckpointed(
+      model, clients, test, fed, request, rotated_crashing);
+  std::printf("\nrotated run: %s\n", crashed2.status().ToString().c_str());
+
+  // Corrupt the newest generation the crash left behind.
+  CheckpointManagerOptions inspect_options;
+  inspect_options.keep_generations = rotated.keep_generations;
+  CheckpointManager inspect(rotated.path, inspect_options);
+  const auto generations = inspect.ListGenerations();
+  const std::string& newest = generations.back().second;
+  Result<std::string> bytes = FileEnv::Real()->ReadFile(newest);
+  if (!bytes.ok()) {
+    std::fprintf(stderr, "read failed: %s\n",
+                 bytes.status().ToString().c_str());
+    return 1;
+  }
+  std::string corrupted = bytes.value();
+  corrupted[corrupted.size() / 2] ^= 0x40;
+  if (!FileEnv::Real()->WriteFile(newest, corrupted).ok()) return 1;
+  std::printf("corrupted newest generation %s (%zu generations on disk)\n",
+              newest.c_str(), generations.size());
+
+  Result<ValuationOutcome> salvaged = RunValuationCheckpointed(
+      model, clients, test, fed, request, rotated);
+  if (!salvaged.ok()) {
+    std::fprintf(stderr, "salvaged resume failed: %s\n",
+                 salvaged.status().ToString().c_str());
+    return 1;
+  }
+  const CheckpointHealth& health = *salvaged.value().checkpoint_health;
+  std::printf(
+      "salvaged resume: quarantined %d corrupt generation(s), resumed "
+      "from sequence %llu, finished %d rounds\n",
+      health.quarantined_on_resume,
+      static_cast<unsigned long long>(health.resumed_sequence),
+      salvaged.value().training.rounds_run);
+
+  bool salvage_identical = true;
+  for (int i = 0; i < 5; ++i) {
+    const double f_salvaged = (*salvaged.value().fedsv_values)[i];
+    const double f_straight = (*straight.value().fedsv_values)[i];
+    salvage_identical =
+        salvage_identical && std::memcmp(&f_salvaged, &f_straight, 8) == 0;
+  }
+  std::printf("salvaged == straight, bit for bit: %s\n",
+              salvage_identical ? "yes" : "NO (bug!)");
+  for (const auto& [seq, file] : inspect.ListGenerations()) {
+    std::remove(file.c_str());
+  }
+  std::remove((newest + ".corrupt").c_str());
+  return salvage_identical ? 0 : 1;
 }

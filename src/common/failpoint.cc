@@ -1,0 +1,122 @@
+#include "common/failpoint.h"
+
+#include "common/check.h"
+#include "common/fingerprint.h"
+
+namespace comfedsv {
+
+FailpointTrigger FailpointTrigger::OnHit(int64_t hit, bool one_shot) {
+  FailpointTrigger t;
+  t.policy = Policy::kOnHit;
+  t.n = hit;
+  t.one_shot = one_shot;
+  return t;
+}
+
+FailpointTrigger FailpointTrigger::EveryN(int64_t n) {
+  FailpointTrigger t;
+  t.policy = Policy::kEveryN;
+  t.n = n;
+  return t;
+}
+
+FailpointTrigger FailpointTrigger::WithProbability(double p, uint64_t seed) {
+  FailpointTrigger t;
+  t.policy = Policy::kProbability;
+  t.probability = p;
+  t.seed = seed;
+  return t;
+}
+
+FailpointRegistry& FailpointRegistry::Global() {
+  static FailpointRegistry* registry = new FailpointRegistry();
+  return *registry;
+}
+
+void FailpointRegistry::Arm(const std::string& name,
+                            FailpointTrigger trigger, int action,
+                            int64_t arg) {
+  COMFEDSV_CHECK_GT(trigger.n, 0);
+  std::lock_guard<std::mutex> lock(mu_);
+  armed_[name] = Armed{trigger, action, arg};
+  counts_[name] = 0;
+  enabled_.store(true, std::memory_order_release);
+}
+
+void FailpointRegistry::Clear(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  armed_.erase(name);
+  enabled_.store(!armed_.empty() || tracing_, std::memory_order_release);
+}
+
+void FailpointRegistry::ClearAll() {
+  std::lock_guard<std::mutex> lock(mu_);
+  armed_.clear();
+  counts_.clear();
+  tracing_ = false;
+  enabled_.store(false, std::memory_order_release);
+}
+
+void FailpointRegistry::set_tracing(bool tracing) {
+  std::lock_guard<std::mutex> lock(mu_);
+  tracing_ = tracing;
+  enabled_.store(!armed_.empty() || tracing_, std::memory_order_release);
+}
+
+std::optional<FailpointFire> FailpointRegistry::Hit(
+    const std::string& name) {
+  if (!enabled_.load(std::memory_order_acquire)) return std::nullopt;
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = armed_.find(name);
+  if (it == armed_.end()) {
+    if (tracing_) ++counts_[name];
+    return std::nullopt;
+  }
+  const int64_t hit = ++counts_[name];
+  Armed& armed = it->second;
+  if (!Fires(&armed, hit)) return std::nullopt;
+  FailpointFire fire{armed.action, armed.arg};
+  if (armed.trigger.one_shot) {
+    armed_.erase(it);
+    enabled_.store(!armed_.empty() || tracing_, std::memory_order_release);
+  }
+  return fire;
+}
+
+bool FailpointRegistry::Fires(Armed* armed, int64_t hit) {
+  bool fires = false;
+  switch (armed->trigger.policy) {
+    case FailpointTrigger::Policy::kOnHit:
+      fires = hit == armed->trigger.n;
+      break;
+    case FailpointTrigger::Policy::kEveryN:
+      fires = hit % armed->trigger.n == 0;
+      break;
+    case FailpointTrigger::Policy::kProbability: {
+      // A replayable coin flip: hash (seed, hit index) to a uniform in
+      // [0, 1) — the same schedule fires on the same hits every run.
+      uint64_t h = kFingerprintSeed;
+      FingerprintMix(&h, armed->trigger.seed);
+      FingerprintMix(&h, static_cast<uint64_t>(hit));
+      const double u =
+          static_cast<double>(h >> 11) * 0x1.0p-53;  // top 53 bits
+      fires = u < armed->trigger.probability;
+      break;
+    }
+  }
+  return fires;
+}
+
+int64_t FailpointRegistry::hits(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = counts_.find(name);
+  return it == counts_.end() ? 0 : it->second;
+}
+
+std::vector<std::pair<std::string, int64_t>> FailpointRegistry::HitCounts()
+    const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return {counts_.begin(), counts_.end()};
+}
+
+}  // namespace comfedsv

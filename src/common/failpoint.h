@@ -1,0 +1,112 @@
+// Deterministic fault-injection points.
+//
+// A *failpoint* is a named hook compiled into production code (today:
+// every FileEnv operation, see io/file_env.h). Tests and benches arm a
+// failpoint with a deterministic *trigger policy* plus an opaque action
+// code; the instrumented code calls FailpointRegistry::Hit(name) and, if
+// the policy fires, performs the armed action (inject an error, tear a
+// write, simulate a crash — the action semantics belong to the call
+// site, the registry only decides *when*).
+//
+// Determinism contract: every policy is a pure function of the armed
+// spec and the per-name hit counter, and counters advance under a lock
+// in call order. All checkpoint I/O runs on the driver thread, so a
+// fault schedule replays identically across runs and thread counts —
+// the crash-sweep harness (tests/io_recovery_test.cc) depends on this
+// to enumerate "crash at the k-th fsync" style schedules exhaustively.
+//
+// When nothing is armed and tracing is off, Hit() is a single relaxed
+// atomic load — cheap enough to leave in release builds.
+#ifndef COMFEDSV_COMMON_FAILPOINT_H_
+#define COMFEDSV_COMMON_FAILPOINT_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace comfedsv {
+
+/// What a firing failpoint tells the instrumented call site to do.
+/// `action` is an opaque code owned by the call site (e.g.
+/// io/file_env.h's FaultAction); `arg` is an action-specific operand
+/// (byte offset for short writes / torn renames, etc.).
+struct FailpointFire {
+  int action = 0;
+  int64_t arg = 0;
+};
+
+/// When an armed failpoint fires, as a function of its per-name hit
+/// counter (1-based: the first Hit() after arming is hit 1).
+struct FailpointTrigger {
+  enum class Policy {
+    kOnHit,        ///< fire exactly on hit `n`
+    kEveryN,       ///< fire on hits n, 2n, 3n, ...
+    kProbability,  ///< fire when hash(seed, hit) < probability — a
+                   ///< seeded, replayable coin flip per hit
+  };
+  Policy policy = Policy::kOnHit;
+  int64_t n = 1;
+  double probability = 0.0;
+  uint64_t seed = 0;
+  /// Disarm after the first fire (the "one-shot kill" schedule: fault
+  /// once, then let recovery run clean).
+  bool one_shot = false;
+
+  static FailpointTrigger OnHit(int64_t hit, bool one_shot = true);
+  static FailpointTrigger EveryN(int64_t n);
+  static FailpointTrigger WithProbability(double p, uint64_t seed);
+};
+
+/// Process-wide registry of named failpoints. All methods are
+/// thread-safe; arming/clearing mid-run is allowed (the crash harness
+/// disarms everything between "crash" and recovery).
+class FailpointRegistry {
+ public:
+  static FailpointRegistry& Global();
+
+  /// Arms `name`. Re-arming replaces the spec and resets the hit
+  /// counter for the name, so schedules compose per test case.
+  void Arm(const std::string& name, FailpointTrigger trigger, int action,
+           int64_t arg = 0);
+  void Clear(const std::string& name);
+  /// Disarms every failpoint, zeroes all hit counters, clears tracing
+  /// state. Call between test cases.
+  void ClearAll();
+
+  /// The instrumentation hook: counts the hit (when armed or tracing)
+  /// and returns the armed action if the trigger fires.
+  std::optional<FailpointFire> Hit(const std::string& name);
+
+  /// Hit-count bookkeeping — with tracing on, every Hit() is counted
+  /// even for unarmed names. A pilot run with tracing enumerates the
+  /// fault surface of a workload (which failpoints, how many chances
+  /// each), which the crash sweep then schedules against.
+  void set_tracing(bool tracing);
+  int64_t hits(const std::string& name) const;
+  /// Every name seen since ClearAll, with its hit count, in name order.
+  std::vector<std::pair<std::string, int64_t>> HitCounts() const;
+
+ private:
+  struct Armed {
+    FailpointTrigger trigger;
+    int action = 0;
+    int64_t arg = 0;
+  };
+
+  bool Fires(Armed* armed, int64_t hit);
+
+  mutable std::mutex mu_;
+  std::map<std::string, Armed> armed_;
+  std::map<std::string, int64_t> counts_;
+  std::atomic<bool> enabled_{false};  // armed_ non-empty or tracing_
+  bool tracing_ = false;
+};
+
+}  // namespace comfedsv
+
+#endif  // COMFEDSV_COMMON_FAILPOINT_H_

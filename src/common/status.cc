@@ -20,6 +20,10 @@ const char* StatusCodeName(StatusCode code) {
       return "NotImplemented";
     case StatusCode::kNumericalError:
       return "NumericalError";
+    case StatusCode::kDataLoss:
+      return "DataLoss";
+    case StatusCode::kUnavailable:
+      return "Unavailable";
   }
   return "Unknown";
 }

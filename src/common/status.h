@@ -23,6 +23,13 @@ enum class StatusCode {
   kInternal = 5,
   kNotImplemented = 6,
   kNumericalError = 7,
+  /// Stored state is unreadable or fails validation (truncation,
+  /// checksum mismatch, invariant violations in decoded bytes). Callers
+  /// salvage: quarantine the artifact and fall back to an older copy.
+  kDataLoss = 8,
+  /// A transient environment failure (I/O error, resource exhaustion).
+  /// Callers retry: the same operation may succeed later.
+  kUnavailable = 9,
 };
 
 /// Returns a human-readable name for a status code ("InvalidArgument", ...).
@@ -60,6 +67,12 @@ class Status {
   }
   static Status NumericalError(std::string msg) {
     return Status(StatusCode::kNumericalError, std::move(msg));
+  }
+  static Status DataLoss(std::string msg) {
+    return Status(StatusCode::kDataLoss, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -74,7 +74,7 @@ Status LoadPresence(BinaryReader* in, bool expected, const char* what) {
   uint8_t present = 0;
   COMFEDSV_RETURN_IF_ERROR(in->U8(&present));
   if (present > 1) {
-    return Status::InvalidArgument("corrupt checkpoint: bad presence flag");
+    return Status::DataLoss("corrupt checkpoint: bad presence flag");
   }
   if ((present != 0) != expected) {
     return Status::FailedPrecondition(
@@ -134,7 +134,7 @@ Status LoadFedSvState(BinaryReader* in, FedSvEvaluatorState* s) {
   COMFEDSV_RETURN_IF_ERROR(in->I64(&loaded.loss_calls));
   COMFEDSV_RETURN_IF_ERROR(in->EndChunk(end));
   if (loaded.loss_calls < 0) {
-    return Status::InvalidArgument("corrupt FedSV state: negative "
+    return Status::DataLoss("corrupt FedSV state: negative "
                                    "loss_calls");
   }
   *s = std::move(loaded);
@@ -169,7 +169,7 @@ Status LoadFullRecorderState(BinaryReader* in, FullRecorderState* s) {
       COMFEDSV_RETURN_IF_ERROR(in->F64(&loaded.rows[t][c]));
     }
     if (loaded.rows[t].size() != loaded.rows[0].size()) {
-      return Status::InvalidArgument(
+      return Status::DataLoss(
           "corrupt full-recorder state: ragged rows");
     }
   }
@@ -252,7 +252,7 @@ Status LoadSampledRecorderState(BinaryReader* in,
     uint8_t has_surrogate = 0;
     COMFEDSV_RETURN_IF_ERROR(in->U8(&has_surrogate));
     if (has_surrogate != 1) {
-      return Status::InvalidArgument(
+      return Status::DataLoss(
           "corrupt sampled-recorder state: bad surrogate flag");
     }
     loaded.has_surrogate = true;
@@ -317,7 +317,7 @@ Status LoadEvaluatorStates(BinaryReader* in, FedSvEvaluator* fedsv,
     uint8_t is_full = 0;
     COMFEDSV_RETURN_IF_ERROR(in->U8(&is_full));
     if (is_full > 1) {
-      return Status::InvalidArgument("corrupt checkpoint: bad mode flag");
+      return Status::DataLoss("corrupt checkpoint: bad mode flag");
     }
     comfedsv_is_full = is_full != 0;
     if (comfedsv_is_full != (comfedsv->full_recorder() != nullptr)) {
@@ -363,11 +363,10 @@ Status LoadEvaluatorStates(BinaryReader* in, FedSvEvaluator* fedsv,
   return Status::Ok();
 }
 
-Status SaveValuationCheckpoint(const std::string& path, uint64_t fingerprint,
-                               const FedAvgTrainer& trainer,
-                               const FedSvEvaluator* fedsv,
-                               const ComFedSvEvaluator* comfedsv,
-                               const GroundTruthEvaluator* ground_truth) {
+std::string SerializeValuationCheckpoint(
+    uint64_t fingerprint, const FedAvgTrainer& trainer,
+    const FedSvEvaluator* fedsv, const ComFedSvEvaluator* comfedsv,
+    const GroundTruthEvaluator* ground_truth) {
   BinaryWriter payload;
   const size_t handle =
       payload.BeginChunk(ChunkTag::kValuationCheckpoint);
@@ -375,8 +374,48 @@ Status SaveValuationCheckpoint(const std::string& path, uint64_t fingerprint,
   SaveTrainerState(trainer.SaveState(), &payload);
   SaveEvaluatorStates(fedsv, comfedsv, ground_truth, &payload);
   payload.EndChunk(handle);
-  return WriteCheckpointFile(path, ChunkTag::kValuationCheckpoint,
-                             payload.buffer());
+  return payload.buffer();
+}
+
+Status RestoreValuationCheckpoint(std::string_view payload,
+                                  uint64_t fingerprint,
+                                  FedAvgTrainer* trainer,
+                                  FedSvEvaluator* fedsv,
+                                  ComFedSvEvaluator* comfedsv,
+                                  GroundTruthEvaluator* ground_truth) {
+  BinaryReader reader(payload);
+  size_t end = 0;
+  COMFEDSV_RETURN_IF_ERROR(
+      reader.BeginChunk(ChunkTag::kValuationCheckpoint, &end));
+  uint64_t saved_fingerprint = 0;
+  COMFEDSV_RETURN_IF_ERROR(reader.U64(&saved_fingerprint));
+  if (saved_fingerprint != fingerprint) {
+    return Status::FailedPrecondition(
+        "checkpoint was saved under a different "
+        "config/data/model/request");
+  }
+
+  FedAvgTrainerState trainer_state;
+  COMFEDSV_RETURN_IF_ERROR(LoadTrainerState(&reader, &trainer_state));
+  COMFEDSV_RETURN_IF_ERROR(trainer->RestoreState(trainer_state));
+  // Parse-then-apply per evaluator; on error the pipeline is partially
+  // restored and the caller must abandon the resume or fully restore
+  // another payload over it (the CheckpointManager salvage loop does the
+  // latter — each older generation holds a complete state).
+  COMFEDSV_RETURN_IF_ERROR(
+      LoadEvaluatorStates(&reader, fedsv, comfedsv, ground_truth));
+  return reader.EndChunk(end);
+}
+
+Status SaveValuationCheckpoint(const std::string& path, uint64_t fingerprint,
+                               const FedAvgTrainer& trainer,
+                               const FedSvEvaluator* fedsv,
+                               const ComFedSvEvaluator* comfedsv,
+                               const GroundTruthEvaluator* ground_truth) {
+  return WriteCheckpointFile(
+      path, ChunkTag::kValuationCheckpoint,
+      SerializeValuationCheckpoint(fingerprint, trainer, fedsv, comfedsv,
+                                   ground_truth));
 }
 
 Status LoadValuationCheckpoint(const std::string& path, uint64_t fingerprint,
@@ -387,28 +426,8 @@ Status LoadValuationCheckpoint(const std::string& path, uint64_t fingerprint,
   Result<std::string> payload =
       ReadCheckpointFile(path, ChunkTag::kValuationCheckpoint);
   if (!payload.ok()) return payload.status();
-  BinaryReader reader(payload.value());
-
-  size_t end = 0;
-  COMFEDSV_RETURN_IF_ERROR(
-      reader.BeginChunk(ChunkTag::kValuationCheckpoint, &end));
-  uint64_t saved_fingerprint = 0;
-  COMFEDSV_RETURN_IF_ERROR(reader.U64(&saved_fingerprint));
-  if (saved_fingerprint != fingerprint) {
-    return Status::FailedPrecondition(
-        "checkpoint " + path +
-        " was saved under a different config/data/model/request");
-  }
-
-  FedAvgTrainerState trainer_state;
-  COMFEDSV_RETURN_IF_ERROR(LoadTrainerState(&reader, &trainer_state));
-  COMFEDSV_RETURN_IF_ERROR(trainer->RestoreState(trainer_state));
-  // Parse-then-apply per evaluator; on error the pipeline is partially
-  // restored and the caller must abandon the resume (RunValuationImpl
-  // propagates the error instead of training on).
-  COMFEDSV_RETURN_IF_ERROR(
-      LoadEvaluatorStates(&reader, fedsv, comfedsv, ground_truth));
-  return reader.EndChunk(end);
+  return RestoreValuationCheckpoint(payload.value(), fingerprint, trainer,
+                                    fedsv, comfedsv, ground_truth);
 }
 
 }  // namespace comfedsv

@@ -12,11 +12,14 @@
 #ifndef COMFEDSV_CORE_CHECKPOINTING_H_
 #define COMFEDSV_CORE_CHECKPOINTING_H_
 
+#include <cstdint>
 #include <string>
+#include <string_view>
 
 #include "core/evaluator.h"
 #include "fl/fedavg.h"
 #include "io/checkpoint.h"
+#include "io/checkpoint_manager.h"
 #include "io/serialize.h"
 #include "shapley/fedsv.h"
 
@@ -26,21 +29,67 @@ struct ValuationRequest;  // core/pipeline.h
 
 /// Where and how often RunValuationCheckpointed persists its state.
 struct CheckpointConfig {
-  /// Checkpoint file. Each save atomically replaces it (write to
-  /// `path + ".tmp"`, then rename), so a crash never corrupts the last
+  /// Checkpoint file (or, with keep_generations >= 2, the stem of the
+  /// rotated generation files `path.<seq>`). Each save is atomic (write
+  /// to a `.tmp`, fsync, rename), so a crash never corrupts the last
   /// good checkpoint.
   std::string path;
   /// Save after every k-th completed round (and always after the last).
   int every_rounds = 1;
-  /// Load `path` before round 0 when it exists. A checkpoint written
-  /// under a different config/data/model is an error, not a silent
-  /// restart.
+  /// Load the newest resumable checkpoint before round 0 when one
+  /// exists. A checkpoint written under a different config/data/model is
+  /// an error, not a silent restart.
   bool resume = true;
   /// Test-only crash injection: abort the run (error Status) once this
   /// many rounds have completed, *after* the cadence save for that
   /// round. Negative disables. Lets tests exercise kill-at-round-t →
   /// resume without actually killing the process.
   int inject_crash_after_round = -1;
+
+  // Durability policy, forwarded to the CheckpointManager (see
+  // io/checkpoint_manager.h for the rotation / retry / salvage
+  // contract).
+
+  /// 1 (default) = the legacy single file at exactly `path`;
+  /// >= 2 = rotated generations with salvage fallback on resume.
+  int keep_generations = 1;
+  /// Retries per transient (Unavailable) I/O failure.
+  int max_retries = 2;
+  /// Base of the deterministic exponential retry backoff, ms.
+  int retry_backoff_ms = 5;
+  /// When true, a cadence save that still fails after retries aborts
+  /// the run. Default: the run degrades — it keeps training on the last
+  /// good in-memory state and reports the failures in
+  /// ValuationOutcome::checkpoint_health.
+  bool require_durable = false;
+  /// File system override for fault injection; nullptr = real.
+  FileEnv* env = nullptr;
+};
+
+/// How checkpoint I/O fared over a RunValuationCheckpointed call —
+/// returned in ValuationOutcome::checkpoint_health so callers can tell
+/// "completed, fully durable" from "completed, but the last k saves
+/// failed and a crash would lose those rounds".
+struct CheckpointHealth {
+  /// True when the most recent save attempt failed (the engine is
+  /// running on borrowed time; a crash loses rounds_since_durable
+  /// rounds of progress).
+  bool degraded = false;
+  /// Cadence saves that failed after exhausting retries.
+  int64_t write_failures = 0;
+  /// Failed saves since the last successful one (0 when healthy).
+  int64_t consecutive_failures = 0;
+  /// Last I/O error observed, empty when none.
+  std::string last_error;
+  /// Completed rounds not yet covered by a durable checkpoint.
+  int rounds_since_durable = 0;
+  /// Corrupt generations quarantined to `*.corrupt` during resume.
+  int quarantined_on_resume = 0;
+  /// Orphaned `.tmp` files removed by the startup sweep.
+  int orphans_swept = 0;
+  /// Header sequence of the generation the run resumed from (0 when the
+  /// run started fresh).
+  uint64_t resumed_sequence = 0;
 };
 
 /// Fingerprint of everything a checkpoint must agree on to be resumable:
@@ -90,6 +139,26 @@ void SaveEvaluatorStates(const FedSvEvaluator* fedsv,
 Status LoadEvaluatorStates(BinaryReader* in, FedSvEvaluator* fedsv,
                            ComFedSvEvaluator* comfedsv,
                            GroundTruthEvaluator* ground_truth);
+
+/// Serializes the composite checkpoint payload (one kValuationCheckpoint
+/// chunk) for the given mid-run pipeline state — the bytes
+/// SaveValuationCheckpoint writes and CheckpointManager::Write rotates.
+std::string SerializeValuationCheckpoint(
+    uint64_t fingerprint, const FedAvgTrainer& trainer,
+    const FedSvEvaluator* fedsv, const ComFedSvEvaluator* comfedsv,
+    const GroundTruthEvaluator* ground_truth);
+
+/// Parses a SerializeValuationCheckpoint payload and applies it to the
+/// components. Returns DataLoss for corrupt bytes, FailedPrecondition
+/// for a fingerprint/request mismatch. On error the components may be
+/// partially restored — retry only by restoring another (complete)
+/// payload over them, or discard them.
+Status RestoreValuationCheckpoint(std::string_view payload,
+                                  uint64_t fingerprint,
+                                  FedAvgTrainer* trainer,
+                                  FedSvEvaluator* fedsv,
+                                  ComFedSvEvaluator* comfedsv,
+                                  GroundTruthEvaluator* ground_truth);
 
 /// Writes the composite checkpoint for the given mid-run pipeline state.
 /// Null evaluators are recorded as absent. `fingerprint` should be

@@ -81,16 +81,40 @@ Result<ValuationOutcome> RunValuationImpl(const Model& model,
   COMFEDSV_RETURN_IF_ERROR(trainer.Begin());
 
   uint64_t fingerprint = 0;
+  std::unique_ptr<CheckpointManager> manager;
+  CheckpointHealth health;
   if (checkpoint != nullptr) {
+    CheckpointManagerOptions mgr_options;
+    mgr_options.keep_generations = checkpoint->keep_generations;
+    mgr_options.max_retries = checkpoint->max_retries;
+    mgr_options.retry_backoff_ms = checkpoint->retry_backoff_ms;
+    mgr_options.env = checkpoint->env;
+    manager = std::make_unique<CheckpointManager>(checkpoint->path,
+                                                  std::move(mgr_options));
+    // Startup sweep: clear `.tmp` debris a previous crash left behind.
+    // A failed sweep is not fatal — stale temps are inert.
+    Result<int> swept = manager->SweepOrphans();
+    health.orphans_swept = swept.value_or(0);
+
     fingerprint = ValuationFingerprint(trainer, request);
     if (checkpoint->resume) {
-      Status restored = LoadValuationCheckpoint(
-          checkpoint->path, fingerprint, &trainer, fedsv.get(),
-          comfedsv.get(), ground_truth.get());
-      // No file yet means a fresh run; anything else (fingerprint
-      // mismatch, corrupt bytes) must not silently recompute T rounds.
-      if (!restored.ok() && restored.code() != StatusCode::kNotFound) {
-        return restored;
+      Result<CheckpointManager::LoadInfo> loaded = manager->Load(
+          ChunkTag::kValuationCheckpoint,
+          [&](std::string_view payload, uint64_t /*sequence*/) {
+            return RestoreValuationCheckpoint(payload, fingerprint,
+                                              &trainer, fedsv.get(),
+                                              comfedsv.get(),
+                                              ground_truth.get());
+          });
+      if (loaded.ok()) {
+        health.quarantined_on_resume = loaded.value().quarantined;
+        health.resumed_sequence = loaded.value().sequence;
+      } else if (loaded.status().code() != StatusCode::kNotFound) {
+        // No checkpoint at all means a fresh run; anything else — every
+        // generation corrupt (DataLoss), fingerprint mismatch
+        // (FailedPrecondition), environment down — must not silently
+        // recompute T rounds.
+        return loaded.status();
       }
     }
   }
@@ -100,10 +124,28 @@ Result<ValuationOutcome> RunValuationImpl(const Model& model,
     fanout.OnRound(record);
     if (checkpoint != nullptr) {
       const int completed = trainer.next_round();
+      ++health.rounds_since_durable;
       if (completed % checkpoint->every_rounds == 0 || trainer.Done()) {
-        COMFEDSV_RETURN_IF_ERROR(SaveValuationCheckpoint(
-            checkpoint->path, fingerprint, trainer, fedsv.get(),
-            comfedsv.get(), ground_truth.get()));
+        Status saved = manager->Write(
+            ChunkTag::kValuationCheckpoint,
+            SerializeValuationCheckpoint(fingerprint, trainer, fedsv.get(),
+                                         comfedsv.get(),
+                                         ground_truth.get()));
+        if (saved.ok()) {
+          health.degraded = false;
+          health.consecutive_failures = 0;
+          health.rounds_since_durable = 0;
+        } else {
+          // Graceful degradation: the in-memory state is intact, so a
+          // failed save costs durability, not correctness. Keep
+          // training (the next cadence save retries from scratch) and
+          // report the gap — unless the caller demanded durability.
+          if (checkpoint->require_durable) return saved;
+          health.degraded = true;
+          ++health.write_failures;
+          ++health.consecutive_failures;
+          health.last_error = saved.ToString();
+        }
       }
       if (checkpoint->inject_crash_after_round >= 0 &&
           completed >= checkpoint->inject_crash_after_round) {
@@ -118,6 +160,7 @@ Result<ValuationOutcome> RunValuationImpl(const Model& model,
 
   ValuationOutcome outcome;
   outcome.training = std::move(training).value();
+  if (checkpoint != nullptr) outcome.checkpoint_health = health;
   if (fedsv != nullptr) {
     outcome.fedsv_values = fedsv->values();
     outcome.fedsv_loss_calls = fedsv->loss_calls();

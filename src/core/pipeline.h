@@ -43,6 +43,11 @@ struct ValuationOutcome {
 
   std::optional<Vector> ground_truth_values;
   int64_t ground_truth_loss_calls = 0;
+
+  /// Populated by RunValuationCheckpointed only: how checkpoint I/O
+  /// fared (failed saves survived in degraded mode, salvage activity at
+  /// resume). See CheckpointHealth in core/checkpointing.h.
+  std::optional<CheckpointHealth> checkpoint_health;
 };
 
 /// Runs FedAvg over `client_data` and evaluates the requested metrics.

@@ -4,6 +4,7 @@
 
 #include "common/check.h"
 #include "common/fingerprint.h"
+#include "io/checkpoint_manager.h"
 
 namespace comfedsv {
 
@@ -38,6 +39,7 @@ void StreamingValuationEngine::OnRound(const RoundRecord& record) {
   if (ground_truth_ != nullptr) ground_truth_->OnRound(record);
   test_loss_history_.push_back(record.test_loss_before);
   ++rounds_consumed_;
+  ++health_.rounds_since_durable;
 }
 
 Result<ValuationOutcome> StreamingValuationEngine::Snapshot() {
@@ -58,12 +60,25 @@ Result<ValuationOutcome> StreamingValuationEngine::Snapshot() {
           (config_.warm_start && factors_.has_value())
               ? comfedsv_->FinalizeWarm(*factors_, config_.warm_max_iters)
               : comfedsv_->Finalize();
-      if (!solved.ok()) return solved.status();
-      last_output_ = std::move(solved).value();
-      factors_ = FactorPair{last_output_->completion.w,
-                            last_output_->completion.h};
-      last_solve_round_ = rounds_consumed_;
-      ArmSurrogate();
+      if (!solved.ok()) {
+        // Degrade instead of poisoning the stream: the recorders are
+        // untouched by a failed solve, so the last good output is still
+        // a valid (stale) valuation of an earlier prefix. With nothing
+        // to fall back on the error surfaces as before.
+        if (!last_output_.has_value()) return solved.status();
+        health_.degraded = true;
+        ++health_.stale_snapshots;
+        ++health_.consecutive_failures;
+        health_.last_error = solved.status().ToString();
+      } else {
+        health_.degraded = false;
+        health_.consecutive_failures = 0;
+        last_output_ = std::move(solved).value();
+        factors_ = FactorPair{last_output_->completion.w,
+                              last_output_->completion.h};
+        last_solve_round_ = rounds_consumed_;
+        ArmSurrogate();
+      }
     }
     out.comfedsv = *last_output_;
   }
@@ -176,12 +191,12 @@ Status StreamingValuationEngine::RestoreState(BinaryReader* in) {
   int32_t rounds = 0;
   COMFEDSV_RETURN_IF_ERROR(in->I32(&rounds));
   if (rounds < 0) {
-    return Status::InvalidArgument("corrupt engine state: negative rounds");
+    return Status::DataLoss("corrupt engine state: negative rounds");
   }
   uint64_t history_len = 0;
   COMFEDSV_RETURN_IF_ERROR(in->Count(8, &history_len));
   if (history_len != static_cast<uint64_t>(rounds)) {
-    return Status::InvalidArgument(
+    return Status::DataLoss(
         "corrupt engine state: history length mismatch");
   }
   std::vector<double> history(history_len);
@@ -199,7 +214,7 @@ Status StreamingValuationEngine::RestoreState(BinaryReader* in) {
   uint8_t has_factors = 0;
   COMFEDSV_RETURN_IF_ERROR(in->U8(&has_factors));
   if (has_factors > 1) {
-    return Status::InvalidArgument("corrupt engine state: factor flag");
+    return Status::DataLoss("corrupt engine state: factor flag");
   }
   FactorPair factors;
   if (has_factors != 0) {
@@ -222,6 +237,41 @@ Status StreamingValuationEngine::RestoreState(BinaryReader* in) {
   // re-arm the surrogate (the recorder's audit/candidate state came back
   // through LoadEvaluatorStates).
   ArmSurrogate();
+  return Status::Ok();
+}
+
+Status StreamingValuationEngine::SaveCheckpoint(CheckpointManager* manager) {
+  COMFEDSV_CHECK(manager != nullptr);
+  BinaryWriter payload;
+  SaveState(&payload);
+  Status saved =
+      manager->Write(ChunkTag::kStreamingEngineState, payload.buffer());
+  if (saved.ok()) {
+    health_.degraded = false;
+    health_.consecutive_failures = 0;
+    health_.rounds_since_durable = 0;
+  } else {
+    health_.degraded = true;
+    ++health_.checkpoint_failures;
+    ++health_.consecutive_failures;
+    health_.last_error = saved.ToString();
+  }
+  return saved;
+}
+
+Status StreamingValuationEngine::RestoreCheckpoint(
+    CheckpointManager* manager) {
+  COMFEDSV_CHECK(manager != nullptr);
+  Result<CheckpointManager::LoadInfo> loaded = manager->Load(
+      ChunkTag::kStreamingEngineState,
+      [this](std::string_view payload, uint64_t /*sequence*/) {
+        BinaryReader reader(payload);
+        return RestoreState(&reader);
+      });
+  if (!loaded.ok()) return loaded.status();
+  health_.degraded = false;
+  health_.consecutive_failures = 0;
+  health_.rounds_since_durable = 0;
   return Status::Ok();
 }
 

@@ -37,6 +37,31 @@
 
 namespace comfedsv {
 
+class CheckpointManager;  // io/checkpoint_manager.h
+
+/// How the engine's fallible operations (snapshot re-solves, checkpoint
+/// writes) have fared. The engine survives both failure kinds by
+/// retaining its last good state; this reports how much trust that
+/// state deserves right now.
+struct StreamingHealth {
+  /// True while the most recent fallible operation failed; clears as
+  /// soon as one succeeds (the engine recovered).
+  bool degraded = false;
+  /// Snapshot() calls whose re-solve failed and were served from the
+  /// previous solve's output instead.
+  int64_t stale_snapshots = 0;
+  /// SaveCheckpoint() calls that failed after the manager's retries.
+  int64_t checkpoint_failures = 0;
+  /// Failures since the last successful solve/save (0 when healthy).
+  int64_t consecutive_failures = 0;
+  /// Last error observed; empty when none ever occurred.
+  std::string last_error;
+  /// Rounds consumed since the last durable checkpoint (what a crash
+  /// right now would lose). Counts from engine construction until the
+  /// first successful SaveCheckpoint/RestoreCheckpoint.
+  int64_t rounds_since_durable = 0;
+};
+
 /// Streaming-engine policy around a ValuationRequest.
 struct StreamingConfig {
   /// Which metrics to maintain; semantics identical to RunValuation.
@@ -90,7 +115,30 @@ class StreamingValuationEngine : public RoundObserver {
   /// resolve cadence and warm-start policy; FedSV and ground truth are
   /// always current. Requires at least one recorded (non-empty) round
   /// when ComFedSV or the ground truth is on.
+  ///
+  /// Graceful degradation: if the cadence re-solve fails but a previous
+  /// solve's output exists, the snapshot is served from that last good
+  /// output (FedSV / ground truth still current) and health() reports
+  /// the failure instead of the call erroring out. The next successful
+  /// solve clears the degraded state. A solve failure with no previous
+  /// output to fall back on is still an error.
   Result<ValuationOutcome> Snapshot();
+
+  /// Degraded-mode bookkeeping (stale snapshots, failed saves).
+  const StreamingHealth& health() const { return health_; }
+
+  /// Persists the engine state through `manager` (one
+  /// kStreamingEngineState generation; rotation/retry per the manager's
+  /// options). A failure is recorded in health() and returned, but
+  /// leaves the engine fully usable — streaming continues on the
+  /// in-memory state and the next save retries from scratch.
+  Status SaveCheckpoint(CheckpointManager* manager);
+
+  /// Restores the newest resumable generation from `manager`,
+  /// quarantining corrupt ones on the way (salvage). NotFound means
+  /// nothing to restore (the engine is untouched); on other errors
+  /// discard the engine as for RestoreState.
+  Status RestoreCheckpoint(CheckpointManager* manager);
 
   /// Batch-equivalent valuation of the consumed prefix: always a cold
   /// completion solve, bit-identical to RunValuation's outputs on the
@@ -135,6 +183,7 @@ class StreamingValuationEngine : public RoundObserver {
 
   int rounds_consumed_ = 0;
   std::vector<double> test_loss_history_;
+  StreamingHealth health_;
 
   // Warm-start cache: factors and output of the last snapshot solve.
   std::optional<FactorPair> factors_;

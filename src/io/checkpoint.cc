@@ -16,7 +16,7 @@ constexpr uint64_t kMaxDim = std::numeric_limits<int32_t>::max();
 
 Status CheckNonNegative(int64_t v, const char* what) {
   if (v < 0) {
-    return Status::InvalidArgument(std::string(what) +
+    return Status::DataLoss(std::string(what) +
                                    " must be non-negative");
   }
   return Status::Ok();
@@ -68,7 +68,7 @@ Status LoadClientSet(BinaryReader* in, uint64_t num_clients,
   uint64_t count = 0;
   COMFEDSV_RETURN_IF_ERROR(in->Count(4, &count));
   if (count > num_clients) {
-    return Status::InvalidArgument(std::string("corrupt ") + what +
+    return Status::DataLoss(std::string("corrupt ") + what +
                                    ": more entries than clients");
   }
   clients->resize(count);
@@ -77,7 +77,7 @@ Status LoadClientSet(BinaryReader* in, uint64_t num_clients,
     COMFEDSV_RETURN_IF_ERROR(in->I32(&(*clients)[i]));
     if ((*clients)[i] <= prev ||
         (*clients)[i] >= static_cast<int>(num_clients)) {
-      return Status::InvalidArgument(std::string("corrupt ") + what +
+      return Status::DataLoss(std::string("corrupt ") + what +
                                      ": set not sorted in range");
     }
     prev = (*clients)[i];
@@ -103,7 +103,7 @@ Status LoadQuarantineReport(BinaryReader* in, QuarantineReport* q) {
                                          "quarantine drop count"));
   if (loaded.clipped.size() != loaded.rejected.size() ||
       loaded.quarantine_drops.size() != loaded.rejected.size()) {
-    return Status::InvalidArgument(
+    return Status::DataLoss(
         "corrupt quarantine report: counter lengths differ");
   }
   COMFEDSV_RETURN_IF_ERROR(in->I64(&loaded.rounds_degraded));
@@ -113,7 +113,7 @@ Status LoadQuarantineReport(BinaryReader* in, QuarantineReport* q) {
   COMFEDSV_RETURN_IF_ERROR(CheckNonNegative(loaded.rounds_fully_rejected,
                                             "rounds_fully_rejected"));
   if (loaded.rounds_fully_rejected > loaded.rounds_degraded) {
-    return Status::InvalidArgument(
+    return Status::DataLoss(
         "corrupt quarantine report: fully-rejected exceeds degraded");
   }
   *q = loaded;
@@ -186,7 +186,7 @@ Status LoadDataset(BinaryReader* in, Dataset* d) {
   uint64_t num_labels = 0;
   COMFEDSV_RETURN_IF_ERROR(in->Count(4, &num_labels));
   if (num_labels != features.rows()) {
-    return Status::InvalidArgument(
+    return Status::DataLoss(
         "corrupt dataset: label count does not match feature rows");
   }
   std::vector<int> labels(num_labels);
@@ -194,7 +194,7 @@ Status LoadDataset(BinaryReader* in, Dataset* d) {
     int32_t label = 0;
     COMFEDSV_RETURN_IF_ERROR(in->I32(&label));
     if (label < 0 || label >= num_classes) {
-      return Status::InvalidArgument(
+      return Status::DataLoss(
           "corrupt dataset: label out of [0, num_classes)");
     }
     labels[i] = label;
@@ -204,14 +204,14 @@ Status LoadDataset(BinaryReader* in, Dataset* d) {
     // Only the default (empty) dataset has no classes; its constructor
     // requires num_classes > 0, so rebuild it as a default object.
     if (features.rows() != 0 || features.cols() != 0) {
-      return Status::InvalidArgument(
+      return Status::DataLoss(
           "corrupt dataset: zero classes with non-empty features");
     }
     *d = Dataset();
     return Status::Ok();
   }
   if (num_classes < 0) {
-    return Status::InvalidArgument("corrupt dataset: negative num_classes");
+    return Status::DataLoss("corrupt dataset: negative num_classes");
   }
   *d = Dataset(std::move(features), std::move(labels), num_classes);
   return Status::Ok();
@@ -235,14 +235,14 @@ Status LoadRngState(BinaryReader* in, RngState* s) {
   uint8_t has_cached = 0;
   COMFEDSV_RETURN_IF_ERROR(in->U8(&has_cached));
   if (has_cached > 1) {
-    return Status::InvalidArgument("corrupt rng state: bad gaussian flag");
+    return Status::DataLoss("corrupt rng state: bad gaussian flag");
   }
   loaded.has_cached_gaussian = has_cached != 0;
   COMFEDSV_RETURN_IF_ERROR(in->F64(&loaded.cached_gaussian));
   COMFEDSV_RETURN_IF_ERROR(in->EndChunk(end));
   if ((loaded.words[0] | loaded.words[1] | loaded.words[2] |
        loaded.words[3]) == 0) {
-    return Status::InvalidArgument(
+    return Status::DataLoss(
         "corrupt rng state: all-zero xoshiro state");
   }
   *s = loaded;
@@ -277,7 +277,7 @@ Status LoadRoundRecord(BinaryReader* in, RoundRecord* r) {
   for (uint64_t i = 0; i < num_locals; ++i) {
     COMFEDSV_RETURN_IF_ERROR(LoadVector(in, &loaded.local_models[i]));
     if (loaded.local_models[i].size() != loaded.global_before.size()) {
-      return Status::InvalidArgument(
+      return Status::DataLoss(
           "corrupt round record: local model size mismatch");
     }
   }
@@ -289,7 +289,7 @@ Status LoadRoundRecord(BinaryReader* in, RoundRecord* r) {
       in, num_locals, "round record dropped set", &loaded.dropped));
   if (!std::includes(loaded.selected.begin(), loaded.selected.end(),
                      loaded.rejected.begin(), loaded.rejected.end())) {
-    return Status::InvalidArgument(
+    return Status::DataLoss(
         "corrupt round record: rejected set not a subset of selected");
   }
   std::vector<int> overlap;
@@ -297,7 +297,7 @@ Status LoadRoundRecord(BinaryReader* in, RoundRecord* r) {
                         loaded.dropped.begin(), loaded.dropped.end(),
                         std::back_inserter(overlap));
   if (!overlap.empty()) {
-    return Status::InvalidArgument(
+    return Status::DataLoss(
         "corrupt round record: dropped set overlaps selected");
   }
   COMFEDSV_RETURN_IF_ERROR(in->EndChunk(end));
@@ -361,7 +361,7 @@ Status LoadInterner(BinaryReader* in, CoalitionInterner* interner) {
     uint64_t num_members = 0;
     COMFEDSV_RETURN_IF_ERROR(in->Count(4, &num_members));
     if (num_members > static_cast<uint64_t>(universe)) {
-      return Status::InvalidArgument(
+      return Status::DataLoss(
           "corrupt interner: coalition larger than its universe");
     }
     Coalition c(universe);
@@ -370,14 +370,14 @@ Status LoadInterner(BinaryReader* in, CoalitionInterner* interner) {
       int32_t member = 0;
       COMFEDSV_RETURN_IF_ERROR(in->I32(&member));
       if (member <= prev || member >= universe) {
-        return Status::InvalidArgument(
+        return Status::DataLoss(
             "corrupt interner: members not sorted in range");
       }
       c.Add(member);
       prev = member;
     }
     if (loaded.Intern(c) != static_cast<int>(col)) {
-      return Status::InvalidArgument(
+      return Status::DataLoss(
           "corrupt interner: duplicate coalition breaks dense ids");
     }
   }
@@ -407,13 +407,13 @@ Status LoadObservationSet(BinaryReader* in, ObservationSet* obs) {
   COMFEDSV_RETURN_IF_ERROR(in->I32(&num_rows));
   COMFEDSV_RETURN_IF_ERROR(in->I32(&num_cols));
   if (num_rows <= 0 || num_cols <= 0) {
-    return Status::InvalidArgument(
+    return Status::DataLoss(
         "corrupt observation set: non-positive shape");
   }
   uint8_t finalized = 0;
   COMFEDSV_RETURN_IF_ERROR(in->U8(&finalized));
   if (finalized > 1) {
-    return Status::InvalidArgument(
+    return Status::DataLoss(
         "corrupt observation set: bad finalized flag");
   }
   uint64_t count = 0;
@@ -427,7 +427,7 @@ Status LoadObservationSet(BinaryReader* in, ObservationSet* obs) {
     COMFEDSV_RETURN_IF_ERROR(in->I32(&col));
     COMFEDSV_RETURN_IF_ERROR(in->F64(&value));
     if (row < 0 || row >= num_rows || col < 0 || col >= num_cols) {
-      return Status::InvalidArgument(
+      return Status::DataLoss(
           "corrupt observation set: entry out of bounds");
     }
     loaded.Add(row, col, value);
@@ -454,7 +454,7 @@ Status LoadFactorPair(BinaryReader* in, FactorPair* f) {
   COMFEDSV_RETURN_IF_ERROR(LoadMatrix(in, &loaded.w));
   COMFEDSV_RETURN_IF_ERROR(LoadMatrix(in, &loaded.h));
   if (loaded.w.cols() != loaded.h.cols()) {
-    return Status::InvalidArgument(
+    return Status::DataLoss(
         "corrupt factor pair: W and H rank mismatch");
   }
   COMFEDSV_RETURN_IF_ERROR(in->EndChunk(end));
@@ -489,7 +489,7 @@ Status LoadTrainerState(BinaryReader* in, FedAvgTrainerState* s) {
   COMFEDSV_RETURN_IF_ERROR(in->EndChunk(end));
   if (loaded.test_loss_history.size() !=
       static_cast<size_t>(loaded.next_round)) {
-    return Status::InvalidArgument(
+    return Status::DataLoss(
         "corrupt trainer state: loss history length mismatch");
   }
   *s = std::move(loaded);

@@ -1,0 +1,241 @@
+#include "io/checkpoint_manager.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <iomanip>
+#include <sstream>
+#include <thread>
+#include <utility>
+
+#include "common/check.h"
+#include "io/file_env.h"
+
+namespace comfedsv {
+namespace {
+
+constexpr int kSequenceDigits = 8;
+
+/// Parses the `<digits>` of a `<base>.<digits>` generation file name.
+/// Returns false for anything else (the bare file, `.tmp`, `.corrupt`).
+bool ParseGenerationSuffix(const std::string& name, const std::string& base,
+                           uint64_t* sequence) {
+  if (name.size() <= base.size() + 1 || name.compare(0, base.size(), base) ||
+      name[base.size()] != '.') {
+    return false;
+  }
+  uint64_t seq = 0;
+  for (size_t i = base.size() + 1; i < name.size(); ++i) {
+    const char c = name[i];
+    if (c < '0' || c > '9') return false;
+    seq = seq * 10 + static_cast<uint64_t>(c - '0');
+  }
+  *sequence = seq;
+  return true;
+}
+
+std::string DirOf(const std::string& path) {
+  const size_t slash = path.find_last_of('/');
+  return slash == std::string::npos ? std::string(".")
+                                    : path.substr(0, slash);
+}
+
+std::string BaseOf(const std::string& path) {
+  const size_t slash = path.find_last_of('/');
+  return slash == std::string::npos ? path : path.substr(slash + 1);
+}
+
+// Only DataLoss (corrupt bytes) quarantines and falls back to an older
+// generation. FailedPrecondition (version skew, fingerprint mismatch)
+// and InvalidArgument (wrong root tag) mean the file is intact but
+// belongs to a different run or build — propagating preserves the "no
+// silent restart under the wrong inputs" contract, and the file itself
+// is evidence worth keeping in place.
+bool IsSalvageCode(StatusCode code) {
+  return code == StatusCode::kDataLoss;
+}
+
+}  // namespace
+
+CheckpointManager::CheckpointManager(std::string path,
+                                     CheckpointManagerOptions options)
+    : path_(std::move(path)), options_(std::move(options)) {
+  COMFEDSV_CHECK_GT(options_.keep_generations, 0);
+  COMFEDSV_CHECK_GE(options_.max_retries, 0);
+  env_ = options_.env != nullptr ? options_.env : FileEnv::Real();
+  if (!options_.sleeper) {
+    options_.sleeper = [](int ms) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(ms));
+    };
+  }
+}
+
+std::string CheckpointManager::GenerationPath(uint64_t sequence) const {
+  std::ostringstream out;
+  out << path_ << '.' << std::setw(kSequenceDigits) << std::setfill('0')
+      << sequence;
+  return out.str();
+}
+
+std::vector<std::pair<uint64_t, std::string>>
+CheckpointManager::ListGenerations() const {
+  std::vector<std::pair<uint64_t, std::string>> generations;
+  if (!rotated()) {
+    if (env_->Exists(path_)) generations.emplace_back(0, path_);
+    return generations;
+  }
+  const std::string dir = DirOf(path_);
+  const std::string base = BaseOf(path_);
+  auto entries = env_->ListDir(dir);
+  if (!entries.ok()) return generations;
+  for (const std::string& name : entries.value()) {
+    uint64_t seq = 0;
+    if (ParseGenerationSuffix(name, base, &seq)) {
+      generations.emplace_back(seq, dir + "/" + name);
+    }
+  }
+  std::sort(generations.begin(), generations.end());
+  return generations;
+}
+
+void CheckpointManager::InitSequenceFromDisk() {
+  if (sequence_initialized_) return;
+  sequence_initialized_ = true;
+  const auto generations = ListGenerations();
+  for (const auto& [seq, file] : generations) {
+    next_sequence_ = std::max(next_sequence_, seq + 1);
+  }
+}
+
+void CheckpointManager::Backoff(int attempt) {
+  int64_t ms = options_.retry_backoff_ms;
+  ms <<= attempt;
+  if (ms > 0) options_.sleeper(static_cast<int>(std::min<int64_t>(ms, 10'000)));
+}
+
+Status CheckpointManager::Write(ChunkTag root_tag, std::string_view payload) {
+  InitSequenceFromDisk();
+  const uint64_t sequence = next_sequence_;
+  const std::string target = rotated() ? GenerationPath(sequence) : path_;
+  Status st;
+  for (int attempt = 0; attempt <= options_.max_retries; ++attempt) {
+    if (attempt > 0) {
+      ++write_retries_;
+      Backoff(attempt - 1);
+    }
+    st = WriteCheckpointFile(target, root_tag, payload, sequence, env_);
+    if (st.ok()) break;
+    if (st.code() != StatusCode::kUnavailable) return st;
+  }
+  if (!st.ok()) return st;
+  next_sequence_ = sequence + 1;
+  return Prune();
+}
+
+Status CheckpointManager::Prune() {
+  if (!rotated()) return Status::Ok();
+  auto generations = ListGenerations();  // oldest first
+  const size_t keep = static_cast<size_t>(options_.keep_generations);
+  if (generations.size() <= keep) return Status::Ok();
+  Status first_error;
+  for (size_t i = 0; i + keep < generations.size(); ++i) {
+    Status st = env_->Remove(generations[i].second);
+    if (!st.ok() && first_error.ok()) first_error = st;
+  }
+  // A failed prune never fails the checkpoint write — the new
+  // generation is durable; we just retained more history than asked.
+  (void)first_error;
+  return Status::Ok();
+}
+
+Status CheckpointManager::Quarantine(const std::string& file) {
+  ++quarantined_total_;
+  return env_->Rename(file, file + ".corrupt");
+}
+
+Result<CheckpointManager::LoadInfo> CheckpointManager::Load(
+    ChunkTag root_tag, const Restorer& restore) {
+  InitSequenceFromDisk();
+  auto generations = ListGenerations();
+  if (rotated() && env_->Exists(path_)) {
+    // A bare legacy file counts as the oldest candidate, so switching a
+    // stream from single-file to rotated mode resumes seamlessly.
+    generations.insert(generations.begin(), {0, path_});
+  }
+  if (generations.empty()) {
+    return Status::NotFound("no checkpoint at " + path_);
+  }
+  int quarantined = 0;
+  Status last_error;
+  for (auto it = generations.rbegin(); it != generations.rend(); ++it) {
+    const std::string& file = it->second;
+    uint64_t sequence = 0;
+    Result<std::string> payload = Status::Internal("unread");
+    for (int attempt = 0; attempt <= options_.max_retries; ++attempt) {
+      if (attempt > 0) Backoff(attempt - 1);
+      payload = ReadCheckpointFile(file, root_tag, env_, &sequence);
+      if (payload.ok() ||
+          payload.status().code() != StatusCode::kUnavailable) {
+        break;
+      }
+    }
+    if (!payload.ok()) {
+      const StatusCode code = payload.status().code();
+      if (code == StatusCode::kNotFound) continue;  // pruned under us
+      if (!IsSalvageCode(code)) return payload.status();  // environment down
+      last_error = payload.status();
+      COMFEDSV_RETURN_IF_ERROR(Quarantine(file));
+      ++quarantined;
+      continue;
+    }
+    if (restore) {
+      Status st = restore(payload.value(), sequence);
+      if (!st.ok()) {
+        if (!IsSalvageCode(st.code())) return st;
+        last_error = st;
+        COMFEDSV_RETURN_IF_ERROR(Quarantine(file));
+        ++quarantined;
+        continue;
+      }
+    }
+    next_sequence_ = std::max(next_sequence_, sequence + 1);
+    LoadInfo info;
+    info.payload = std::move(payload).value();
+    info.sequence = sequence;
+    info.file = file;
+    info.quarantined = quarantined;
+    return info;
+  }
+  return Status::DataLoss(
+      "every checkpoint generation at " + path_ + " failed validation (" +
+      std::to_string(quarantined) + " quarantined; last error: " +
+      last_error.ToString() + ")");
+}
+
+Result<int> CheckpointManager::SweepOrphans() {
+  const std::string dir = DirOf(path_);
+  const std::string base = BaseOf(path_);
+  auto entries = env_->ListDir(dir);
+  if (!entries.ok()) {
+    if (entries.status().code() == StatusCode::kNotFound) return 0;
+    return entries.status();
+  }
+  int swept = 0;
+  constexpr std::string_view kTmp = ".tmp";
+  for (const std::string& name : entries.value()) {
+    if (name.size() <= kTmp.size() ||
+        name.compare(name.size() - kTmp.size(), kTmp.size(), kTmp) != 0) {
+      continue;
+    }
+    // `<base>.tmp` (legacy) or `<base>.<seq>.tmp` (rotated) only — a
+    // sweep must never eat another stream's temp files.
+    const std::string stem = name.substr(0, name.size() - kTmp.size());
+    uint64_t seq = 0;
+    if (stem != base && !ParseGenerationSuffix(stem, base, &seq)) continue;
+    COMFEDSV_RETURN_IF_ERROR(env_->Remove(dir + "/" + name));
+    ++swept;
+  }
+  return swept;
+}
+
+}  // namespace comfedsv

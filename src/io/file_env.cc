@@ -1,0 +1,284 @@
+#include "io/file_env.h"
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <system_error>
+
+#ifndef _WIN32
+#include <fcntl.h>
+#include <unistd.h>
+#endif
+
+#include "common/failpoint.h"
+
+namespace comfedsv {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string ErrnoMessage(const std::string& op, const std::string& path) {
+  return op + " failed for '" + path + "': " + std::strerror(errno);
+}
+
+/// fsync an already-open descriptor-by-path. POSIX only; on other
+/// platforms durability is best-effort and this returns Ok.
+Status FsyncPath(const std::string& path, bool directory) {
+#ifndef _WIN32
+  int flags = O_RDONLY;
+#ifdef O_DIRECTORY
+  if (directory) flags |= O_DIRECTORY;
+#endif
+  const int fd = ::open(path.c_str(), flags);
+  if (fd < 0) {
+    return Status::Unavailable(
+        ErrnoMessage(directory ? "open directory" : "open", path));
+  }
+  const int rc = ::fsync(fd);
+  const int saved_errno = errno;
+  ::close(fd);
+  if (rc != 0) {
+    errno = saved_errno;
+    return Status::Unavailable(ErrnoMessage("fsync", path));
+  }
+#else
+  (void)path;
+  (void)directory;
+#endif
+  return Status::Ok();
+}
+
+}  // namespace
+
+Status FileEnv::WriteFile(const std::string& path, std::string_view data) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    return Status::Unavailable("cannot open '" + path + "' for writing");
+  }
+  out.write(data.data(), static_cast<std::streamsize>(data.size()));
+  out.flush();
+  if (!out) {
+    return Status::Unavailable("short write to '" + path + "'");
+  }
+  out.close();
+  if (!out) {
+    return Status::Unavailable("close failed for '" + path + "'");
+  }
+  return Status::Ok();
+}
+
+Status FileEnv::SyncFile(const std::string& path) {
+  return FsyncPath(path, /*directory=*/false);
+}
+
+Status FileEnv::Rename(const std::string& from, const std::string& to) {
+  std::error_code ec;
+  fs::rename(from, to, ec);
+  if (ec) {
+    return Status::Unavailable("rename '" + from + "' -> '" + to +
+                               "' failed: " + ec.message());
+  }
+  return Status::Ok();
+}
+
+Status FileEnv::SyncDir(const std::string& dir) {
+  return FsyncPath(dir, /*directory=*/true);
+}
+
+Result<std::string> FileEnv::ReadFile(const std::string& path) {
+  std::error_code ec;
+  const fs::file_status st = fs::status(path, ec);
+  if (ec || st.type() == fs::file_type::not_found) {
+    return Status::NotFound("no such file: '" + path + "'");
+  }
+  if (st.type() == fs::file_type::directory) {
+    return Status::InvalidArgument("'" + path + "' is a directory");
+  }
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return Status::Unavailable("cannot open '" + path + "' for reading");
+  }
+  std::string data((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  if (in.bad()) {
+    return Status::Unavailable("read failed for '" + path + "'");
+  }
+  return data;
+}
+
+Status FileEnv::Remove(const std::string& path) {
+  std::error_code ec;
+  fs::remove(path, ec);  // removing a missing file is not an error
+  if (ec) {
+    return Status::Unavailable("remove '" + path +
+                               "' failed: " + ec.message());
+  }
+  return Status::Ok();
+}
+
+Result<std::vector<std::string>> FileEnv::ListDir(const std::string& dir) {
+  std::error_code ec;
+  if (!fs::is_directory(dir, ec) || ec) {
+    return Status::NotFound("no such directory: '" + dir + "'");
+  }
+  std::vector<std::string> names;
+  for (fs::directory_iterator it(dir, ec), end; !ec && it != end;
+       it.increment(ec)) {
+    names.push_back(it->path().filename().string());
+  }
+  if (ec) {
+    return Status::Unavailable("listing '" + dir +
+                               "' failed: " + ec.message());
+  }
+  return names;
+}
+
+bool FileEnv::Exists(const std::string& path) {
+  std::error_code ec;
+  return fs::exists(path, ec) && !ec;
+}
+
+FileEnv* FileEnv::Real() {
+  static FileEnv* env = new FileEnv();
+  return env;
+}
+
+namespace failpoints {
+
+const std::vector<std::string>& All() {
+  static const std::vector<std::string>* all = new std::vector<std::string>{
+      kWriteFile, kSyncFile, kRename, kSyncDir, kReadFile, kRemove, kListDir};
+  return *all;
+}
+
+}  // namespace failpoints
+
+namespace {
+
+/// Truncate `path` to its first `n` bytes (clamped to current size) —
+/// the on-disk effect of a torn write or post-crash data loss.
+void TruncateTo(FileEnv* env, const std::string& path, int64_t n) {
+  auto data = env->ReadFile(path);
+  if (!data.ok()) return;
+  std::string& bytes = data.value();
+  if (n < 0) n = 0;
+  if (static_cast<size_t>(n) < bytes.size()) {
+    bytes.resize(static_cast<size_t>(n));
+  }
+  (void)env->WriteFile(path, bytes);
+}
+
+}  // namespace
+
+Status FaultInjectingFileEnv::Check(const char* name,
+                                    std::string_view write_data,
+                                    const std::string& write_path) {
+  if (crashed_) {
+    return Status::Unavailable(std::string("crashed: ") + name +
+                               " refused");
+  }
+  auto fire = FailpointRegistry::Global().Hit(name);
+  if (!fire.has_value()) return Status::Ok();
+  switch (static_cast<FaultAction>(fire->action)) {
+    case FaultAction::kError:
+      return Status::Unavailable(std::string("injected I/O error at ") +
+                                 name);
+    case FaultAction::kEnospc:
+    case FaultAction::kShortWrite:
+      if (!write_path.empty()) {
+        // Leave the torn prefix behind, like a real partial write.
+        (void)base_->WriteFile(
+            write_path,
+            write_data.substr(
+                0, std::min<size_t>(write_data.size(),
+                                    static_cast<size_t>(
+                                        std::max<int64_t>(0, fire->arg)))));
+      }
+      return Status::Unavailable(
+          static_cast<FaultAction>(fire->action) == FaultAction::kEnospc
+              ? std::string("injected ENOSPC at ") + name
+              : std::string("injected short write at ") + name);
+    case FaultAction::kTornRename:
+      // Handled by Rename() itself — here it degrades to an error.
+      return Status::Unavailable(std::string("injected torn rename at ") +
+                                 name);
+    case FaultAction::kCrash:
+      crashed_ = true;
+      if (!write_path.empty()) {
+        (void)base_->WriteFile(
+            write_path,
+            write_data.substr(
+                0, std::min<size_t>(write_data.size(),
+                                    static_cast<size_t>(
+                                        std::max<int64_t>(0, fire->arg)))));
+      }
+      return Status::Unavailable(std::string("injected crash at ") + name);
+  }
+  return Status::Unavailable(std::string("injected fault at ") + name);
+}
+
+Status FaultInjectingFileEnv::WriteFile(const std::string& path,
+                                        std::string_view data) {
+  COMFEDSV_RETURN_IF_ERROR(Check(failpoints::kWriteFile, data, path));
+  return base_->WriteFile(path, data);
+}
+
+Status FaultInjectingFileEnv::SyncFile(const std::string& path) {
+  COMFEDSV_RETURN_IF_ERROR(Check(failpoints::kSyncFile, {}, {}));
+  return base_->SyncFile(path);
+}
+
+Status FaultInjectingFileEnv::Rename(const std::string& from,
+                                     const std::string& to) {
+  if (crashed_) {
+    return Status::Unavailable("crashed: io/rename refused");
+  }
+  auto fire = FailpointRegistry::Global().Hit(failpoints::kRename);
+  if (fire.has_value()) {
+    switch (static_cast<FaultAction>(fire->action)) {
+      case FaultAction::kTornRename: {
+        // The rename lands but the renamed file's tail does not: the
+        // directory entry was durable before the data blocks were.
+        COMFEDSV_RETURN_IF_ERROR(base_->Rename(from, to));
+        TruncateTo(base_, to, fire->arg);
+        return Status::Ok();
+      }
+      case FaultAction::kCrash:
+        crashed_ = true;
+        return Status::Unavailable("injected crash at io/rename");
+      default:
+        return Status::Unavailable("injected I/O error at io/rename");
+    }
+  }
+  return base_->Rename(from, to);
+}
+
+Status FaultInjectingFileEnv::SyncDir(const std::string& dir) {
+  COMFEDSV_RETURN_IF_ERROR(Check(failpoints::kSyncDir, {}, {}));
+  return base_->SyncDir(dir);
+}
+
+Result<std::string> FaultInjectingFileEnv::ReadFile(const std::string& path) {
+  COMFEDSV_RETURN_IF_ERROR(Check(failpoints::kReadFile, {}, {}));
+  return base_->ReadFile(path);
+}
+
+Status FaultInjectingFileEnv::Remove(const std::string& path) {
+  COMFEDSV_RETURN_IF_ERROR(Check(failpoints::kRemove, {}, {}));
+  return base_->Remove(path);
+}
+
+Result<std::vector<std::string>> FaultInjectingFileEnv::ListDir(
+    const std::string& dir) {
+  COMFEDSV_RETURN_IF_ERROR(Check(failpoints::kListDir, {}, {}));
+  return base_->ListDir(dir);
+}
+
+bool FaultInjectingFileEnv::Exists(const std::string& path) {
+  return base_->Exists(path);
+}
+
+}  // namespace comfedsv

@@ -1,18 +1,10 @@
 #include "io/serialize.h"
 
 #include <bit>
-#include <cstdio>
-#include <filesystem>
-#include <fstream>
 #include <sstream>
-#include <system_error>
-
-#ifndef _WIN32
-#include <fcntl.h>
-#include <unistd.h>
-#endif
 
 #include "common/check.h"
+#include "io/file_env.h"
 
 namespace comfedsv {
 namespace {
@@ -22,14 +14,26 @@ namespace {
 //   [4, 8)   format version
 //   [8, 12)  root chunk tag
 //   [12, 20) payload length in bytes
-//   [20, 28) FNV-1a 64 checksum of the payload
-//   [28, ..) payload (one complete root chunk)
-constexpr size_t kFileHeaderBytes = 28;
+//   [20, 28) sequence number (monotonic per checkpoint stream)
+//   [28, 36) FNV-1a 64 checksum of bytes [0, 28) followed by the payload
+//   [36, ..) payload (one complete root chunk)
+//
+// The checksum covering the header prefix (not just the payload) means a
+// flipped bit in *any* stored field — including the sequence number —
+// fails the load instead of silently reordering generations.
+constexpr size_t kChecksumOffset = 28;
+constexpr size_t kFileHeaderBytes = 36;
 
 std::string TagName(uint32_t tag) {
   std::ostringstream out;
   out << "tag " << tag;
   return out.str();
+}
+
+std::string DirOf(const std::string& path) {
+  const size_t slash = path.find_last_of('/');
+  return slash == std::string::npos ? std::string(".")
+                                    : path.substr(0, slash + 1);
 }
 
 }  // namespace
@@ -161,8 +165,8 @@ Status BinaryReader::Count(size_t element_size, uint64_t* count) {
   return Status::Ok();
 }
 
-uint64_t Fnv1a64(std::string_view bytes) {
-  uint64_t hash = 0xcbf29ce484222325ULL;
+uint64_t Fnv1a64(std::string_view bytes, uint64_t seed) {
+  uint64_t hash = seed;
   for (char c : bytes) {
     hash ^= static_cast<uint8_t>(c);
     hash *= 0x100000001b3ULL;
@@ -171,97 +175,83 @@ uint64_t Fnv1a64(std::string_view bytes) {
 }
 
 Status WriteCheckpointFile(const std::string& path, ChunkTag root_tag,
-                           std::string_view payload) {
-  BinaryWriter header;
-  header.U32(kCheckpointMagic);
-  header.U32(kCheckpointVersion);
-  header.U32(static_cast<uint32_t>(root_tag));
-  header.U64(payload.size());
-  header.U64(Fnv1a64(payload));
+                           std::string_view payload, uint64_t sequence,
+                           FileEnv* env) {
+  if (env == nullptr) env = FileEnv::Real();
 
-  const std::string tmp_path = path + ".tmp";
-  {
-    std::ofstream file(tmp_path, std::ios::binary | std::ios::trunc);
-    if (!file) {
-      return Status::Internal("cannot open " + tmp_path + " for writing");
-    }
-    file.write(header.buffer().data(),
-               static_cast<std::streamsize>(header.buffer().size()));
-    file.write(payload.data(), static_cast<std::streamsize>(payload.size()));
-    file.flush();
-    if (!file) {
-      return Status::Internal("short write to " + tmp_path);
-    }
-  }
-#ifndef _WIN32
-  // Flushing the stream only reaches the page cache; without an fsync a
-  // system crash can persist the rename while the data blocks are lost,
-  // leaving a checkpoint the loader rejects — and the resume path
-  // deliberately refuses to silently restart from scratch on a corrupt
-  // file. Sync the data before the rename makes it visible.
-  {
-    const int fd = open(tmp_path.c_str(), O_RDONLY);
-    if (fd < 0 || fsync(fd) != 0) {
-      if (fd >= 0) close(fd);
-      std::remove(tmp_path.c_str());
-      return Status::Internal("cannot fsync " + tmp_path);
-    }
-    close(fd);
-  }
-#endif
-  // Atomic replace: a crash before the rename leaves the previous
+  BinaryWriter prefix;
+  prefix.U32(kCheckpointMagic);
+  prefix.U32(kCheckpointVersion);
+  prefix.U32(static_cast<uint32_t>(root_tag));
+  prefix.U64(payload.size());
+  prefix.U64(sequence);
+  COMFEDSV_CHECK_EQ(prefix.size(), kChecksumOffset);
+
+  std::string file_bytes;
+  file_bytes.reserve(kFileHeaderBytes + payload.size());
+  file_bytes.append(prefix.buffer());
+  BinaryWriter checksum;
+  checksum.U64(Fnv1a64(payload, Fnv1a64(prefix.buffer())));
+  file_bytes.append(checksum.buffer());
+  file_bytes.append(payload);
+
+  // Write + fsync the temp file, then atomically rename it over the
+  // destination: a crash before the rename leaves the previous
   // checkpoint intact; a crash after it leaves the new one. There is no
-  // in-between state a reader can observe. std::filesystem::rename
-  // (unlike C rename) replaces an existing destination on every
-  // platform.
-  std::error_code rename_error;
-  std::filesystem::rename(tmp_path, path, rename_error);
-  if (rename_error) {
-    std::remove(tmp_path.c_str());
-    return Status::Internal("cannot rename " + tmp_path + " over " + path +
-                            ": " + rename_error.message());
+  // in-between state a reader can observe. The fsync before the rename
+  // matters — without it a system crash can persist the rename while
+  // the data blocks are lost, leaving a checkpoint the loader rejects.
+  // Every failure path removes its temp file so retries and startup
+  // sweeps never trip over stale `.tmp` debris.
+  const std::string tmp_path = path + ".tmp";
+  Status st = env->WriteFile(tmp_path, file_bytes);
+  if (!st.ok()) {
+    (void)env->Remove(tmp_path);
+    return st;
   }
-#ifndef _WIN32
-  // Persist the rename itself (the directory entry). Failure here is
-  // not fatal to the checkpoint's correctness — the old or new file
-  // survives either way — so best-effort.
-  const size_t slash = path.find_last_of('/');
-  const std::string dir = slash == std::string::npos
-                              ? std::string(".")
-                              : path.substr(0, slash + 1);
-  const int dir_fd = open(dir.c_str(), O_RDONLY | O_DIRECTORY);
-  if (dir_fd >= 0) {
-    fsync(dir_fd);
-    close(dir_fd);
+  st = env->SyncFile(tmp_path);
+  if (!st.ok()) {
+    (void)env->Remove(tmp_path);
+    return st;
   }
-#endif
-  return Status::Ok();
+  st = env->Rename(tmp_path, path);
+  if (!st.ok()) {
+    (void)env->Remove(tmp_path);
+    return st;
+  }
+  // Persist the rename itself (the directory entry). On failure the
+  // write is reported failed even though the data may have survived:
+  // the caller cannot count on the rename being durable across a system
+  // crash, and a retried write of the same bytes is idempotent.
+  return env->SyncDir(DirOf(path));
 }
 
 Result<std::string> ReadCheckpointFile(const std::string& path,
-                                       ChunkTag expected_root_tag) {
-  std::ifstream file(path, std::ios::binary);
-  if (!file) {
-    return Status::NotFound("cannot open checkpoint file " + path);
+                                       ChunkTag expected_root_tag,
+                                       FileEnv* env, uint64_t* sequence) {
+  if (env == nullptr) env = FileEnv::Real();
+  Result<std::string> raw_or = env->ReadFile(path);
+  if (!raw_or.ok()) {
+    if (raw_or.status().code() == StatusCode::kNotFound) {
+      return Status::NotFound("cannot open checkpoint file " + path);
+    }
+    return raw_or.status();
   }
-  std::ostringstream contents;
-  contents << file.rdbuf();
-  std::string raw = std::move(contents).str();
+  const std::string raw = std::move(raw_or).value();
 
   if (raw.size() < kFileHeaderBytes) {
-    return Status::OutOfRange("checkpoint file truncated: no header");
+    return Status::DataLoss("checkpoint file truncated: no header");
   }
   BinaryReader reader(raw);
   uint32_t magic = 0, version = 0, tag = 0;
-  uint64_t payload_len = 0, checksum = 0;
+  uint64_t payload_len = 0, seq = 0, checksum = 0;
   COMFEDSV_RETURN_IF_ERROR(reader.U32(&magic));
   if (magic != kCheckpointMagic) {
-    return Status::InvalidArgument(path + " is not a checkpoint file "
-                                   "(bad magic)");
+    return Status::DataLoss(path + " is not a checkpoint file (bad magic)");
   }
   COMFEDSV_RETURN_IF_ERROR(reader.U32(&version));
   if (version != kCheckpointVersion) {
-    return Status::InvalidArgument(
+    return Status::FailedPrecondition(
         "unsupported checkpoint format version " + std::to_string(version) +
         " (this build reads version " +
         std::to_string(kCheckpointVersion) + ")");
@@ -273,16 +263,19 @@ Result<std::string> ReadCheckpointFile(const std::string& path,
         TagName(static_cast<uint32_t>(expected_root_tag)));
   }
   COMFEDSV_RETURN_IF_ERROR(reader.U64(&payload_len));
+  COMFEDSV_RETURN_IF_ERROR(reader.U64(&seq));
   COMFEDSV_RETURN_IF_ERROR(reader.U64(&checksum));
   if (payload_len != raw.size() - kFileHeaderBytes) {
-    return Status::OutOfRange("checkpoint file truncated or padded: "
-                              "payload length mismatch");
+    return Status::DataLoss("checkpoint file truncated or padded: "
+                            "payload length mismatch");
   }
-  std::string payload = raw.substr(kFileHeaderBytes);
-  if (Fnv1a64(payload) != checksum) {
-    return Status::InvalidArgument("checkpoint payload corrupt: "
-                                   "checksum mismatch");
+  const std::string_view view(raw);
+  const std::string payload(view.substr(kFileHeaderBytes));
+  if (Fnv1a64(payload, Fnv1a64(view.substr(0, kChecksumOffset))) !=
+      checksum) {
+    return Status::DataLoss("checkpoint corrupt: checksum mismatch");
   }
+  if (sequence != nullptr) *sequence = seq;
   return payload;
 }
 

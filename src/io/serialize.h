@@ -29,12 +29,18 @@
 
 namespace comfedsv {
 
+class FileEnv;
+
 /// First four bytes of every checkpoint file: "CFSV".
 inline constexpr uint32_t kCheckpointMagic = 0x56534643u;
 /// Format version written by this build; readers reject any other.
 /// v2: RoundRecord gained rejected/dropped client sets; trainer state
 /// and training result gained the aggregation-guard QuarantineReport.
-inline constexpr uint32_t kCheckpointVersion = 2;
+/// v3: the header gained a u64 sequence number (monotonic per
+/// checkpoint stream, used by CheckpointManager generation rotation)
+/// and the checksum now covers the header prefix as well as the
+/// payload, so corruption of any header field is detected.
+inline constexpr uint32_t kCheckpointVersion = 3;
 
 /// Chunk type tags. Stable on disk — append, never renumber.
 enum class ChunkTag : uint32_t {
@@ -123,23 +129,43 @@ class BinaryReader {
   size_t pos_ = 0;
 };
 
-/// FNV-1a 64-bit checksum (the file-header integrity check).
-uint64_t Fnv1a64(std::string_view bytes);
+/// FNV-1a 64-bit checksum (the file-header integrity check). Pass a
+/// previous return value as `seed` to checksum a discontiguous span.
+uint64_t Fnv1a64(std::string_view bytes,
+                 uint64_t seed = 0xcbf29ce484222325ULL);
 
 /// Serializes `payload` (the body of a root chunk with tag `root_tag`)
 /// into the checkpoint file container: header (magic, version, tag,
-/// length, checksum) + payload, written to `path + ".tmp"` and renamed
-/// over `path` so a crash mid-write never leaves a half-written
-/// checkpoint behind.
+/// length, sequence, checksum) + payload, written to `path + ".tmp"`
+/// and renamed over `path` so a crash mid-write never leaves a
+/// half-written checkpoint behind. Every failure path removes its
+/// `.tmp`; a directory-fsync failure after the rename is surfaced as
+/// non-OK (the rename may not be durable — callers treat the write as
+/// failed and retry).
+///
+/// `sequence` is stored in the header and returned by
+/// ReadCheckpointFile — CheckpointManager uses it to order rotated
+/// generations. All I/O goes through `env` (nullptr = the real
+/// filesystem).
 Status WriteCheckpointFile(const std::string& path, ChunkTag root_tag,
-                           std::string_view payload);
+                           std::string_view payload, uint64_t sequence = 0,
+                           FileEnv* env = nullptr);
 
 /// Reads a checkpoint file and validates magic, version, root tag,
 /// payload length, and checksum. Returns the payload bytes (the root
-/// chunk body) on success; any mismatch or short read is an error
-/// Status identifying what failed.
+/// chunk body) on success and, when `sequence` is non-null, the
+/// header's sequence number.
+///
+/// Error codes follow the salvage contract:
+///   * NotFound           — no file at `path`
+///   * DataLoss           — truncation, bad magic, or checksum mismatch
+///   * FailedPrecondition — format version skew
+///   * InvalidArgument    — wrong root tag, or `path` is a directory
+///   * Unavailable        — transient read failure
 Result<std::string> ReadCheckpointFile(const std::string& path,
-                                       ChunkTag expected_root_tag);
+                                       ChunkTag expected_root_tag,
+                                       FileEnv* env = nullptr,
+                                       uint64_t* sequence = nullptr);
 
 }  // namespace comfedsv
 

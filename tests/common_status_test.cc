@@ -24,6 +24,8 @@ TEST(StatusTest, FactoryConstructorsSetCodeAndMessage) {
   EXPECT_EQ(Status::Internal("x").code(), StatusCode::kInternal);
   EXPECT_EQ(Status::NotImplemented("x").code(), StatusCode::kNotImplemented);
   EXPECT_EQ(Status::NumericalError("x").code(), StatusCode::kNumericalError);
+  EXPECT_EQ(Status::DataLoss("x").code(), StatusCode::kDataLoss);
+  EXPECT_EQ(Status::Unavailable("x").code(), StatusCode::kUnavailable);
   EXPECT_EQ(Status::InvalidArgument("bad").message(), "bad");
 }
 
@@ -42,6 +44,8 @@ TEST(StatusTest, StatusCodeNameCoversAllCodes) {
   EXPECT_STREQ(StatusCodeName(StatusCode::kOk), "OK");
   EXPECT_STREQ(StatusCodeName(StatusCode::kNumericalError),
                "NumericalError");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kDataLoss), "DataLoss");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kUnavailable), "Unavailable");
 }
 
 TEST(ResultTest, HoldsValue) {
