@@ -37,20 +37,20 @@ void FailpointRegistry::Arm(const std::string& name,
                             FailpointTrigger trigger, int action,
                             int64_t arg) {
   COMFEDSV_CHECK_GT(trigger.n, 0);
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   armed_[name] = Armed{trigger, action, arg};
   counts_[name] = 0;
   enabled_.store(true, std::memory_order_release);
 }
 
 void FailpointRegistry::Clear(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   armed_.erase(name);
   enabled_.store(!armed_.empty() || tracing_, std::memory_order_release);
 }
 
 void FailpointRegistry::ClearAll() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   armed_.clear();
   counts_.clear();
   tracing_ = false;
@@ -58,7 +58,7 @@ void FailpointRegistry::ClearAll() {
 }
 
 void FailpointRegistry::set_tracing(bool tracing) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   tracing_ = tracing;
   enabled_.store(!armed_.empty() || tracing_, std::memory_order_release);
 }
@@ -66,7 +66,7 @@ void FailpointRegistry::set_tracing(bool tracing) {
 std::optional<FailpointFire> FailpointRegistry::Hit(
     const std::string& name) {
   if (!enabled_.load(std::memory_order_acquire)) return std::nullopt;
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = armed_.find(name);
   if (it == armed_.end()) {
     if (tracing_) ++counts_[name];
@@ -108,14 +108,14 @@ bool FailpointRegistry::Fires(Armed* armed, int64_t hit) {
 }
 
 int64_t FailpointRegistry::hits(const std::string& name) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = counts_.find(name);
   return it == counts_.end() ? 0 : it->second;
 }
 
 std::vector<std::pair<std::string, int64_t>> FailpointRegistry::HitCounts()
     const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return {counts_.begin(), counts_.end()};
 }
 

@@ -23,11 +23,12 @@
 #include <atomic>
 #include <cstdint>
 #include <map>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <utility>
 #include <vector>
+
+#include "common/thread_annotations.h"
 
 namespace comfedsv {
 
@@ -98,13 +99,15 @@ class FailpointRegistry {
     int64_t arg = 0;
   };
 
-  bool Fires(Armed* armed, int64_t hit);
+  bool Fires(Armed* armed, int64_t hit) REQUIRES(mu_);
 
-  mutable std::mutex mu_;
-  std::map<std::string, Armed> armed_;
-  std::map<std::string, int64_t> counts_;
-  std::atomic<bool> enabled_{false};  // armed_ non-empty or tracing_
-  bool tracing_ = false;
+  mutable Mutex mu_;
+  std::map<std::string, Armed> armed_ GUARDED_BY(mu_);
+  std::map<std::string, int64_t> counts_ GUARDED_BY(mu_);
+  // Fast-path gate (armed_ non-empty or tracing_): read without mu_ so an
+  // unarmed Hit() stays one relaxed load; always written under mu_.
+  std::atomic<bool> enabled_{false};
+  bool tracing_ GUARDED_BY(mu_) = false;
 };
 
 }  // namespace comfedsv

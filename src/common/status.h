@@ -38,7 +38,12 @@ const char* StatusCodeName(StatusCode code);
 /// Outcome of a fallible operation: a code plus, on failure, a message.
 ///
 /// An Ok status carries no allocation. Statuses are cheap to copy and move.
-class Status {
+///
+/// [[nodiscard]]: silently dropping a Status return hides failures, so the
+/// compiler flags every discard. Intentional drops must be written as
+/// `(void)Fn();` with a comment saying why failure is ignorable — detlint's
+/// discarded-status rule is the backstop for files built without warnings.
+class [[nodiscard]] Status {
  public:
   /// Constructs an Ok status.
   Status() : code_(StatusCode::kOk) {}
@@ -94,7 +99,7 @@ class Status {
 /// A value or an error Status. Accessing the value of a failed Result is a
 /// checked fatal error.
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   /// Implicit construction from a value (success).
   Result(T value) : storage_(std::move(value)) {}  // NOLINT

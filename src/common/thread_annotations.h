@@ -1,0 +1,128 @@
+// Clang thread-safety-analysis annotations plus the annotated lock
+// primitives the library's lock-holding classes use.
+//
+// The macros expand to Clang `capability` attributes under Clang and to
+// nothing elsewhere, so GCC builds are unaffected. The dedicated
+// `thread-safety` CI job compiles with clang and
+// `-Wthread-safety -Werror=thread-safety` (-DCOMFEDSV_THREAD_SAFETY=ON),
+// turning every unguarded access to a GUARDED_BY member into a build
+// failure — the compile-time leg of the determinism contract that
+// tests/determinism_test.cc checks dynamically.
+//
+// Conventions (README "Static analysis & correctness tooling"):
+//   * every mutex-protected member is declared GUARDED_BY(mu_) (or
+//     PT_GUARDED_BY for pointees mutated under the lock);
+//   * lock-holding classes use comfedsv::Mutex / MutexLock below, never
+//     raw std::mutex — std::mutex carries no capability annotations on
+//     libstdc++, so the analysis cannot see it being acquired;
+//   * condition waits use CondVar (std::condition_variable_any) with the
+//     Mutex passed directly and an explicit while-loop predicate, so the
+//     guarded reads in the predicate sit in annotated scope;
+//   * helper functions called with the lock held are annotated
+//     REQUIRES(mu_); functions that must not be called with it held are
+//     EXCLUDES(mu_).
+#ifndef COMFEDSV_COMMON_THREAD_ANNOTATIONS_H_
+#define COMFEDSV_COMMON_THREAD_ANNOTATIONS_H_
+
+#include <condition_variable>
+#include <mutex>
+
+#if defined(__clang__) && !defined(SWIG)
+#define COMFEDSV_THREAD_ANNOTATION__(x) __attribute__((x))
+#else
+#define COMFEDSV_THREAD_ANNOTATION__(x)  // no-op outside Clang
+#endif
+
+#define CAPABILITY(x) COMFEDSV_THREAD_ANNOTATION__(capability(x))
+
+#define SCOPED_CAPABILITY COMFEDSV_THREAD_ANNOTATION__(scoped_lockable)
+
+#define GUARDED_BY(x) COMFEDSV_THREAD_ANNOTATION__(guarded_by(x))
+
+#define PT_GUARDED_BY(x) COMFEDSV_THREAD_ANNOTATION__(pt_guarded_by(x))
+
+#define ACQUIRED_BEFORE(...) \
+  COMFEDSV_THREAD_ANNOTATION__(acquired_before(__VA_ARGS__))
+
+#define ACQUIRED_AFTER(...) \
+  COMFEDSV_THREAD_ANNOTATION__(acquired_after(__VA_ARGS__))
+
+#define REQUIRES(...) \
+  COMFEDSV_THREAD_ANNOTATION__(requires_capability(__VA_ARGS__))
+
+#define REQUIRES_SHARED(...) \
+  COMFEDSV_THREAD_ANNOTATION__(requires_shared_capability(__VA_ARGS__))
+
+#define ACQUIRE(...) \
+  COMFEDSV_THREAD_ANNOTATION__(acquire_capability(__VA_ARGS__))
+
+#define ACQUIRE_SHARED(...) \
+  COMFEDSV_THREAD_ANNOTATION__(acquire_shared_capability(__VA_ARGS__))
+
+#define RELEASE(...) \
+  COMFEDSV_THREAD_ANNOTATION__(release_capability(__VA_ARGS__))
+
+#define RELEASE_SHARED(...) \
+  COMFEDSV_THREAD_ANNOTATION__(release_shared_capability(__VA_ARGS__))
+
+#define TRY_ACQUIRE(...) \
+  COMFEDSV_THREAD_ANNOTATION__(try_acquire_capability(__VA_ARGS__))
+
+#define EXCLUDES(...) COMFEDSV_THREAD_ANNOTATION__(locks_excluded(__VA_ARGS__))
+
+#define ASSERT_CAPABILITY(x) \
+  COMFEDSV_THREAD_ANNOTATION__(assert_capability(x))
+
+#define RETURN_CAPABILITY(x) COMFEDSV_THREAD_ANNOTATION__(lock_returned(x))
+
+#define NO_THREAD_SAFETY_ANALYSIS \
+  COMFEDSV_THREAD_ANNOTATION__(no_thread_safety_analysis)
+
+namespace comfedsv {
+
+/// std::mutex wrapped as a Clang capability. BasicLockable (lowercase
+/// lock/unlock), so it also works with std::lock_guard, std::unique_lock
+/// and std::condition_variable_any — though annotated code should prefer
+/// MutexLock, which the analysis tracks.
+class CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() ACQUIRE() { mu_.lock(); }
+  void unlock() RELEASE() { mu_.unlock(); }
+  bool try_lock() TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+ private:
+  std::mutex mu_;
+};
+
+/// RAII lock the analysis understands (std::lock_guard is unannotated on
+/// libstdc++, so guarded accesses under it would still warn).
+class SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) ACQUIRE(mu) : mu_(mu) { mu_.lock(); }
+  ~MutexLock() RELEASE() { mu_.unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+/// Condition variable compatible with Mutex. Waits pass the Mutex itself:
+///
+///   MutexLock lock(mu_);
+///   while (!wake_condition_) cv_.wait(mu_);
+///
+/// wait() releases and reacquires the capability internally (inside a
+/// system header the analysis does not flag); from the caller's point of
+/// view the capability is held across the wait, which is exactly the
+/// invariant the predicate re-check relies on.
+using CondVar = std::condition_variable_any;
+
+}  // namespace comfedsv
+
+#endif  // COMFEDSV_COMMON_THREAD_ANNOTATIONS_H_

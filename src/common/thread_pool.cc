@@ -19,7 +19,7 @@ ThreadPool::ThreadPool(int num_threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::unique_lock<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     shutting_down_ = true;
   }
   work_available_.notify_all();
@@ -32,7 +32,7 @@ void ThreadPool::Submit(std::function<void()> task) {
     return;
   }
   {
-    std::unique_lock<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     queue_.push_back(std::move(task));
     ++in_flight_;
   }
@@ -41,8 +41,8 @@ void ThreadPool::Submit(std::function<void()> task) {
 
 void ThreadPool::Wait() {
   if (workers_.empty()) return;
-  std::unique_lock<std::mutex> lock(mu_);
-  all_done_.wait(lock, [this] { return in_flight_ == 0; });
+  MutexLock lock(mu_);
+  while (in_flight_ != 0) all_done_.wait(mu_);
 }
 
 void ThreadPool::ParallelFor(int n, const std::function<void(int)>& fn) {
@@ -56,8 +56,8 @@ void ThreadPool::ParallelFor(int n, const std::function<void(int)>& fn) {
   struct SharedState {
     std::atomic<int> counter{0};
     std::atomic<bool> failed{false};
-    std::mutex error_mu;
-    std::exception_ptr first_error;
+    Mutex error_mu;
+    std::exception_ptr first_error GUARDED_BY(error_mu);
   };
   auto state = std::make_shared<SharedState>();
   int shards = std::min<int>(n, num_threads());
@@ -70,7 +70,7 @@ void ThreadPool::ParallelFor(int n, const std::function<void(int)>& fn) {
         try {
           fn(i);
         } catch (...) {
-          std::lock_guard<std::mutex> lock(state->error_mu);
+          MutexLock lock(state->error_mu);
           if (!state->failed.exchange(true)) {
             state->first_error = std::current_exception();
           }
@@ -79,9 +79,15 @@ void ThreadPool::ParallelFor(int n, const std::function<void(int)>& fn) {
     });
   }
   Wait();
-  if (state->failed.load() && state->first_error != nullptr) {
-    std::rethrow_exception(state->first_error);
+  // Wait() is a full barrier, but read the error slot under its lock
+  // anyway: the thread-safety analysis can't see the barrier, and the
+  // lock is uncontended here.
+  std::exception_ptr first_error;
+  {
+    MutexLock lock(state->error_mu);
+    first_error = state->first_error;
   }
+  if (first_error != nullptr) std::rethrow_exception(first_error);
 }
 
 void ThreadPool::ParallelForBlocked(int n, int block_size,
@@ -100,9 +106,8 @@ void ThreadPool::WorkerLoop() {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      work_available_.wait(
-          lock, [this] { return shutting_down_ || !queue_.empty(); });
+      MutexLock lock(mu_);
+      while (!shutting_down_ && queue_.empty()) work_available_.wait(mu_);
       if (queue_.empty()) {
         if (shutting_down_) return;
         continue;
@@ -112,7 +117,7 @@ void ThreadPool::WorkerLoop() {
     }
     task();
     {
-      std::unique_lock<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       --in_flight_;
       if (in_flight_ == 0) all_done_.notify_all();
     }

@@ -6,13 +6,12 @@
 #ifndef COMFEDSV_COMMON_THREAD_POOL_H_
 #define COMFEDSV_COMMON_THREAD_POOL_H_
 
-#include <atomic>
-#include <condition_variable>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "common/thread_annotations.h"
 
 namespace comfedsv {
 
@@ -56,13 +55,13 @@ class ThreadPool {
  private:
   void WorkerLoop();
 
-  std::vector<std::thread> workers_;
-  std::deque<std::function<void()>> queue_;
-  std::mutex mu_;
-  std::condition_variable work_available_;
-  std::condition_variable all_done_;
-  int in_flight_ = 0;  // queued + running tasks
-  bool shutting_down_ = false;
+  std::vector<std::thread> workers_;  // immutable after construction
+  Mutex mu_;
+  std::deque<std::function<void()>> queue_ GUARDED_BY(mu_);
+  CondVar work_available_;
+  CondVar all_done_;
+  int in_flight_ GUARDED_BY(mu_) = 0;  // queued + running tasks
+  bool shutting_down_ GUARDED_BY(mu_) = false;
 };
 
 }  // namespace comfedsv

@@ -89,7 +89,7 @@ RoundUtility::RoundUtility(const Model* model, const Dataset* test_data,
 double RoundUtility::Utility(const Coalition& coalition) {
   if (coalition.IsEmpty()) return 0.0;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     auto it = cache_.find(coalition);
     if (it != cache_.end()) {
       if (stats_ != nullptr) ++stats_->memo_hits;
@@ -111,7 +111,7 @@ double RoundUtility::Utility(const Coalition& coalition) {
   const double loss = model_->Loss(aggregate, *test_data_);
   const double utility = record_->test_loss_before - loss;
 
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto [it, inserted] = cache_.emplace(coalition, utility);
   if (inserted) {
     if (loss_calls_ != nullptr) ++(*loss_calls_);
@@ -131,7 +131,7 @@ double RoundUtility::Utility(const Coalition& coalition) {
 void RoundUtility::RecordPredicted(const Coalition& coalition, double value,
                                    double bias_bound) {
   if (coalition.IsEmpty()) return;
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto [it, inserted] = cache_.emplace(coalition, value);
   (void)it;
   if (!inserted) return;
@@ -148,7 +148,7 @@ void RoundUtility::EvaluateBatch(const std::vector<Coalition>& coalitions) {
   // order so counters and cache fills are deterministic.
   std::vector<Coalition> pending;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     std::unordered_set<Coalition, CoalitionHash> seen;
     seen.reserve(coalitions.size());
     for (const Coalition& c : coalitions) {
@@ -182,7 +182,7 @@ void RoundUtility::EvaluateBatch(const std::vector<Coalition>& coalitions) {
     }
     model_->BatchLoss(stacked, *test_data_, &losses, ctx_);
 
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (stats_ != nullptr) ++stats_->batched_calls;
     for (size_t r = 0; r < n; ++r) {
       auto [it, inserted] = cache_.emplace(

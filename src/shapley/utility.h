@@ -17,11 +17,11 @@
 #define COMFEDSV_SHAPLEY_UTILITY_H_
 
 #include <cstdint>
-#include <mutex>
 #include <unordered_map>
 #include <vector>
 
 #include "common/execution_context.h"
+#include "common/thread_annotations.h"
 #include "data/dataset.h"
 #include "fl/round_record.h"
 #include "models/model.h"
@@ -144,7 +144,7 @@ class RoundUtility {
 
   /// Number of distinct coalitions evaluated so far this round.
   int64_t distinct_evaluations() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     return distinct_evaluations_;
   }
 
@@ -152,12 +152,15 @@ class RoundUtility {
   const Model* model_;
   const Dataset* test_data_;
   const RoundRecord* record_;
-  int64_t* loss_calls_;
+  mutable Mutex mu_;  // guards the memo table and every counter
+  // Caller-owned counter/stats sinks: the pointers are set once in the
+  // constructor, but the pointees are only ever mutated with mu_ held.
+  int64_t* loss_calls_ PT_GUARDED_BY(mu_);
   ExecutionContext* ctx_;  // not owned; null = inline batch evaluation
-  UtilityStats* stats_;    // not owned; optional
-  int64_t distinct_evaluations_ = 0;
-  mutable std::mutex mu_;  // guards cache_ and the counters
-  std::unordered_map<Coalition, double, CoalitionHash> cache_;
+  UtilityStats* stats_ PT_GUARDED_BY(mu_);  // not owned; optional
+  int64_t distinct_evaluations_ GUARDED_BY(mu_) = 0;
+  std::unordered_map<Coalition, double, CoalitionHash> cache_
+      GUARDED_BY(mu_);
 };
 
 }  // namespace comfedsv

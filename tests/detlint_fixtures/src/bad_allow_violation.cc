@@ -1,0 +1,9 @@
+// detlint fixture: bad-allow. A pragma without justification is itself a
+// finding and suppresses nothing, so the rand() below stays flagged too.
+#include <cstdlib>
+
+// detlint:allow(raw-rng)
+int BadDraw() { return rand(); }
+
+// detlint:allow(no-such-rule): justification for a rule that is unknown.
+int AlsoBad() { return 7; }

@@ -1,0 +1,2 @@
+// detlint fixture: a file with nothing to report (exit code 0).
+int Add(int a, int b) { return a + b; }

@@ -1,0 +1,18 @@
+// detlint fixture: discarded-status. Never compiled; line numbers are
+// asserted exactly by tests/detlint_test.cc.
+struct Status {
+  bool ok() const;
+};
+
+Status SaveThing();
+
+void Caller() {
+  SaveThing();
+  (void)SaveThing();
+  Status kept = SaveThing();
+  if (kept.ok()) {
+  }
+  // detlint:allow(discarded-status): fixture counterpart — failure is
+  // surfaced by the health probe on the next tick.
+  SaveThing();
+}

@@ -1,0 +1,9 @@
+// detlint fixture: raw-file-io. Never compiled; line numbers are
+// asserted exactly by tests/detlint_test.cc.
+#include <fstream>
+
+void BadWrite() { std::ofstream out("orphan.bin"); }
+
+// detlint:allow(raw-file-io): fixture counterpart — a debug artifact that
+// deliberately stays outside the checkpoint fault surface.
+void OkWrite() { std::ofstream out("debug.txt"); }

@@ -1,0 +1,12 @@
+// detlint fixture: raw-rng. Never compiled; line numbers are asserted
+// exactly by tests/detlint_test.cc.
+#include <cstdlib>
+#include <random>
+
+int BadDraw() { return rand(); }
+
+std::random_device g_entropy;
+
+// detlint:allow(raw-rng): fixture counterpart — documents that a justified
+// pragma suppresses the finding.
+std::mt19937 g_allowed_engine;

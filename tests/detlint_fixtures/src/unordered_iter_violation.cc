@@ -1,0 +1,25 @@
+// detlint fixture: unordered-iter. Never compiled; scanned by
+// tests/detlint_test.cc. Line numbers are asserted exactly — keep them
+// stable.
+#include <unordered_map>
+
+void Emit(int v);
+
+void BadDump(const std::unordered_map<int, int>& histogram) {
+  for (const auto& entry : histogram) {
+    Emit(entry.second);
+  }
+}
+
+void BadHarvest(const std::unordered_map<int, int>& histogram) {
+  auto it = histogram.begin();
+  Emit(it->second);
+}
+
+void OkDump(const std::unordered_map<int, int>& histogram) {
+  // detlint:allow(unordered-iter): caller sorts the emitted pairs before
+  // any output or serialization touches them.
+  for (const auto& entry : histogram) {
+    Emit(entry.second);
+  }
+}

@@ -1,0 +1,5 @@
+// detlint fixture: raw-file-io is scoped to src/ — test helpers may
+// write temp files directly, so this file must scan clean.
+#include <fstream>
+
+void WriteGolden() { std::ofstream out("golden.tmp"); }

@@ -1,0 +1,169 @@
+// Tests for tools/detlint: runs the real binary over the seeded fixture
+// corpus in tests/detlint_fixtures/ and asserts exact rule ids,
+// file:line anchors and exit codes — one known violation per rule plus
+// an allowlisted counterpart that must stay silent.
+//
+// The binary path and fixture directory are injected by
+// tests/CMakeLists.txt as compile definitions.
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdio>
+#include <string>
+
+namespace {
+
+struct RunResult {
+  int exit_code = -1;
+  std::string output;
+};
+
+// Runs the detlint binary with `args`, capturing stdout+stderr.
+RunResult RunDetlint(const std::string& args) {
+  const std::string cmd = std::string(DETLINT_BINARY) + " " + args + " 2>&1";
+  RunResult result;
+  FILE* pipe = popen(cmd.c_str(), "r");
+  if (pipe == nullptr) return result;
+  std::array<char, 4096> buf;
+  size_t n;
+  while ((n = fread(buf.data(), 1, buf.size(), pipe)) > 0) {
+    result.output.append(buf.data(), n);
+  }
+  const int status = pclose(pipe);
+  if (WIFEXITED(status)) result.exit_code = WEXITSTATUS(status);
+  return result;
+}
+
+std::string Fixture(const std::string& rel) {
+  return std::string(DETLINT_FIXTURES_DIR) + "/" + rel;
+}
+
+int CountOccurrences(const std::string& haystack, const std::string& needle) {
+  int count = 0;
+  for (size_t pos = haystack.find(needle); pos != std::string::npos;
+       pos = haystack.find(needle, pos + needle.size())) {
+    ++count;
+  }
+  return count;
+}
+
+TEST(DetlintTest, ListRulesNamesEveryRule) {
+  RunResult r = RunDetlint("--list-rules");
+  EXPECT_EQ(r.exit_code, 0);
+  for (const char* rule : {"unordered-iter", "raw-rng", "raw-file-io",
+                           "discarded-status", "bad-allow"}) {
+    EXPECT_NE(r.output.find(rule), std::string::npos) << rule;
+  }
+}
+
+TEST(DetlintTest, NoArgumentsIsAUsageError) {
+  RunResult r = RunDetlint("");
+  EXPECT_EQ(r.exit_code, 2);
+}
+
+TEST(DetlintTest, MissingPathIsAnIoError) {
+  RunResult r = RunDetlint(Fixture("no_such_file.cc"));
+  EXPECT_EQ(r.exit_code, 2);
+}
+
+TEST(DetlintTest, CleanFileExitsZero) {
+  RunResult r = RunDetlint(Fixture("src/clean.cc"));
+  EXPECT_EQ(r.exit_code, 0);
+  EXPECT_NE(r.output.find("0 finding(s)"), std::string::npos) << r.output;
+}
+
+TEST(DetlintTest, UnorderedIterationIsFlaggedAndAllowlistable) {
+  RunResult r = RunDetlint(Fixture("src/unordered_iter_violation.cc"));
+  EXPECT_EQ(r.exit_code, 1);
+  // The range-for at line 9 and the .begin() harvest at line 15.
+  EXPECT_NE(r.output.find("unordered_iter_violation.cc:9: [unordered-iter]"),
+            std::string::npos)
+      << r.output;
+  EXPECT_NE(r.output.find("unordered_iter_violation.cc:15: [unordered-iter]"),
+            std::string::npos)
+      << r.output;
+  // The allowlisted loop at line 22 stays silent: exactly two findings.
+  EXPECT_EQ(CountOccurrences(r.output, "[unordered-iter]"), 2) << r.output;
+}
+
+TEST(DetlintTest, RawRngIsFlaggedAndAllowlistable) {
+  RunResult r = RunDetlint(Fixture("src/raw_rng_violation.cc"));
+  EXPECT_EQ(r.exit_code, 1);
+  EXPECT_NE(r.output.find("raw_rng_violation.cc:6: [raw-rng]"),
+            std::string::npos)
+      << r.output;
+  EXPECT_NE(r.output.find("raw_rng_violation.cc:8: [raw-rng]"),
+            std::string::npos)
+      << r.output;
+  // The allowlisted mt19937 at line 12 stays silent.
+  EXPECT_EQ(CountOccurrences(r.output, "[raw-rng]"), 2) << r.output;
+}
+
+TEST(DetlintTest, RawFileIoIsFlaggedAndAllowlistable) {
+  RunResult r = RunDetlint(Fixture("src/raw_file_io_violation.cc"));
+  EXPECT_EQ(r.exit_code, 1);
+  EXPECT_NE(r.output.find("raw_file_io_violation.cc:5: [raw-file-io]"),
+            std::string::npos)
+      << r.output;
+  EXPECT_EQ(CountOccurrences(r.output, "[raw-file-io]"), 1) << r.output;
+}
+
+TEST(DetlintTest, RawFileIoIsScopedToSrc) {
+  // The same std::ofstream use under a tests/ path must scan clean —
+  // test helpers write temp files on purpose.
+  RunResult r = RunDetlint(Fixture("tests/scoped_io_ok.cc"));
+  EXPECT_EQ(r.exit_code, 0);
+  EXPECT_EQ(CountOccurrences(r.output, "[raw-file-io]"), 0) << r.output;
+}
+
+TEST(DetlintTest, DiscardedStatusIsFlaggedAndAllowlistable) {
+  RunResult r = RunDetlint(Fixture("src/discarded_status_violation.cc"));
+  EXPECT_EQ(r.exit_code, 1);
+  EXPECT_NE(
+      r.output.find("discarded_status_violation.cc:10: [discarded-status]"),
+      std::string::npos)
+      << r.output;
+  // (void)SaveThing(), the kept assignment, and the allowlisted call are
+  // all silent: exactly one finding.
+  EXPECT_EQ(CountOccurrences(r.output, "[discarded-status]"), 1) << r.output;
+}
+
+TEST(DetlintTest, BadAllowPragmasAreThemselvesFindings) {
+  RunResult r = RunDetlint(Fixture("src/bad_allow_violation.cc"));
+  EXPECT_EQ(r.exit_code, 1);
+  // Justification-free pragma at line 5, unknown-rule pragma at line 8.
+  EXPECT_NE(r.output.find("bad_allow_violation.cc:5: [bad-allow]"),
+            std::string::npos)
+      << r.output;
+  EXPECT_NE(r.output.find("bad_allow_violation.cc:8: [bad-allow]"),
+            std::string::npos)
+      << r.output;
+  // A justification-free pragma suppresses nothing: the rand() at line 6
+  // is still reported.
+  EXPECT_NE(r.output.find("bad_allow_violation.cc:6: [raw-rng]"),
+            std::string::npos)
+      << r.output;
+}
+
+TEST(DetlintTest, WholeFixtureDirectoryAggregatesFindings) {
+  // Explicitly pointing detlint at the fixture tree scans it even though
+  // the repo-wide walk skips detlint_fixtures/.
+  RunResult r = RunDetlint(Fixture("src"));
+  EXPECT_EQ(r.exit_code, 1);
+  for (const char* rule : {"[unordered-iter]", "[raw-rng]", "[raw-file-io]",
+                           "[discarded-status]", "[bad-allow]"}) {
+    EXPECT_NE(r.output.find(rule), std::string::npos) << rule << r.output;
+  }
+}
+
+TEST(DetlintTest, RepoSourcesHaveZeroUnallowlistedFindings) {
+  // The acceptance gate, also registered directly as the
+  // detlint_repo_clean ctest: src/ and tests/ at HEAD are clean.
+  RunResult r = RunDetlint(std::string(DETLINT_REPO_ROOT) + "/src " +
+                           std::string(DETLINT_REPO_ROOT) + "/tests");
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_NE(r.output.find("0 finding(s)"), std::string::npos) << r.output;
+}
+
+}  // namespace
