@@ -20,6 +20,7 @@
 #include "fl/fedavg.h"
 #include "io/checkpoint.h"
 #include "io/checkpoint_manager.h"
+#include "io/round_log.h"
 #include "io/serialize.h"
 #include "shapley/fedsv.h"
 
@@ -64,6 +65,24 @@ struct CheckpointConfig {
   bool require_durable = false;
   /// File system override for fault injection; nullptr = real.
   FileEnv* env = nullptr;
+
+  // Spill-to-log (io/round_log.h): when round_log_path is non-empty,
+  // every RoundRecord the run consumes is appended to a round log
+  // there, fsynced before each cadence checkpoint. A resumed run
+  // truncates the log back to the checkpointed round before appending,
+  // so the final log is byte-identical to an uninterrupted run's —
+  // RunValuationFromLog can then re-value the whole trajectory with
+  // bounded resident memory.
+
+  /// Round-log data file; `<path>.idx` holds the footer index. Empty =
+  /// spill off.
+  std::string round_log_path;
+  /// On-disk encoding; kNone and kXorDelta replay bit-identically,
+  /// kQuant16 trades bounded valuation drift for space (see
+  /// BENCH_roundlog.json).
+  RoundLogCompression round_log_compression = RoundLogCompression::kNone;
+  /// Persist the footer index every k-th append.
+  int round_log_index_every = 1;
 };
 
 /// How checkpoint I/O fared over a RunValuationCheckpointed call —
@@ -90,6 +109,14 @@ struct CheckpointHealth {
   /// Header sequence of the generation the run resumed from (0 when the
   /// run started fresh).
   uint64_t resumed_sequence = 0;
+  /// Round-log appends/syncs that failed (spill mode only; the run kept
+  /// training — replaying the log would miss those rounds until a
+  /// resume truncates back past the gap).
+  int64_t round_log_failures = 0;
+  /// Rounds appended to the round log over this call (spill mode only).
+  int round_log_rounds = 0;
+  /// Bytes of the round log when the call finished (spill mode only).
+  uint64_t round_log_bytes = 0;
 };
 
 /// Fingerprint of everything a checkpoint must agree on to be resumable:

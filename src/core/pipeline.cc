@@ -3,6 +3,7 @@
 #include <memory>
 
 #include "common/stopwatch.h"
+#include "core/streaming.h"
 
 namespace comfedsv {
 namespace {
@@ -37,6 +38,10 @@ Result<ValuationOutcome> RunValuationImpl(const Model& model,
     if (checkpoint->every_rounds <= 0) {
       return Status::InvalidArgument(
           "checkpoint every_rounds must be positive");
+    }
+    if (checkpoint->round_log_index_every <= 0) {
+      return Status::InvalidArgument(
+          "checkpoint round_log_index_every must be positive");
     }
   }
 
@@ -119,13 +124,63 @@ Result<ValuationOutcome> RunValuationImpl(const Model& model,
     }
   }
 
+  // Spill-to-log: open lazily per round so a transient open failure
+  // degrades (and retries) instead of aborting the run. A fresh run
+  // starts a new log; a resumed run re-opens behind the restored round,
+  // truncating frames the interrupted run appended past its last
+  // durable checkpoint.
+  std::unique_ptr<RoundLogWriter> round_log;
+  const bool spill =
+      checkpoint != nullptr && !checkpoint->round_log_path.empty();
+  auto spill_degrade = [&](const Status& st) {
+    health.degraded = true;
+    ++health.round_log_failures;
+    ++health.consecutive_failures;
+    health.last_error = st.ToString();
+  };
+  auto spill_append = [&](const RoundRecord& record,
+                          int completed) -> Status {
+    if (round_log == nullptr) {
+      RoundLogOptions log_options;
+      log_options.compression = checkpoint->round_log_compression;
+      log_options.index_every = checkpoint->round_log_index_every;
+      log_options.env = checkpoint->env;
+      Result<std::unique_ptr<RoundLogWriter>> opened =
+          completed == 0
+              ? RoundLogWriter::Create(checkpoint->round_log_path,
+                                       log_options)
+              : RoundLogWriter::OpenForAppend(checkpoint->round_log_path,
+                                              completed, log_options);
+      if (!opened.ok()) return opened.status();
+      round_log = std::move(opened).value();
+    }
+    return round_log->Append(record);
+  };
+
   while (!trainer.Done()) {
+    const int before = trainer.next_round();
     const RoundRecord& record = trainer.Step();
     fanout.OnRound(record);
+    if (spill) {
+      Status appended = spill_append(record, before);
+      if (!appended.ok()) {
+        if (checkpoint->require_durable) return appended;
+        spill_degrade(appended);
+      }
+    }
     if (checkpoint != nullptr) {
       const int completed = trainer.next_round();
       ++health.rounds_since_durable;
       if (completed % checkpoint->every_rounds == 0 || trainer.Done()) {
+        // The log syncs before the checkpoint that references it — a
+        // durable checkpoint must never point past the durable log.
+        if (round_log != nullptr) {
+          Status synced = round_log->Sync();
+          if (!synced.ok()) {
+            if (checkpoint->require_durable) return synced;
+            spill_degrade(synced);
+          }
+        }
         Status saved = manager->Write(
             ChunkTag::kValuationCheckpoint,
             SerializeValuationCheckpoint(fingerprint, trainer, fedsv.get(),
@@ -160,6 +215,10 @@ Result<ValuationOutcome> RunValuationImpl(const Model& model,
 
   ValuationOutcome outcome;
   outcome.training = std::move(training).value();
+  if (round_log != nullptr) {
+    health.round_log_rounds = round_log->rounds();
+    health.round_log_bytes = round_log->data_size();
+  }
   if (checkpoint != nullptr) outcome.checkpoint_health = health;
   if (fedsv != nullptr) {
     outcome.fedsv_values = fedsv->values();
@@ -201,6 +260,33 @@ Result<ValuationOutcome> RunValuationCheckpointed(
   return RunValuationImpl(model, std::move(client_data),
                           std::move(test_data), fed_config, request,
                           &checkpoint, ctx);
+}
+
+Result<ValuationOutcome> RunValuationFromLog(
+    const Model& model, const Dataset& test_data, int num_clients,
+    const std::string& log_path, const ValuationRequest& request,
+    const RoundLogReadOptions& read_options, ExecutionContext* ctx) {
+  if (num_clients <= 0) {
+    return Status::InvalidArgument("num_clients must be positive");
+  }
+  Result<std::unique_ptr<RoundLogReader>> reader =
+      RoundLogReader::Open(log_path, read_options);
+  if (!reader.ok()) return reader.status();
+
+  // A streaming engine with no snapshots is exactly the batch pipeline
+  // fed from disk: OnRound accumulates per record, Finalize() is the
+  // cold batch-equivalent solve. Resident memory stays at one decoded
+  // record plus the reader's window, whatever the trajectory length.
+  StreamingConfig config;
+  config.request = request;
+  StreamingValuationEngine engine(&model, &test_data, num_clients, config,
+                                  ctx);
+  RoundRecord record;
+  for (int pos = 0; pos < reader.value()->rounds(); ++pos) {
+    COMFEDSV_RETURN_IF_ERROR(reader.value()->Read(pos, &record));
+    engine.OnRound(record);
+  }
+  return engine.Finalize();
 }
 
 }  // namespace comfedsv

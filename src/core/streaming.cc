@@ -34,12 +34,72 @@ StreamingValuationEngine::StreamingValuationEngine(
 }
 
 void StreamingValuationEngine::OnRound(const RoundRecord& record) {
+  if (config_.spill.enabled) SpillRound(record);
   if (fedsv_ != nullptr) fedsv_->OnRound(record);
   if (comfedsv_ != nullptr) comfedsv_->OnRound(record);
   if (ground_truth_ != nullptr) ground_truth_->OnRound(record);
   test_loss_history_.push_back(record.test_loss_before);
   ++rounds_consumed_;
   ++health_.rounds_since_durable;
+}
+
+void StreamingValuationEngine::SpillRound(const RoundRecord& record) {
+  if (spill_writer_ == nullptr) {
+    RoundLogOptions options;
+    options.compression = config_.spill.compression;
+    options.index_every = config_.spill.index_every;
+    options.env = config_.spill.env;
+    // Fresh stream: new log. Mid-stream (a restore, or an earlier open
+    // failure): re-open behind the already-consumed rounds, truncating
+    // whatever a crashed predecessor appended beyond them.
+    Result<std::unique_ptr<RoundLogWriter>> opened =
+        rounds_consumed_ == 0
+            ? RoundLogWriter::Create(config_.spill.path, options)
+            : RoundLogWriter::OpenForAppend(config_.spill.path,
+                                            rounds_consumed_, options);
+    if (!opened.ok()) {
+      health_.degraded = true;
+      ++health_.spill_failures;
+      ++health_.consecutive_failures;
+      health_.last_error = opened.status().ToString();
+      return;
+    }
+    spill_writer_ = std::move(opened).value();
+    // When the restored checkpoint recorded a log position for exactly
+    // this round, the truncated log must match it byte for byte —
+    // anything else means the log and the checkpoint diverged.
+    if (restored_spill_rounds_ == rounds_consumed_ &&
+        spill_writer_->data_size() != restored_spill_bytes_) {
+      health_.degraded = true;
+      ++health_.spill_failures;
+      ++health_.consecutive_failures;
+      health_.last_error =
+          "round log size after realignment does not match the "
+          "checkpointed position";
+      spill_writer_.reset();
+      return;
+    }
+    restored_spill_rounds_ = -1;
+  }
+  Status appended = spill_writer_->Append(record);
+  if (!appended.ok()) {
+    health_.degraded = true;
+    ++health_.spill_failures;
+    ++health_.consecutive_failures;
+    health_.last_error = appended.ToString();
+  }
+}
+
+Status StreamingValuationEngine::SyncSpill() {
+  if (spill_writer_ == nullptr) return Status::Ok();
+  Status synced = spill_writer_->Sync();
+  if (!synced.ok()) {
+    health_.degraded = true;
+    ++health_.spill_failures;
+    ++health_.consecutive_failures;
+    health_.last_error = synced.ToString();
+  }
+  return synced;
 }
 
 Result<ValuationOutcome> StreamingValuationEngine::Snapshot() {
@@ -161,6 +221,16 @@ uint64_t StreamingValuationEngine::ConfigFingerprint() const {
   if (config_.surrogate_screening) {
     FingerprintMix(&hash, uint64_t{0x5355524F});  // "SURO"
   }
+  // Spill mode appends its log position to the engine state, so it must
+  // break compatibility with non-spill checkpoints — but only when on,
+  // keeping pre-existing fingerprints intact. The path is deliberately
+  // excluded (a log may be relocated); the compression mode is not (the
+  // resumed writer must keep appending in the same encoding).
+  if (config_.spill.enabled) {
+    FingerprintMix(&hash, uint64_t{0x524C4F47});  // "RLOG"
+    FingerprintMix(&hash,
+                   static_cast<uint64_t>(config_.spill.compression));
+  }
   return hash;
 }
 
@@ -174,6 +244,13 @@ void StreamingValuationEngine::SaveState(BinaryWriter* out) const {
                       out);
   out->U8(factors_.has_value() ? 1 : 0);
   if (factors_.has_value()) SaveFactorPair(*factors_, out);
+  // Spill-gated tail (the fingerprint already separates the layouts):
+  // the log position this state corresponds to, so a restore can verify
+  // the realigned log matches byte-for-byte.
+  if (config_.spill.enabled) {
+    out->I32(spill_writer_ != nullptr ? spill_writer_->rounds() : 0);
+    out->U64(spill_writer_ != nullptr ? spill_writer_->data_size() : 0);
+  }
   out->EndChunk(handle);
 }
 
@@ -220,6 +297,16 @@ Status StreamingValuationEngine::RestoreState(BinaryReader* in) {
   if (has_factors != 0) {
     COMFEDSV_RETURN_IF_ERROR(LoadFactorPair(in, &factors));
   }
+  int32_t spill_rounds = -1;
+  uint64_t spill_bytes = 0;
+  if (config_.spill.enabled) {
+    COMFEDSV_RETURN_IF_ERROR(in->I32(&spill_rounds));
+    COMFEDSV_RETURN_IF_ERROR(in->U64(&spill_bytes));
+    if (spill_rounds < 0 || spill_rounds > rounds) {
+      return Status::DataLoss(
+          "corrupt engine state: spill position out of range");
+    }
+  }
   COMFEDSV_RETURN_IF_ERROR(in->EndChunk(end));
 
   rounds_consumed_ = rounds;
@@ -233,6 +320,13 @@ Status StreamingValuationEngine::RestoreState(BinaryReader* in) {
   // restore re-solves, warm from the restored factors.
   last_output_.reset();
   last_solve_round_ = -1;
+  // Realign the spill log lazily: dropping the writer makes the next
+  // spilled round re-open with OpenForAppend(rounds_consumed_), which
+  // truncates whatever the crashed run appended past this state. The
+  // recorded position lets that re-open verify byte-exactness.
+  spill_writer_.reset();
+  restored_spill_rounds_ = spill_rounds;
+  restored_spill_bytes_ = spill_bytes;
   // Screening resumes exactly where it left off: the restored factors
   // re-arm the surrogate (the recorder's audit/candidate state came back
   // through LoadEvaluatorStates).
@@ -242,6 +336,17 @@ Status StreamingValuationEngine::RestoreState(BinaryReader* in) {
 
 Status StreamingValuationEngine::SaveCheckpoint(CheckpointManager* manager) {
   COMFEDSV_CHECK(manager != nullptr);
+  // Durability order: the log first, then the checkpoint that records
+  // its position — a checkpoint must never reference log bytes that are
+  // not on disk. A failed log sync fails the save (retried next time);
+  // the engine's in-memory state is untouched either way.
+  if (config_.spill.enabled && spill_writer_ != nullptr) {
+    Status synced = SyncSpill();
+    if (!synced.ok()) {
+      ++health_.checkpoint_failures;
+      return synced;
+    }
+  }
   BinaryWriter payload;
   SaveState(&payload);
   Status saved =

@@ -34,6 +34,7 @@
 #include "common/execution_context.h"
 #include "core/checkpointing.h"
 #include "core/pipeline.h"
+#include "io/round_log.h"
 
 namespace comfedsv {
 
@@ -60,6 +61,26 @@ struct StreamingHealth {
   /// right now would lose). Counts from engine construction until the
   /// first successful SaveCheckpoint/RestoreCheckpoint.
   int64_t rounds_since_durable = 0;
+  /// Round-log appends that failed (spill mode only). The engine keeps
+  /// streaming — the record still fed the evaluators — but replaying
+  /// the log will be missing those rounds until a later resume
+  /// truncates back past the gap.
+  int64_t spill_failures = 0;
+};
+
+/// Spill-to-log policy: mirror every consumed RoundRecord into an
+/// on-disk round log (io/round_log.h) as it streams past, so the full
+/// trajectory can be re-valued later (RunValuationFromLog) with bounded
+/// resident memory.
+struct RoundLogSpillConfig {
+  bool enabled = false;
+  /// Data file path; the footer index rides at `<path>.idx`.
+  std::string path;
+  RoundLogCompression compression = RoundLogCompression::kNone;
+  /// Forwarded to RoundLogOptions::index_every.
+  int index_every = 1;
+  /// File system override for fault injection; nullptr = real.
+  FileEnv* env = nullptr;
 };
 
 /// Streaming-engine policy around a ValuationRequest.
@@ -88,6 +109,12 @@ struct StreamingConfig {
   /// for the trust/audit/bias-bound contract). Only meaningful in
   /// ComFedSvConfig::Mode::kSampled.
   bool surrogate_screening = false;
+  /// Mirror consumed rounds into an on-disk round log. The log stays
+  /// aligned with checkpoints: SaveCheckpoint syncs it first, and the
+  /// first OnRound after a restore truncates it back to the restored
+  /// round, so kill/resume leaves the log byte-identical to an
+  /// uninterrupted run's.
+  RoundLogSpillConfig spill;
 };
 
 /// Consumes RoundRecords one at a time and serves valuation snapshots
@@ -153,6 +180,14 @@ class StreamingValuationEngine : public RoundObserver {
   /// screening path consults before spending a BatchLoss call.
   double PredictedUtility(int round, const Coalition& coalition) const;
 
+  /// Spill mode only: fsyncs the round log and persists its footer
+  /// index. No-op Ok when spill is off or no round has been spilled.
+  Status SyncSpill();
+
+  /// The spill writer, for observability (rounds, bytes). Null until
+  /// the first spilled round, and always null when spill is off.
+  const RoundLogWriter* spill_writer() const { return spill_writer_.get(); }
+
   /// Serializes the engine state (one kStreamingEngineState chunk):
   /// consumed-round count, per-metric accumulations, and the warm-start
   /// factor cache.
@@ -171,6 +206,11 @@ class StreamingValuationEngine : public RoundObserver {
   /// (no-op unless config_.surrogate_screening and a sampled recorder
   /// and factors exist). Called after every solve and after a restore.
   void ArmSurrogate();
+  /// Appends `record` to the round log, lazily opening the writer —
+  /// Create on a fresh stream, OpenForAppend(rounds_consumed_) when
+  /// resuming over an existing log. Failures degrade health instead of
+  /// poisoning the stream.
+  void SpillRound(const RoundRecord& record);
 
   const Model* model_;
   const Dataset* test_data_;
@@ -189,6 +229,15 @@ class StreamingValuationEngine : public RoundObserver {
   std::optional<FactorPair> factors_;
   std::optional<ComFedSvOutput> last_output_;
   int last_solve_round_ = -1;
+
+  // Spill mode: lazily opened round-log writer. After RestoreState the
+  // writer is reset so the next spilled round realigns the log (via
+  // OpenForAppend truncation) with the restored position.
+  std::unique_ptr<RoundLogWriter> spill_writer_;
+  // Log position recorded by the restored checkpoint: the realigned log
+  // must land on exactly these bytes. -1 = no pending verification.
+  int restored_spill_rounds_ = -1;
+  uint64_t restored_spill_bytes_ = 0;
 };
 
 }  // namespace comfedsv

@@ -79,11 +79,17 @@ std::string CheckpointManager::GenerationPath(uint64_t sequence) const {
 
 std::vector<std::pair<uint64_t, std::string>>
 CheckpointManager::ListGenerations() const {
-  std::vector<std::pair<uint64_t, std::string>> generations;
   if (!rotated()) {
+    std::vector<std::pair<uint64_t, std::string>> generations;
     if (env_->Exists(path_)) generations.emplace_back(0, path_);
     return generations;
   }
+  return ListRotatedGenerations();
+}
+
+std::vector<std::pair<uint64_t, std::string>>
+CheckpointManager::ListRotatedGenerations() const {
+  std::vector<std::pair<uint64_t, std::string>> generations;
   const std::string dir = DirOf(path_);
   const std::string base = BaseOf(path_);
   auto entries = env_->ListDir(dir);
@@ -98,12 +104,39 @@ CheckpointManager::ListGenerations() const {
   return generations;
 }
 
+uint64_t CheckpointManager::PeekSequence(const std::string& file) const {
+  // Header layout (serialize.cc): magic u32, version u32, root tag u32,
+  // payload length u64, sequence u64, checksum u64 — 36 bytes.
+  Result<std::string> bytes = env_->ReadFile(file);
+  if (!bytes.ok()) return 0;
+  const std::string& b = bytes.value();
+  if (b.size() < 36) return 0;
+  auto u32 = [&b](size_t at) {
+    uint32_t v = 0;
+    for (int k = 3; k >= 0; --k) {
+      v = (v << 8) | static_cast<uint8_t>(b[at + static_cast<size_t>(k)]);
+    }
+    return v;
+  };
+  if (u32(0) != kCheckpointMagic || u32(4) != kCheckpointVersion) return 0;
+  uint64_t seq = 0;
+  for (int k = 7; k >= 0; --k) {
+    seq = (seq << 8) | static_cast<uint8_t>(b[20 + static_cast<size_t>(k)]);
+  }
+  return seq;
+}
+
 void CheckpointManager::InitSequenceFromDisk() {
   if (sequence_initialized_) return;
   sequence_initialized_ = true;
-  const auto generations = ListGenerations();
-  for (const auto& [seq, file] : generations) {
+  // Rotated generations count toward the sequence even in legacy mode:
+  // after keep_generations is lowered to 1, the bare-file writes must
+  // outrank the leftover generations, not collide with them.
+  for (const auto& [seq, file] : ListRotatedGenerations()) {
     next_sequence_ = std::max(next_sequence_, seq + 1);
+  }
+  if (!rotated() && env_->Exists(path_)) {
+    next_sequence_ = std::max(next_sequence_, PeekSequence(path_) + 1);
   }
 }
 
@@ -133,12 +166,20 @@ Status CheckpointManager::Write(ChunkTag root_tag, std::string_view payload) {
 }
 
 Status CheckpointManager::Prune() {
-  if (!rotated()) return Status::Ok();
-  auto generations = ListGenerations();  // oldest first
-  const size_t keep = static_cast<size_t>(options_.keep_generations);
+  auto generations = ListRotatedGenerations();  // oldest first
+  // In legacy mode the bare file at path_ is the one retained copy, so
+  // every rotated generation left behind by a previous higher-keep run
+  // rotates away once a bare write has gone durable.
+  const size_t keep =
+      rotated() ? static_cast<size_t>(options_.keep_generations) : 0;
   if (generations.size() <= keep) return Status::Ok();
   Status first_error;
   for (size_t i = 0; i + keep < generations.size(); ++i) {
+    // Never delete the generation the last Load restored from: after a
+    // salvage fell back past corrupt husks (or keep_generations was
+    // lowered between runs), it may be the only state this run is
+    // built on until enough fresh generations are durable.
+    if (generations[i].second == restored_file_) continue;
     Status st = env_->Remove(generations[i].second);
     if (!st.ok() && first_error.ok()) first_error = st;
   }
@@ -156,11 +197,18 @@ Status CheckpointManager::Quarantine(const std::string& file) {
 Result<CheckpointManager::LoadInfo> CheckpointManager::Load(
     ChunkTag root_tag, const Restorer& restore) {
   InitSequenceFromDisk();
-  auto generations = ListGenerations();
-  if (rotated() && env_->Exists(path_)) {
-    // A bare legacy file counts as the oldest candidate, so switching a
-    // stream from single-file to rotated mode resumes seamlessly.
-    generations.insert(generations.begin(), {0, path_});
+  // Candidates: every rotated generation on disk (even in legacy mode,
+  // so lowering keep_generations between runs never hides resumable
+  // state) plus the bare file, ordered by its recorded sequence — a
+  // bare file written after the knob was lowered outranks the stale
+  // generations it superseded, while a pre-rotation legacy file sorts
+  // oldest.
+  auto generations = ListRotatedGenerations();
+  if (env_->Exists(path_)) {
+    const uint64_t bare_seq =
+        generations.empty() ? 0 : PeekSequence(path_);
+    generations.emplace_back(bare_seq, path_);
+    std::sort(generations.begin(), generations.end());
   }
   if (generations.empty()) {
     return Status::NotFound("no checkpoint at " + path_);
@@ -199,6 +247,7 @@ Result<CheckpointManager::LoadInfo> CheckpointManager::Load(
       }
     }
     next_sequence_ = std::max(next_sequence_, sequence + 1);
+    restored_file_ = file;
     LoadInfo info;
     info.payload = std::move(payload).value();
     info.sequence = sequence;

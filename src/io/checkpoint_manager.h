@@ -114,6 +114,15 @@ class CheckpointManager {
 
  private:
   std::string GenerationPath(uint64_t sequence) const;
+  /// Rotated `path.<seq>` files on disk, oldest first — scanned
+  /// regardless of the current keep_generations, so state written by a
+  /// previous higher-keep run stays visible after the knob is lowered.
+  std::vector<std::pair<uint64_t, std::string>> ListRotatedGenerations()
+      const;
+  /// The sequence number recorded in `file`'s header, or 0 when the
+  /// file is unreadable or not a valid checkpoint (the main Load loop
+  /// then classifies the failure properly).
+  uint64_t PeekSequence(const std::string& file) const;
   /// Scans existing generations so the next Write continues the
   /// sequence instead of restarting at 1. Idempotent.
   void InitSequenceFromDisk();
@@ -128,6 +137,11 @@ class CheckpointManager {
   bool sequence_initialized_ = false;
   int64_t write_retries_ = 0;
   int64_t quarantined_total_ = 0;
+  /// The file the last successful Load restored from. Prune never
+  /// removes it: after a salvage fell back to an older generation,
+  /// rotation (especially with a freshly-lowered keep_generations)
+  /// must not delete the only state the run is built on.
+  std::string restored_file_;
 };
 
 }  // namespace comfedsv

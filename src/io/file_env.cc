@@ -10,6 +10,7 @@
 
 #ifndef _WIN32
 #include <fcntl.h>
+#include <sys/mman.h>
 #include <unistd.h>
 #endif
 
@@ -141,6 +142,107 @@ bool FileEnv::Exists(const std::string& path) {
   return fs::exists(path, ec) && !ec;
 }
 
+Status FileEnv::AppendFile(const std::string& path, std::string_view data) {
+  std::ofstream out(path, std::ios::binary | std::ios::app);
+  if (!out) {
+    return Status::Unavailable("cannot open '" + path + "' for append");
+  }
+  out.write(data.data(), static_cast<std::streamsize>(data.size()));
+  out.flush();
+  if (!out) {
+    return Status::Unavailable("short append to '" + path + "'");
+  }
+  out.close();
+  if (!out) {
+    return Status::Unavailable("close failed for '" + path + "'");
+  }
+  return Status::Ok();
+}
+
+Result<std::string> FileEnv::ReadFileRange(const std::string& path,
+                                           uint64_t offset, uint64_t length) {
+  Result<uint64_t> size = FileSize(path);
+  if (!size.ok()) return size.status();
+  if (offset >= size.value()) return std::string();
+  const uint64_t avail = std::min<uint64_t>(length, size.value() - offset);
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return Status::Unavailable("cannot open '" + path + "' for reading");
+  }
+  in.seekg(static_cast<std::streamoff>(offset));
+  std::string data(static_cast<size_t>(avail), '\0');
+  in.read(data.data(), static_cast<std::streamsize>(avail));
+  if (in.gcount() != static_cast<std::streamsize>(avail) || in.bad()) {
+    return Status::Unavailable("range read failed for '" + path + "'");
+  }
+  return data;
+}
+
+Result<uint64_t> FileEnv::FileSize(const std::string& path) {
+  std::error_code ec;
+  const fs::file_status st = fs::status(path, ec);
+  if (ec || st.type() == fs::file_type::not_found) {
+    return Status::NotFound("no such file: '" + path + "'");
+  }
+  if (st.type() == fs::file_type::directory) {
+    return Status::InvalidArgument("'" + path + "' is a directory");
+  }
+  const uintmax_t size = fs::file_size(path, ec);
+  if (ec) {
+    return Status::Unavailable("stat '" + path + "' failed: " + ec.message());
+  }
+  return static_cast<uint64_t>(size);
+}
+
+Status FileEnv::Truncate(const std::string& path, uint64_t size) {
+  std::error_code ec;
+  fs::resize_file(path, static_cast<uintmax_t>(size), ec);
+  if (ec) {
+    return Status::Unavailable("truncate '" + path +
+                               "' failed: " + ec.message());
+  }
+  return Status::Ok();
+}
+
+Result<MappedRegion> FileEnv::MapRange(const std::string& path,
+                                       uint64_t offset, uint64_t length) {
+  Result<uint64_t> size = FileSize(path);
+  if (!size.ok()) return size.status();
+  if (offset >= size.value()) return MappedRegion();
+  const uint64_t avail = std::min<uint64_t>(length, size.value() - offset);
+  if (avail == 0) return MappedRegion();
+#ifndef _WIN32
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    return Status::Unavailable(ErrnoMessage("open", path));
+  }
+  // mmap offsets must be page-aligned; map from the aligned floor and
+  // hand out a pointer adjusted by the slack.
+  const uint64_t page = static_cast<uint64_t>(::sysconf(_SC_PAGESIZE));
+  const uint64_t aligned = offset - offset % page;
+  const uint64_t slack = offset - aligned;
+  const size_t map_len = static_cast<size_t>(avail + slack);
+  void* base = ::mmap(nullptr, map_len, PROT_READ, MAP_PRIVATE, fd,
+                      static_cast<off_t>(aligned));
+  const int saved_errno = errno;
+  ::close(fd);
+  if (base == MAP_FAILED) {
+    errno = saved_errno;
+    return Status::Unavailable(ErrnoMessage("mmap", path));
+  }
+  return MappedRegion(static_cast<const char*>(base) + slack,
+                      static_cast<size_t>(avail),
+                      [base, map_len] { ::munmap(base, map_len); });
+#else
+  // No mmap on this platform: emulate with a heap copy owned by the
+  // unmap closure, so callers keep one code path.
+  Result<std::string> bytes = ReadFileRange(path, offset, avail);
+  if (!bytes.ok()) return bytes.status();
+  auto* owned = new std::string(std::move(bytes).value());
+  return MappedRegion(owned->data(), owned->size(), [owned] { delete owned; });
+#endif
+}
+
 FileEnv* FileEnv::Real() {
   static FileEnv* env = new FileEnv();
   return env;
@@ -150,7 +252,8 @@ namespace failpoints {
 
 const std::vector<std::string>& All() {
   static const std::vector<std::string>* all = new std::vector<std::string>{
-      kWriteFile, kSyncFile, kRename, kSyncDir, kReadFile, kRemove, kListDir};
+      kWriteFile, kSyncFile, kRename,   kSyncDir, kReadFile, kRemove,
+      kListDir,   kAppendFile, kReadRange, kTruncate, kMmap};
   return *all;
 }
 
@@ -279,6 +382,56 @@ Result<std::vector<std::string>> FaultInjectingFileEnv::ListDir(
 
 bool FaultInjectingFileEnv::Exists(const std::string& path) {
   return base_->Exists(path);
+}
+
+Status FaultInjectingFileEnv::AppendFile(const std::string& path,
+                                         std::string_view data) {
+  // Check()'s torn-prefix helper overwrites the whole file, which is
+  // wrong for append — a torn append leaves the old bytes plus a prefix
+  // of the new ones. Handle the write-shaped actions inline.
+  if (crashed_) {
+    return Status::Unavailable("crashed: io/append_file refused");
+  }
+  auto fire = FailpointRegistry::Global().Hit(failpoints::kAppendFile);
+  if (fire.has_value()) {
+    const auto action = static_cast<FaultAction>(fire->action);
+    if (action == FaultAction::kCrash) crashed_ = true;
+    if (action == FaultAction::kEnospc || action == FaultAction::kShortWrite ||
+        action == FaultAction::kCrash) {
+      (void)base_->AppendFile(
+          path, data.substr(0, std::min<size_t>(
+                                   data.size(),
+                                   static_cast<size_t>(
+                                       std::max<int64_t>(0, fire->arg)))));
+    }
+    return Status::Unavailable(
+        std::string("injected fault at io/append_file"));
+  }
+  return base_->AppendFile(path, data);
+}
+
+Result<std::string> FaultInjectingFileEnv::ReadFileRange(
+    const std::string& path, uint64_t offset, uint64_t length) {
+  COMFEDSV_RETURN_IF_ERROR(Check(failpoints::kReadRange, {}, {}));
+  return base_->ReadFileRange(path, offset, length);
+}
+
+Result<uint64_t> FaultInjectingFileEnv::FileSize(const std::string& path) {
+  COMFEDSV_RETURN_IF_ERROR(Check(failpoints::kReadRange, {}, {}));
+  return base_->FileSize(path);
+}
+
+Status FaultInjectingFileEnv::Truncate(const std::string& path,
+                                       uint64_t size) {
+  COMFEDSV_RETURN_IF_ERROR(Check(failpoints::kTruncate, {}, {}));
+  return base_->Truncate(path, size);
+}
+
+Result<MappedRegion> FaultInjectingFileEnv::MapRange(const std::string& path,
+                                                     uint64_t offset,
+                                                     uint64_t length) {
+  COMFEDSV_RETURN_IF_ERROR(Check(failpoints::kMmap, {}, {}));
+  return base_->MapRange(path, offset, length);
 }
 
 }  // namespace comfedsv

@@ -23,13 +23,58 @@
 #define COMFEDSV_IO_FILE_ENV_H_
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 #include "common/status.h"
 
 namespace comfedsv {
+
+/// A read-only byte window over part of a file, returned by
+/// FileEnv::MapRange. Owns the mapping: destruction (or move-assignment
+/// over it) releases the pages. Move-only.
+class MappedRegion {
+ public:
+  MappedRegion() = default;
+  MappedRegion(const char* data, size_t size, std::function<void()> unmap)
+      : data_(data), size_(size), unmap_(std::move(unmap)) {}
+  ~MappedRegion() { Reset(); }
+
+  MappedRegion(MappedRegion&& other) noexcept { *this = std::move(other); }
+  MappedRegion& operator=(MappedRegion&& other) noexcept {
+    if (this != &other) {
+      Reset();
+      data_ = other.data_;
+      size_ = other.size_;
+      unmap_ = std::move(other.unmap_);
+      other.data_ = nullptr;
+      other.size_ = 0;
+      other.unmap_ = nullptr;
+    }
+    return *this;
+  }
+  MappedRegion(const MappedRegion&) = delete;
+  MappedRegion& operator=(const MappedRegion&) = delete;
+
+  const char* data() const { return data_; }
+  size_t size() const { return size_; }
+  std::string_view view() const { return {data_, size_}; }
+
+ private:
+  void Reset() {
+    if (unmap_) unmap_();
+    data_ = nullptr;
+    size_ = 0;
+    unmap_ = nullptr;
+  }
+
+  const char* data_ = nullptr;
+  size_t size_ = 0;
+  std::function<void()> unmap_;
+};
 
 class FileEnv {
  public:
@@ -64,6 +109,34 @@ class FileEnv {
 
   virtual bool Exists(const std::string& path);
 
+  // Range/append operations used by the round-log layer (io/round_log.h).
+
+  /// Appends all of `data` to `path`, creating the file when missing,
+  /// flushing to the OS before returning. A partial append is reported
+  /// Unavailable (some prefix of `data` may have landed).
+  virtual Status AppendFile(const std::string& path, std::string_view data);
+
+  /// Reads up to `length` bytes starting at byte `offset`. Returns the
+  /// bytes that exist — fewer than `length` when the file ends inside
+  /// the range, empty when `offset` is at or past EOF. NotFound when the
+  /// file is missing.
+  virtual Result<std::string> ReadFileRange(const std::string& path,
+                                            uint64_t offset,
+                                            uint64_t length);
+
+  /// Size of the file in bytes. NotFound when missing.
+  virtual Result<uint64_t> FileSize(const std::string& path);
+
+  /// Truncates (or zero-extends) the file to exactly `size` bytes.
+  virtual Status Truncate(const std::string& path, uint64_t size);
+
+  /// Maps `length` bytes at `offset` for reading. The region stays
+  /// valid until destroyed; the range is clamped to the file size (the
+  /// returned region may be shorter than requested). Unavailable when
+  /// mapping is not possible — callers fall back to ReadFileRange.
+  virtual Result<MappedRegion> MapRange(const std::string& path,
+                                        uint64_t offset, uint64_t length);
+
   /// The real filesystem. Never null; shared process-wide.
   static FileEnv* Real();
 };
@@ -79,6 +152,10 @@ inline constexpr const char* kSyncDir = "io/sync_dir";
 inline constexpr const char* kReadFile = "io/read_file";
 inline constexpr const char* kRemove = "io/remove";
 inline constexpr const char* kListDir = "io/list_dir";
+inline constexpr const char* kAppendFile = "io/append_file";
+inline constexpr const char* kReadRange = "io/read_range";
+inline constexpr const char* kTruncate = "io/truncate";
+inline constexpr const char* kMmap = "io/mmap";
 
 /// Every instrumented failpoint, in the order the sweep iterates them.
 const std::vector<std::string>& All();
@@ -91,18 +168,18 @@ enum class FaultAction : int {
   kError = 1,
   /// Fail with Unavailable("injected ENOSPC") — disk full. WriteFile
   /// additionally persists only the first `arg` bytes, like a real
-  /// out-of-space short write.
+  /// out-of-space short write; AppendFile appends only that prefix.
   kEnospc = 2,
-  /// WriteFile only: persist the first `arg` bytes, then fail
-  /// Unavailable — a torn write.
+  /// WriteFile/AppendFile only: persist (append) the first `arg` bytes,
+  /// then fail Unavailable — a torn write.
   kShortWrite = 3,
   /// Rename only: perform the rename, then truncate the destination to
   /// `arg` bytes and report Ok — the "rename entry durable, data blocks
   /// lost" crash pattern the checksum + salvage path must absorb.
   kTornRename = 4,
   /// Enter the sticky crashed state: this operation and every later one
-  /// fail Unavailable until ClearCrash(). WriteFile persists the first
-  /// `arg` bytes before dying (a mid-write kill -9).
+  /// fail Unavailable until ClearCrash(). WriteFile persists (AppendFile
+  /// appends) the first `arg` bytes before dying (a mid-write kill -9).
   kCrash = 5,
 };
 
@@ -121,6 +198,13 @@ class FaultInjectingFileEnv : public FileEnv {
   Status Remove(const std::string& path) override;
   Result<std::vector<std::string>> ListDir(const std::string& dir) override;
   bool Exists(const std::string& path) override;
+  Status AppendFile(const std::string& path, std::string_view data) override;
+  Result<std::string> ReadFileRange(const std::string& path, uint64_t offset,
+                                    uint64_t length) override;
+  Result<uint64_t> FileSize(const std::string& path) override;
+  Status Truncate(const std::string& path, uint64_t size) override;
+  Result<MappedRegion> MapRange(const std::string& path, uint64_t offset,
+                                uint64_t length) override;
 
   /// True once a kCrash action fired (every operation now fails).
   bool crashed() const { return crashed_; }

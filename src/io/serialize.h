@@ -60,6 +60,7 @@ enum class ChunkTag : uint32_t {
   kSampledRecorderState = 14,
   kValuationCheckpoint = 15,
   kStreamingEngineState = 16,
+  kRoundLogIndex = 17,
 };
 
 /// Appends little-endian primitives and length-framed chunks to an

@@ -194,6 +194,14 @@ void RoundUtility::EvaluateBatch(const std::vector<Coalition>& coalitions) {
           ++stats_->loss_calls;
           ++stats_->distinct_coalitions;
         }
+      } else if (stats_ != nullptr) {
+        // Lost a fill race with a concurrent Utility() for the same
+        // coalition: resolve this submission as a hit, mirroring the
+        // race-loser branch in Utility(). Every submitted coalition
+        // thereby lands in exactly one counter, so loss_calls +
+        // memo_hits + surrogate_skips equals total submissions no
+        // matter how the race interleaves.
+        ++stats_->memo_hits;
       }
     }
   }

@@ -1,0 +1,19 @@
+// detlint fixture: stripping corner cases that must scan clean — raw
+// strings and backslash-spliced comments are not code. Never compiled.
+const char* kPlainRaw = R"(rand() // mt19937 bait inside a raw string)";
+const char* kWideRaw = LR"sep(
+std::random_device in_wide_raw;
+srand(7);
+)sep";
+const char* kU8Raw = u8R"(
+std::ifstream in_u8_raw("f");
+fopen("g");
+)";
+const char* kU16Raw = uR"(time(nullptr))";
+const char* kU32Raw = UR"x(clock() // call-like bait)x";
+// A spliced comment swallows the next physical line too: \
+rand();
+// Two splices chain across three physical lines: \
+std::random_device spliced_bait; \
+srand(9);
+int CleanStripping() { return 0; }

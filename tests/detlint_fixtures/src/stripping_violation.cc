@@ -1,0 +1,7 @@
+// detlint fixture: stripping must not swallow live code around raw
+// strings or spliced comments. Never compiled; line numbers are
+// asserted exactly by tests/detlint_test.cc.
+const char* kBait = R"(// not a comment)"; int Live() { return rand(); }
+// A splice ends where the backslash stops: \
+still inside the comment, scanned as nothing
+std::random_device g_after_splice;

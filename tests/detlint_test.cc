@@ -146,6 +146,30 @@ TEST(DetlintTest, BadAllowPragmasAreThemselvesFindings) {
       << r.output;
 }
 
+TEST(DetlintTest, StrippingCornerCasesScanClean) {
+  // Raw strings (all encoding prefixes) full of rule bait, and line
+  // comments whose trailing backslash splices the next physical line
+  // into the comment: none of it is code, so no false positives.
+  RunResult r = RunDetlint(Fixture("src/stripping_ok.cc"));
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_NE(r.output.find("0 finding(s)"), std::string::npos) << r.output;
+}
+
+TEST(DetlintTest, StrippingDoesNotSwallowLiveCode) {
+  // The flip side: code after a raw string on the same line, and code
+  // on the line after a spliced comment ends, are still scanned — no
+  // false negatives, with line numbers mapped through the splice.
+  RunResult r = RunDetlint(Fixture("src/stripping_violation.cc"));
+  EXPECT_EQ(r.exit_code, 1);
+  EXPECT_NE(r.output.find("stripping_violation.cc:4: [raw-rng]"),
+            std::string::npos)
+      << r.output;
+  EXPECT_NE(r.output.find("stripping_violation.cc:7: [raw-rng]"),
+            std::string::npos)
+      << r.output;
+  EXPECT_EQ(CountOccurrences(r.output, "[raw-rng]"), 2) << r.output;
+}
+
 TEST(DetlintTest, WholeFixtureDirectoryAggregatesFindings) {
   // Explicitly pointing detlint at the fixture tree scans it even though
   // the repo-wide walk skips detlint_fixtures/.

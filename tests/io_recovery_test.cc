@@ -226,6 +226,83 @@ TEST_F(IoRecoveryTest, LegacyFileMigratesIntoRotation) {
   EXPECT_NE(newest.value().file, stem);
 }
 
+TEST_F(IoRecoveryTest, LoweredKeepGenerationsStillResumesRotatedState) {
+  const std::string stem = Dir("lowered") + "/v.ckpt";
+  {
+    CheckpointManager manager(stem, FastOptions(FileEnv::Real(), 3));
+    ASSERT_TRUE(manager.Write(ChunkTag::kVector, "gen1").ok());
+    ASSERT_TRUE(manager.Write(ChunkTag::kVector, "gen2").ok());
+    ASSERT_TRUE(manager.Write(ChunkTag::kVector, "gen3").ok());
+  }
+
+  // A later run lowers keep_generations to 1 (the legacy single-file
+  // layout). The rotated generations on disk must still be resumable —
+  // never a silent fresh start.
+  CheckpointManager legacy(stem, FastOptions(FileEnv::Real(), 1));
+  Result<CheckpointManager::LoadInfo> loaded = legacy.Load(ChunkTag::kVector);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded.value().payload, "gen3");
+  EXPECT_EQ(loaded.value().sequence, 3u);
+
+  // The next write continues the sequence into the bare file and
+  // rotates the stale generations away — except the one the load just
+  // restored from, which pruning must never delete.
+  ASSERT_TRUE(legacy.Write(ChunkTag::kVector, "gen4").ok());
+  ASSERT_TRUE(FileEnv::Real()->Exists(stem));
+  EXPECT_TRUE(FileEnv::Real()->Exists(loaded.value().file));
+
+  // Raising the knob back up resumes from the newest state — the bare
+  // file at sequence 4 — not a stale leftover generation.
+  CheckpointManager raised(stem, FastOptions(FileEnv::Real(), 3));
+  Result<CheckpointManager::LoadInfo> newest = raised.Load(ChunkTag::kVector);
+  ASSERT_TRUE(newest.ok()) << newest.status().ToString();
+  EXPECT_EQ(newest.value().payload, "gen4");
+  EXPECT_EQ(newest.value().sequence, 4u);
+  EXPECT_EQ(newest.value().file, stem);
+}
+
+TEST_F(IoRecoveryTest, PruneNeverDeletesTheSalvagedGeneration) {
+  const std::string stem = Dir("salvage_keep") + "/v.ckpt";
+  {
+    CheckpointManager manager(stem, FastOptions(FileEnv::Real(), 4));
+    for (int i = 1; i <= 4; ++i) {
+      ASSERT_TRUE(
+          manager.Write(ChunkTag::kVector, "gen" + std::to_string(i)).ok());
+    }
+  }
+
+  // Corrupt the newest two generations, then resume with a lowered
+  // retention window: salvage falls back to gen2.
+  CheckpointManager lowered(stem, FastOptions(FileEnv::Real(), 2));
+  auto generations = lowered.ListGenerations();
+  ASSERT_EQ(generations.size(), 4u);
+  const std::string oldest = generations.front().second;
+  for (size_t i = 2; i < 4; ++i) {
+    Result<std::string> bytes = FileEnv::Real()->ReadFile(
+        generations[i].second);
+    ASSERT_TRUE(bytes.ok());
+    std::string corrupted = bytes.value();
+    corrupted.back() ^= 0x40;
+    ASSERT_TRUE(
+        FileEnv::Real()->WriteFile(generations[i].second, corrupted).ok());
+  }
+  Result<CheckpointManager::LoadInfo> loaded = lowered.Load(ChunkTag::kVector);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded.value().payload, "gen2");
+  EXPECT_EQ(loaded.value().quarantined, 2);
+
+  // Two fresh writes would normally rotate gen2 out of a keep-2 window;
+  // the generation salvage fell back to must survive both, while the
+  // older non-salvage generation is pruned normally.
+  ASSERT_TRUE(lowered.Write(ChunkTag::kVector, "gen5").ok());
+  ASSERT_TRUE(lowered.Write(ChunkTag::kVector, "gen6").ok());
+  EXPECT_TRUE(FileEnv::Real()->Exists(loaded.value().file));
+  EXPECT_FALSE(FileEnv::Real()->Exists(oldest));
+  Result<CheckpointManager::LoadInfo> newest = lowered.Load(ChunkTag::kVector);
+  ASSERT_TRUE(newest.ok());
+  EXPECT_EQ(newest.value().payload, "gen6");
+}
+
 TEST_F(IoRecoveryTest, SalvageQuarantinesCorruptNewestGeneration) {
   const std::string stem = Dir("salvage") + "/v.ckpt";
   CheckpointManager manager(stem, FastOptions(FileEnv::Real(), 3));
@@ -580,6 +657,203 @@ TEST_F(IoRecoveryTest, CrashSweepRecoversBitIdenticalAtEveryFailpoint) {
   // The sweep must actually have swept: every registered failpoint had
   // at least one scheduled kill.
   EXPECT_GE(sweeps, static_cast<int>(failpoints::All().size()));
+}
+
+// The round-log extension of the crash sweep: the schedule now spills
+// every consumed round to a log, gets interrupted mid-run, resumes (the
+// OpenForAppend truncation realigns the log), and finally re-values the
+// whole trajectory from the log through the windowed mmap reader. Every
+// new I/O failpoint — io/append_file, io/read_range, io/truncate,
+// io/mmap — gets a kill at every opportunity; recovery must leave both
+// the streamed valuation and the log-replayed valuation bit-identical
+// to an uninterrupted run, and the log itself byte-identical.
+TEST_F(IoRecoveryTest, CrashSweepCoversRoundLogFailpoints) {
+  StreamScenario s;
+  s.streaming.spill.enabled = true;
+  constexpr int kInterruptRound = 2;  // the planned mid-run "kill"
+
+  auto spill_engine = [&s](const std::string& log, FileEnv* env) {
+    StreamingConfig cfg = s.streaming;
+    cfg.spill.path = log;
+    cfg.spill.env = env;
+    return std::make_unique<StreamingValuationEngine>(
+        &s.model, &s.w.test, StreamScenario::kClients, cfg);
+  };
+  RoundLogReadOptions read_options;
+  read_options.use_mmap = true;
+  read_options.window_bytes = 4096;  // smaller than the log: remaps happen
+
+  // Feeds the engine rounds [first_round, stop_round), checkpointing
+  // after each; bails out when the environment died.
+  auto feed = [&s](StreamingValuationEngine* engine,
+                   CheckpointManager* manager, FaultInjectingFileEnv* fault,
+                   int first_round, int stop_round) {
+    FedAvgTrainer trainer(&s.model, s.w.clients, s.w.test, s.fed_cfg);
+    ASSERT_TRUE(trainer.Begin().ok());
+    while (!trainer.Done()) {
+      const RoundRecord& record = trainer.Step();
+      if (record.round < first_round) continue;
+      if (record.round >= stop_round) break;
+      engine->OnRound(record);
+      (void)engine->SaveCheckpoint(manager);
+      if (fault != nullptr && fault->crashed()) return;
+    }
+  };
+
+  // Uninterrupted spill run on the real environment: baseline values
+  // and the byte-exact log a crash-recovered run must reproduce.
+  Vector baseline_fedsv;
+  Vector baseline_comfedsv;
+  std::string baseline_log_bytes;
+  const std::string clean_log = Dir("clean") + "/rounds.log";
+  {
+    auto engine = spill_engine(clean_log, nullptr);
+    FedAvgTrainer trainer(&s.model, s.w.clients, s.w.test, s.fed_cfg);
+    ASSERT_TRUE(trainer.Begin().ok());
+    while (!trainer.Done()) engine->OnRound(trainer.Step());
+    ASSERT_TRUE(engine->SyncSpill().ok());
+    Result<ValuationOutcome> out = engine->Finalize();
+    ASSERT_TRUE(out.ok()) << out.status().ToString();
+    baseline_fedsv = *out.value().fedsv_values;
+    baseline_comfedsv = out.value().comfedsv->values;
+    Result<std::string> bytes = FileEnv::Real()->ReadFile(clean_log);
+    ASSERT_TRUE(bytes.ok());
+    baseline_log_bytes = bytes.value();
+  }
+
+  // Pilot with tracing: interrupted run -> resume (truncate + re-append)
+  // -> log replay through the mmap window. This is the fault surface.
+  FailpointRegistry::Global().set_tracing(true);
+  {
+    const std::string dir = Dir("pilot");
+    const std::string stem = dir + "/stream.ckpt";
+    const std::string log = dir + "/rounds.log";
+    FaultInjectingFileEnv fault;
+    {
+      CheckpointManager manager(stem, FastOptions(&fault, 2));
+      auto engine = spill_engine(log, &fault);
+      feed(engine.get(), &manager, &fault, 0, kInterruptRound);
+    }
+    CheckpointManager manager(stem, FastOptions(&fault, 2));
+    auto engine = spill_engine(log, &fault);
+    ASSERT_TRUE(engine->RestoreCheckpoint(&manager).ok());
+    ASSERT_EQ(engine->rounds_consumed(), kInterruptRound);
+    feed(engine.get(), &manager, &fault, kInterruptRound,
+         s.fed_cfg.num_rounds);
+    ASSERT_EQ(engine->rounds_consumed(), s.fed_cfg.num_rounds);
+    RoundLogReadOptions pilot_read = read_options;
+    pilot_read.env = &fault;
+    Result<ValuationOutcome> replayed =
+        RunValuationFromLog(s.model, s.w.test, StreamScenario::kClients,
+                            log, s.streaming.request, pilot_read);
+    ASSERT_TRUE(replayed.ok()) << replayed.status().ToString();
+  }
+  std::map<std::string, int64_t> surface;
+  for (const auto& [name, hits] : FailpointRegistry::Global().HitCounts()) {
+    surface[name] = hits;
+  }
+  FailpointRegistry::Global().ClearAll();
+  const std::vector<std::string> swept_names = {
+      failpoints::kAppendFile, failpoints::kReadRange, failpoints::kTruncate,
+      failpoints::kMmap};
+  for (const std::string& name : swept_names) {
+    ASSERT_GT(surface[name], 0) << name << " never hit in the pilot";
+  }
+
+  int sweeps = 0;
+  for (const std::string& name : swept_names) {
+    for (int64_t k = 1; k <= surface[name]; ++k) {
+      SCOPED_TRACE(name + " @ hit " + std::to_string(k));
+      ++sweeps;
+      std::string label = name + "_" + std::to_string(k);
+      for (char& c : label) {
+        if (c == '/') c = '_';
+      }
+      const std::string dir = Dir(label);
+      const std::string stem = dir + "/stream.ckpt";
+      const std::string log = dir + "/rounds.log";
+      FaultInjectingFileEnv fault;
+      Arm(name.c_str(), FailpointTrigger::OnHit(k), FaultAction::kCrash,
+          /*arg=*/7);
+
+      // Phase 1: the interrupted run (the scheduled kill may land
+      // earlier than the planned interruption).
+      {
+        CheckpointManager manager(stem, FastOptions(&fault, 2));
+        auto doomed = spill_engine(log, &fault);
+        feed(doomed.get(), &manager, &fault, 0, kInterruptRound);
+      }
+
+      // Phase 2: recover and replay, keeping the trigger armed — hit k
+      // may belong to the resume's truncate/append segment. A crash
+      // there gets another reboot and a clean retry.
+      std::unique_ptr<StreamingValuationEngine> engine;
+      bool replay_done = false;
+      for (int attempt = 0; attempt < 3 && !replay_done; ++attempt) {
+        fault.ClearCrash();
+        engine = spill_engine(log, &fault);
+        CheckpointManager manager(stem, FastOptions(&fault, 2));
+        Status restored = engine->RestoreCheckpoint(&manager);
+        int resume_round = -1;
+        if (restored.ok()) {
+          resume_round = engine->rounds_consumed();
+        } else if (restored.code() == StatusCode::kNotFound &&
+                   !fault.crashed()) {
+          resume_round = 0;
+        } else {
+          continue;
+        }
+        feed(engine.get(), &manager, &fault, resume_round,
+             s.fed_cfg.num_rounds);
+        replay_done = !fault.crashed() &&
+                      engine->rounds_consumed() == s.fed_cfg.num_rounds &&
+                      engine->health().spill_failures == 0;
+      }
+      ASSERT_TRUE(replay_done) << "replay never settled";
+      ASSERT_TRUE(engine->SyncSpill().ok());
+
+      // Phase 3: re-value from the log, still under the armed trigger —
+      // hit k may belong to the reader's mmap/pread segment.
+      Vector log_fedsv;
+      Vector log_comfedsv;
+      bool read_done = false;
+      for (int attempt = 0; attempt < 2 && !read_done; ++attempt) {
+        fault.ClearCrash();
+        RoundLogReadOptions sweep_read = read_options;
+        sweep_read.env = &fault;
+        Result<ValuationOutcome> replayed = RunValuationFromLog(
+            s.model, s.w.test, StreamScenario::kClients, log,
+            s.streaming.request, sweep_read);
+        if (replayed.ok()) {
+          log_fedsv = *replayed.value().fedsv_values;
+          log_comfedsv = replayed.value().comfedsv->values;
+          read_done = true;
+        } else {
+          FailpointRegistry::Global().ClearAll();
+        }
+      }
+      ASSERT_TRUE(read_done) << "log replay never settled";
+      FailpointRegistry::Global().ClearAll();
+
+      // The streamed valuation, the log-replayed valuation, and the log
+      // bytes themselves all match the uninterrupted run exactly.
+      Result<ValuationOutcome> out = engine->Finalize();
+      ASSERT_TRUE(out.ok()) << out.status().ToString();
+      ExpectBitIdentical(*out.value().fedsv_values, baseline_fedsv,
+                         "streamed FedSV after crash-recovery");
+      ExpectBitIdentical(out.value().comfedsv->values, baseline_comfedsv,
+                         "streamed ComFedSV after crash-recovery");
+      ExpectBitIdentical(log_fedsv, baseline_fedsv,
+                         "log-replayed FedSV after crash-recovery");
+      ExpectBitIdentical(log_comfedsv, baseline_comfedsv,
+                         "log-replayed ComFedSV after crash-recovery");
+      Result<std::string> bytes = FileEnv::Real()->ReadFile(log);
+      ASSERT_TRUE(bytes.ok());
+      EXPECT_EQ(bytes.value(), baseline_log_bytes)
+          << "recovered log diverges from the uninterrupted run's";
+    }
+  }
+  EXPECT_GE(sweeps, static_cast<int>(swept_names.size()));
 }
 
 // ---------------------------------------------------------------------

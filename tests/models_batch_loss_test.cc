@@ -232,6 +232,92 @@ TEST(BatchLossTest, EvaluateBatchMatchesUnbatchedUtility) {
   EXPECT_EQ(unbatched_calls, static_cast<int64_t>(coalitions.size()));
 }
 
+// Every non-empty submission — whether through Utility() or a batch —
+// must land in exactly one UtilityStats counter: a loss call, a memo
+// hit, or a surrogate skip. Duplicates inside one submitted batch and
+// entries already cached before the batch resolve as memo hits, so
+// loss_calls + memo_hits always equals the number of non-empty
+// submissions, with loss_calls == distinct coalitions.
+TEST(BatchLossTest, EvaluateBatchStatsAccountEverySubmissionOnce) {
+  const int n = 4;
+  LogisticRegression model(8, 3, 0.0);
+  Dataset test = MakeData(20, 8, 3, 41, false);
+  RoundRecord rec = MakeRoundRecord(model, test, n, 42);
+
+  Coalition a = Coalition::FromMembers(n, {0, 2});
+  Coalition b = Coalition::FromMembers(n, {1, 3});
+  Coalition c = Coalition::FromMembers(n, {0, 1, 2});
+
+  UtilityStats stats;
+  int64_t calls = 0;
+  RoundUtility utility(&model, &test, &rec, &calls, nullptr, &stats);
+  utility.Utility(a);  // pre-cache one entry before the batch
+  EXPECT_EQ(stats.loss_calls, 1);
+  EXPECT_EQ(stats.memo_hits, 0);
+
+  // Batch: {a (cached), b, b (in-batch duplicate), c, empty}.
+  std::vector<Coalition> batch = {a, b, b, c, Coalition(n)};
+  utility.EvaluateBatch(batch);
+  EXPECT_EQ(stats.loss_calls, 3);           // a, b, c each measured once
+  EXPECT_EQ(stats.distinct_coalitions, 3);
+  EXPECT_EQ(stats.memo_hits, 2);            // cached a + duplicate b
+  EXPECT_EQ(stats.batched_calls, 1);
+  EXPECT_EQ(calls, 3);
+
+  // Resubmitting the whole batch resolves every non-empty entry as a
+  // hit: the submission count and the counter total stay in lockstep.
+  utility.EvaluateBatch(batch);
+  EXPECT_EQ(stats.loss_calls, 3);
+  EXPECT_EQ(stats.memo_hits, 6);
+  EXPECT_EQ(stats.batched_calls, 1);        // nothing left to chunk
+}
+
+// Racing EvaluateBatch against concurrent Utility() queries for the
+// same coalitions must keep the accounting deterministic: no matter
+// which thread wins each cache fill, loss_calls equals the distinct
+// coalition count and loss_calls + memo_hits equals the total number
+// of non-empty submissions. (Regression: a batch chunk losing the
+// fill race to Utility() used to count that submission nowhere,
+// making the totals scheduling-dependent.)
+TEST(BatchLossTest, EvaluateBatchRacingUtilityKeepsCountsDeterministic) {
+  const int n = 5;
+  LogisticRegression model(12, 3, 0.0);
+  Dataset test = MakeData(24, 12, 3, 51, false);
+  RoundRecord rec = MakeRoundRecord(model, test, n, 52);
+
+  std::vector<Coalition> coalitions;
+  for (uint32_t mask = 1; mask < (1u << n); ++mask) {
+    Coalition c(n);
+    for (int k = 0; k < n; ++k) {
+      if (mask & (1u << k)) c.Add(k);
+    }
+    coalitions.push_back(c);
+  }
+  const int64_t distinct = static_cast<int64_t>(coalitions.size());
+
+  ExecutionContext ctx(4);
+  const int kQueryTasks = 3;
+  for (int iter = 0; iter < 20; ++iter) {
+    UtilityStats stats;
+    int64_t calls = 0;
+    RoundUtility utility(&model, &test, &rec, &calls, nullptr, &stats);
+    ctx.ParallelFor(kQueryTasks + 1, [&](int task) {
+      if (task == 0) {
+        utility.EvaluateBatch(coalitions);
+      } else {
+        for (const Coalition& c : coalitions) (void)utility.Utility(c);
+      }
+    });
+    const int64_t submissions = distinct * (kQueryTasks + 1);
+    EXPECT_EQ(stats.loss_calls, distinct) << "iter=" << iter;
+    EXPECT_EQ(stats.distinct_coalitions, distinct) << "iter=" << iter;
+    EXPECT_EQ(calls, distinct) << "iter=" << iter;
+    EXPECT_EQ(stats.loss_calls + stats.memo_hits, submissions)
+        << "iter=" << iter;
+    EXPECT_EQ(utility.distinct_evaluations(), distinct) << "iter=" << iter;
+  }
+}
+
 TEST(BatchLossTest, EvaluateBatchDedupsResubmissions) {
   const int n = 4;
   LogisticRegression model(8, 3, 0.0);

@@ -180,11 +180,30 @@ Stripped StripSource(const std::string& text) {
     }
     if (!std::isspace(static_cast<unsigned char>(c))) at_line_start = false;
     if (c == '/' && i + 1 < text.size() && text[i + 1] == '/') {
-      size_t end = text.find('\n', i);
-      if (end == std::string::npos) end = text.size();
-      out.comments[line] += text.substr(i + 2, end - i - 2);
-      for (size_t k = i; k < end; ++k) blank(k);
-      i = end;
+      // Line comment: blank to end of line, honoring backslash line
+      // splices — phase-2 splicing joins a physical line ending in '\'
+      // to the next, so the comment swallows that line too.
+      size_t seg = i + 2;
+      while (i < text.size()) {
+        if (text[i] == '\n') {
+          size_t j = i;
+          while (j > 0 && (text[j - 1] == ' ' || text[j - 1] == '\t' ||
+                           text[j - 1] == '\r')) {
+            --j;
+          }
+          if (j > 0 && text[j - 1] == '\\') {
+            out.comments[line] += text.substr(seg, i - seg);
+            ++line;
+            ++i;
+            seg = i;
+            continue;
+          }
+          break;
+        }
+        blank(i);
+        ++i;
+      }
+      out.comments[line] += text.substr(seg, i - seg);
       continue;
     }
     if (c == '/' && i + 1 < text.size() && text[i + 1] == '*') {
@@ -209,8 +228,20 @@ Stripped StripSource(const std::string& text) {
       continue;
     }
     if (c == '"') {
-      bool raw = i > 0 && text[i - 1] == 'R' &&
-                 (i < 2 || !IsIdentChar(text[i - 2]));
+      // Raw literal: R"..." with an optional encoding prefix (u8R, uR,
+      // UR, LR), provided the prefix is not the tail of an identifier.
+      bool raw = false;
+      if (i > 0 && text[i - 1] == 'R') {
+        size_t start = i - 1;  // first char of the literal prefix
+        if (start >= 2 && text[start - 1] == '8' && text[start - 2] == 'u') {
+          start -= 2;
+        } else if (start >= 1 &&
+                   (text[start - 1] == 'u' || text[start - 1] == 'U' ||
+                    text[start - 1] == 'L')) {
+          start -= 1;
+        }
+        raw = start == 0 || !IsIdentChar(text[start - 1]);
+      }
       if (raw) {
         // R"delim( ... )delim"
         size_t open = text.find('(', i + 1);
